@@ -1,0 +1,33 @@
+// Command ducttape-audit links the duct-taped foreign kernel subsystems
+// (Mach IPC, pthread support, I/O Kit) against the domestic kernel under
+// the three-zone discipline of Section 4.2 and prints the link report:
+// zone membership, automatic symbol-conflict remaps, and any unresolved
+// foreign externals (the duct tape implementation work list).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ducttape"
+	"repro/internal/iokit"
+	"repro/internal/xnu"
+)
+
+func main() {
+	fmt.Println("== XNU subsystems (Mach IPC, pthread support) ==")
+	img, err := ducttape.Link(xnu.AllUnits())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ducttape-audit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(img.Report())
+
+	fmt.Println("\n== I/O Kit (driver framework + C++ runtime) ==")
+	img, err = ducttape.Link(iokit.Units())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ducttape-audit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(img.Report())
+}

@@ -1,0 +1,95 @@
+// Command ipatool drives the App Store package pipeline of Section 6.1 on
+// host files: build an encrypted .ipa the way the store ships one, decrypt
+// it with a device key (the jailbroken-iPhone step), and inspect packages.
+//
+// Usage:
+//
+//	ipatool build   -name App -bundle com.x.app -key 0xSEED <out.ipa>
+//	ipatool decrypt -key 0xSEED <in.ipa> <out.ipa>
+//	ipatool info    <in.ipa>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ipa"
+	"repro/internal/macho"
+	"repro/internal/prog"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	name := fs.String("name", "SampleApp", "app bundle name")
+	bundle := fs.String("bundle", "com.example.sample", "bundle identifier")
+	keySeed := fs.Uint64("key", 0xC1DE0000, "device key seed")
+	fs.Parse(os.Args[2:])
+	key := ipa.DeviceKey{Seed: *keySeed}
+
+	switch cmd {
+	case "build":
+		if fs.NArg() != 1 {
+			usage()
+		}
+		bin, err := prog.MachOExecutable(*bundle, []string{"/usr/lib/libSystem.B.dylib"}, nil)
+		check(err)
+		enc, err := ipa.EncryptBinary(bin, key)
+		check(err)
+		pkg, err := ipa.Build(&ipa.App{
+			Name: *name, BundleID: *bundle, Binary: enc,
+			Assets: map[string][]byte{"Icon.png": []byte("ICON")},
+		})
+		check(err)
+		check(os.WriteFile(fs.Arg(0), pkg, 0o644))
+		fmt.Printf("built encrypted %s (%d bytes)\n", fs.Arg(0), len(pkg))
+	case "decrypt":
+		if fs.NArg() != 2 {
+			usage()
+		}
+		in, err := os.ReadFile(fs.Arg(0))
+		check(err)
+		out, err := ipa.Decrypt(in, key)
+		check(err)
+		check(os.WriteFile(fs.Arg(1), out, 0o644))
+		fmt.Printf("decrypted %s -> %s\n", fs.Arg(0), fs.Arg(1))
+	case "info":
+		if fs.NArg() != 1 {
+			usage()
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		check(err)
+		app, err := ipa.Parse(data)
+		check(err)
+		fmt.Printf("name:    %s\nbundle:  %s\nbinary:  %d bytes\nassets:  %d\n",
+			app.Name, app.BundleID, len(app.Binary), len(app.Assets))
+		if mf, err := macho.Parse(app.Binary); err == nil {
+			if mf.Encrypted() {
+				fmt.Println("state:   FairPlay-encrypted (decrypt before installing on Cider)")
+			} else {
+				fmt.Println("state:   decrypted (installable on Cider)")
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipatool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ipatool build   -name App -bundle com.x.app -key 0xSEED <out.ipa>
+  ipatool decrypt -key 0xSEED <in.ipa> <out.ipa>
+  ipatool info    <in.ipa>`)
+	os.Exit(2)
+}

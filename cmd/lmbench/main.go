@@ -1,0 +1,44 @@
+// Command lmbench regenerates the paper's Figure 5: the lmbench 3.0
+// microbenchmark latencies on all four system configurations (vanilla
+// Android, Cider with Linux binaries, Cider with iOS binaries, iPad mini),
+// normalized to vanilla Android.
+//
+// Usage:
+//
+//	lmbench [-group basic|syscall|proc|comm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lmbench"
+)
+
+func main() {
+	group := flag.String("group", "", "run only one Fig. 5 group (basic, syscall, proc, comm)")
+	flag.Parse()
+
+	tests := lmbench.AllTests()
+	if *group != "" {
+		var filtered []lmbench.Test
+		for _, t := range tests {
+			if t.Group == *group {
+				filtered = append(filtered, t)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "lmbench: unknown group %q\n", *group)
+			os.Exit(2)
+		}
+		tests = filtered
+	}
+
+	rep, err := lmbench.RunFigure5Tests(tests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+}

@@ -1,0 +1,109 @@
+// Command machotool inspects Mach-O images — the otool/jtool of the
+// simulated ecosystem. It prints the header, load commands, segments,
+// dylib references and symbol table of a Mach-O file, and can generate a
+// sample iOS app binary to play with.
+//
+// Usage:
+//
+//	machotool <file>          inspect a Mach-O image
+//	machotool -sample <file>  write a sample iOS app binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/macho"
+	"repro/internal/prog"
+)
+
+func main() {
+	sample := flag.Bool("sample", false, "write a sample iOS app binary instead of inspecting")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: machotool [-sample] <file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	if *sample {
+		bin, err := prog.MachOExecutable("com.example.sample", []string{
+			"/usr/lib/libSystem.B.dylib",
+			"/System/Library/Frameworks/UIKit.framework/UIKit",
+		}, []string{"_IOSurfaceCreate", "_glDrawArrays"})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "machotool: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, bin, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "machotool: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote sample Mach-O executable to %s (%d bytes)\n", path, len(bin))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "machotool: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := macho.Parse(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "machotool: %v\n", err)
+		os.Exit(1)
+	}
+	dump(f)
+}
+
+func dump(f *macho.File) {
+	typ := "?"
+	switch f.FileType {
+	case macho.TypeExecute:
+		typ = "MH_EXECUTE"
+	case macho.TypeDylib:
+		typ = "MH_DYLIB"
+	}
+	fmt.Printf("Mach-O 32-bit  cputype %d (ARM) subtype %d  filetype %s  flags %#x\n",
+		f.CPUType, f.CPUSubtype, typ, f.Flags)
+	if f.DylibID != "" {
+		fmt.Printf("LC_ID_DYLIB        %s\n", f.DylibID)
+	}
+	if f.Dylinker != "" {
+		fmt.Printf("LC_LOAD_DYLINKER   %s\n", f.Dylinker)
+	}
+	if f.HasEntry {
+		fmt.Printf("LC_MAIN            entryoff=%#x\n", f.EntryOffset)
+	}
+	if f.Encryption != nil {
+		state := "decrypted"
+		if f.Encryption.CryptID != 0 {
+			state = "ENCRYPTED"
+		}
+		fmt.Printf("LC_ENCRYPTION_INFO cryptoff=%#x cryptsize=%#x cryptid=%d (%s)\n",
+			f.Encryption.CryptOff, f.Encryption.CryptSize, f.Encryption.CryptID, state)
+	}
+	for _, seg := range f.Segments {
+		fmt.Printf("LC_SEGMENT         %-16s vmaddr=%#x vmsize=%#x filesize=%#x prot=%d\n",
+			seg.Name, seg.VMAddr, seg.VMSize, len(seg.Data), seg.Prot)
+		for _, sec := range seg.Sections {
+			fmt.Printf("    section        %-16s addr=%#x size=%#x\n", sec.Name, sec.Addr, sec.Size)
+		}
+	}
+	for _, d := range f.Dylibs {
+		fmt.Printf("LC_LOAD_DYLIB      %s\n", d)
+	}
+	if len(f.Symbols) > 0 {
+		fmt.Printf("symbol table (%d entries):\n", len(f.Symbols))
+		for _, s := range f.Symbols {
+			kind := "local "
+			if s.Exported() {
+				kind = "export"
+			} else if s.Undefined() {
+				kind = "undef "
+			}
+			fmt.Printf("    %s  %#010x  %s\n", kind, s.Value, s.Name)
+		}
+	}
+}

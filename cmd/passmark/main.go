@@ -1,0 +1,44 @@
+// Command passmark regenerates the paper's Figure 6: the PassMark
+// PerformanceTest app throughput on all four system configurations,
+// normalized to vanilla Android. The Android app build is genuine DEX
+// bytecode interpreted by the Dalvik VM; the iOS build is native code.
+//
+// Usage:
+//
+//	passmark [-group cpu|storage|memory|2d|3d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/passmark"
+)
+
+func main() {
+	group := flag.String("group", "", "run only one Fig. 6 group (cpu, storage, memory, 2d, 3d)")
+	flag.Parse()
+
+	tests := passmark.AllTests()
+	if *group != "" {
+		var filtered []passmark.Test
+		for _, t := range tests {
+			if t.Group == *group {
+				filtered = append(filtered, t)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "passmark: unknown group %q\n", *group)
+			os.Exit(2)
+		}
+		tests = filtered
+	}
+
+	rep, err := passmark.RunFigure6Tests(tests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "passmark: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+}

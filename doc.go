@@ -1,0 +1,13 @@
+// Package repro is a simulation-based reproduction of "Cider: Native
+// Execution of iOS Apps on Android" (Andrus, Van't Hof, AlDuaij, Dall,
+// Viennot, Nieh — ASPLOS 2014).
+//
+// The library builds complete simulated devices — a vanilla Android
+// Nexus 7, a Cider-enhanced Nexus 7, and an iOS iPad mini — and runs real
+// binary images (Mach-O and ELF), a persona-aware kernel with an XNU ABI,
+// duct-taped Mach IPC / pthread / I/O Kit subsystems, diplomatic functions
+// into the Android graphics stack, and the paper's full evaluation:
+// Figure 5 (lmbench) and Figure 6 (PassMark) across all four
+// configurations. See README.md for the tour and DESIGN.md for the system
+// inventory; bench_test.go regenerates every figure.
+package repro

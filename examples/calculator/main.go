@@ -1,0 +1,185 @@
+// Calculator: an interactive iOS app (in the spirit of the paper's
+// "Calculator Pro for iPad Free" demo) packaged as an encrypted .ipa,
+// decrypted with a device key, installed with a Launcher shortcut, started
+// through CiderPress, and driven by touch: taps on a simulated keypad
+// arrive via the eventpump and Mach IPC, the display re-renders through
+// diplomatic OpenGL ES, and the result is read back from the app.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/input"
+	"repro/internal/ipa"
+	"repro/internal/kernel"
+	"repro/internal/prog"
+	"repro/internal/uikit"
+)
+
+// keypad maps tap positions to keys (a 4-wide grid on the 1280x800 panel).
+func keyAt(x, y float32) byte {
+	keys := [][]byte{
+		{'7', '8', '9', '/'},
+		{'4', '5', '6', '*'},
+		{'1', '2', '3', '-'},
+		{'0', 'C', '=', '+'},
+	}
+	col := int(x * 4)
+	row := int(y * 4)
+	if row < 0 || row > 3 || col < 0 || col > 3 {
+		return 0
+	}
+	return keys[row][col]
+}
+
+// calculator is a tiny integer RPN-less calculator state machine.
+type calculator struct {
+	acc     int64
+	cur     int64
+	op      byte
+	display string
+}
+
+func (c *calculator) press(k byte) {
+	switch {
+	case k >= '0' && k <= '9':
+		c.cur = c.cur*10 + int64(k-'0')
+	case k == 'C':
+		*c = calculator{}
+	case k == '=':
+		c.apply()
+		c.op = 0
+	default: // + - * /
+		c.apply()
+		c.op = k
+	}
+	if c.op == 0 {
+		c.display = fmt.Sprint(c.acc)
+	} else {
+		c.display = fmt.Sprint(c.cur)
+	}
+}
+
+func (c *calculator) apply() {
+	switch c.op {
+	case 0:
+		c.acc = c.cur
+	case '+':
+		c.acc += c.cur
+	case '-':
+		c.acc -= c.cur
+	case '*':
+		c.acc *= c.cur
+	case '/':
+		if c.cur != 0 {
+			c.acc /= c.cur
+		}
+	}
+	c.cur = 0
+}
+
+func main() {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Package the app as the App Store would: encrypted .ipa.
+	key := ipa.DeviceKey{Seed: 0xCA1C}
+	bin, err := prog.MachOExecutable("calc-app", []string{
+		"/usr/lib/libSystem.B.dylib",
+		"/System/Library/Frameworks/UIKit.framework/UIKit",
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := ipa.EncryptBinary(bin, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkg, err := ipa.Build(&ipa.App{
+		Name: "Calculator", BundleID: "com.example.calc", Binary: enc,
+		Assets: map[string][]byte{"Icon.png": []byte("ICON")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Decrypt on the "jailbroken device", then install on Cider.
+	clearPkg, err := ipa.Decrypt(pkg, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	calc := &calculator{}
+	inst, err := sys.InstallIPA(clearPkg, "calc-app", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		return uikit.Main(th, uikit.Delegate{
+			OnGesture: func(app *uikit.App, g input.Gesture) {
+				if g.Kind != input.GestureTap {
+					return
+				}
+				if k := keyAt(g.X, g.Y); k != 0 {
+					calc.press(k)
+					// Redraw the display through diplomatic GL.
+					app.GL.Call("_glClear", 0x4000)
+					app.GL.Call("_glDrawArrays", 4, 0, 64)
+					app.Present()
+				}
+			},
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %s\n  shortcut: %s\n", inst.ExecPath, inst.ShortcutPath)
+
+	if _, err := sys.LaunchIOSApp(inst.ExecPath); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user types 12+34= on the keypad.
+	if err := sys.InstallStaticAndroidBinary("/system/bin/finger", "finger", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		th.Charge(80 * time.Millisecond)
+		tap := func(k byte) {
+			// Find the key's grid cell and tap its center.
+			keys := "789/456*123-0C=+"
+			idx := -1
+			for i := 0; i < len(keys); i++ {
+				if keys[i] == k {
+					idx = i
+					break
+				}
+			}
+			x := int32((idx%4)*320 + 160)
+			y := int32((idx/4)*200 + 100)
+			sys.Input.Inject(th, input.Event{Type: input.TouchDown, X: x, Y: y})
+			th.Charge(3 * time.Millisecond)
+			sys.Input.Inject(th, input.Event{Type: input.TouchUp, X: x, Y: y})
+			th.Charge(20 * time.Millisecond)
+		}
+		for _, k := range []byte("12+34=") {
+			tap(k)
+		}
+		sys.Input.Inject(th, input.Event{Type: input.Lifecycle, Code: input.LifecycleStop})
+		return 0
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Start("/system/bin/finger", nil); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("typed: 12+34=\ndisplay reads: %s\n", calc.display)
+	fmt.Printf("frames composited: %d, diplomatic GL calls: %d\n",
+		sys.Gfx.SF.Frames(), sys.Diplomat.Calls())
+	if calc.display != "46" {
+		log.Fatalf("calculator answered %s, want 46", calc.display)
+	}
+}

@@ -1,0 +1,176 @@
+package abi_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bionic"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/prog"
+)
+
+// TestCrossPersonaSignalDelivery verifies Section 4.1: "Android apps (or
+// threads) can deliver signals to iOS apps (or threads) and vice-versa",
+// with the kernel translating numbering per the receiving persona.
+func TestCrossPersonaSignalDelivery(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iosSaw := -1
+	androidSaw := -1
+	var iosPID, androidPID int
+	iosReady, androidReady := false, false
+
+	// The iOS app installs a handler for XNU SIGUSR1 (30) and waits.
+	sys.InstallIOSBinary("/Applications/R.app/R", "sig-receiver", nil, func(c *prog.Call) uint64 {
+		lc := libsystem.Sys(c.Ctx.(*kernel.Thread))
+		iosPID = lc.GetPID()
+		lc.Sigaction(30, func(ht *kernel.Thread, sig int) { iosSaw = sig })
+		iosReady = true
+		for iosSaw < 0 {
+			// Poll through a syscall: pending signals are delivered on the
+			// return-to-user path.
+			lc.GetPPID()
+			lc.T.Proc().Sleep(time.Millisecond)
+		}
+		return 0
+	})
+
+	// The Android app installs a handler for Linux SIGUSR1 (10), then
+	// signals the iOS app using the *Linux* number.
+	sys.InstallStaticAndroidBinary("/system/bin/sender", "sig-sender", func(c *prog.Call) uint64 {
+		lc := bionic.Sys(c.Ctx.(*kernel.Thread))
+		androidPID = lc.GetPID()
+		lc.Sigaction(kernel.SIGUSR1, func(ht *kernel.Thread, sig int) { androidSaw = sig })
+		androidReady = true
+		for !iosReady {
+			lc.T.Proc().Sleep(time.Millisecond)
+		}
+		// Android -> iOS with Linux numbering.
+		if errno := lc.Kill(iosPID, kernel.SIGUSR1); errno != kernel.OK {
+			t.Errorf("android->ios kill: %v", errno)
+		}
+		// Wait to be signaled back.
+		for androidSaw < 0 {
+			lc.GetPPID()
+			lc.T.Proc().Sleep(time.Millisecond)
+		}
+		return 0
+	})
+
+	// A third process: an iOS binary signaling the Android app using the
+	// *XNU* number (30).
+	sys.InstallIOSBinary("/Applications/S.app/S", "ios-sender", nil, func(c *prog.Call) uint64 {
+		lc := libsystem.Sys(c.Ctx.(*kernel.Thread))
+		for !androidReady || iosSaw < 0 {
+			lc.T.Proc().Sleep(time.Millisecond)
+		}
+		if errno := lc.Kill(androidPID, 30); errno != kernel.OK {
+			t.Errorf("ios->android kill: %v", errno)
+		}
+		return 0
+	})
+
+	sys.Start("/Applications/R.app/R", nil)
+	sys.Start("/system/bin/sender", nil)
+	sys.Start("/Applications/S.app/S", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The iOS handler must see the XNU number (30) even though the sender
+	// used Linux numbering.
+	if iosSaw != 30 {
+		t.Errorf("iOS handler saw %d, want 30 (XNU SIGUSR1)", iosSaw)
+	}
+	// The Android handler must see the Linux number (10) even though the
+	// sender used XNU numbering.
+	if androidSaw != kernel.SIGUSR1 {
+		t.Errorf("Android handler saw %d, want %d (Linux SIGUSR1)", androidSaw, kernel.SIGUSR1)
+	}
+}
+
+// TestSignalInterruptsBlockedIOSSyscall: a signal delivered to an iOS
+// thread blocked in a translated syscall interrupts it with EINTR (BSD
+// numbering in the iOS TLS).
+func TestSignalInterruptsBlockedIOSSyscall(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readN int
+	var readErrno kernel.Errno
+	handled := false
+	var pid int
+	ready := false
+	sys.InstallIOSBinary("/bin/blocked", "blocked", nil, func(c *prog.Call) uint64 {
+		lc := libsystem.Sys(c.Ctx.(*kernel.Thread))
+		pid = lc.GetPID()
+		lc.Sigaction(30, func(*kernel.Thread, int) { handled = true })
+		r, _, _ := lc.Pipe()
+		ready = true
+		buf := make([]byte, 1)
+		readN, readErrno = lc.Read(r, buf) // blocks until the signal lands
+		return 0
+	})
+	sys.InstallStaticAndroidBinary("/bin/killer", "killer", func(c *prog.Call) uint64 {
+		lc := bionic.Sys(c.Ctx.(*kernel.Thread))
+		for !ready {
+			lc.T.Proc().Sleep(time.Millisecond)
+		}
+		lc.T.Proc().Sleep(5 * time.Millisecond)
+		lc.Kill(pid, kernel.SIGUSR1)
+		return 0
+	})
+	sys.Start("/bin/blocked", nil)
+	sys.Start("/bin/killer", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !handled {
+		t.Fatal("handler did not run")
+	}
+	if readN != 0 || readErrno != kernel.EINTR {
+		t.Fatalf("read = %d/%v, want 0/EINTR", readN, readErrno)
+	}
+}
+
+// TestIOKitMIGTraps exercises the I/O Kit access path the paper describes
+// ("accessed via Mach IPC"): an iOS binary matching the framebuffer class
+// and calling its methods through the MIG traps.
+func TestIOKitMIGTraps(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w, h uint64
+	var matches int
+	sys.InstallIOSBinary("/bin/iokit", "iokit-app", nil, func(c *prog.Call) uint64 {
+		lc := libsystem.Sys(c.Ctx.(*kernel.Thread))
+		entry, n := lc.IOServiceGetMatchingService("AppleM2CLCD")
+		matches = n
+		if n == 0 {
+			return 1
+		}
+		w, h, _ = lc.IOConnectCallMethod(entry, 1 /* SelGetDisplaySize */)
+		// Unknown class: no match, no crash.
+		if _, zero := lc.IOServiceGetMatchingService("AppleNonexistent"); zero != 0 {
+			return 2
+		}
+		return 0
+	})
+	sys.Start("/bin/iokit", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if matches != 1 {
+		t.Fatalf("matches = %d", matches)
+	}
+	if w != 1280 || h != 800 {
+		t.Fatalf("display = %dx%d, want 1280x800", w, h)
+	}
+}

@@ -1,0 +1,134 @@
+package bionic_test
+
+import (
+	"testing"
+
+	"repro/internal/bionic"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/persona"
+	"repro/internal/prog"
+)
+
+func TestLinkerLoadsTransitiveDeps(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigVanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mapped []string
+	// libgui.so pulls libc.so; libGLESv2.so pulls libc.so + libhardware.so.
+	if err := sys.InstallAndroidBinary("/system/bin/app", "linker-app",
+		[]string{"libgui.so", "libGLESv2.so"}, func(c *prog.Call) uint64 {
+			th := c.Ctx.(*kernel.Thread)
+			for _, r := range th.Task().Mem().Regions() {
+				mapped = append(mapped, r.Name)
+			}
+			return 0
+		}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Start("/system/bin/app", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"/system/lib/libgui.so":      false,
+		"/system/lib/libGLESv2.so":   false,
+		"/system/lib/libc.so":        false,
+		"/system/lib/libhardware.so": false,
+	}
+	for _, name := range mapped {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for lib, seen := range want {
+		if !seen {
+			t.Errorf("%s not mapped by the linker", lib)
+		}
+	}
+}
+
+func TestLinkerFailsOnMissingSO(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigVanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	sys.InstallAndroidBinary("/system/bin/broken", "broken-app",
+		[]string{"libmissing.so"}, func(c *prog.Call) uint64 {
+			ran = true
+			return 0
+		})
+	var status int
+	sys.InstallStaticAndroidBinary("/system/bin/driver", "linker-driver", func(c *prog.Call) uint64 {
+		lc := bionic.Sys(c.Ctx.(*kernel.Thread))
+		pid := lc.Fork(func(cc *bionic.C) {
+			cc.Exec("/system/bin/broken", nil)
+			cc.Exit(126)
+		})
+		_, status, _ = lc.Wait(pid)
+		return 0
+	})
+	sys.Start("/system/bin/driver", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("binary with missing .so must not run")
+	}
+	if status != 255 {
+		t.Fatalf("status = %d, want 255 (CANNOT LINK EXECUTABLE)", status)
+	}
+}
+
+func TestErrnoInAndroidTLS(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigVanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errno int
+	var kind persona.Kind
+	sys.InstallStaticAndroidBinary("/bin/e", "errno-app", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		lc := bionic.Sys(th)
+		lc.Open("/missing")
+		errno = lc.Errno()
+		kind = th.Persona.Current()
+		return 0
+	})
+	sys.Start("/bin/e", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errno != int(kernel.ENOENT) {
+		t.Fatalf("errno = %d", errno)
+	}
+	if kind != persona.Android {
+		t.Fatalf("persona = %v", kind)
+	}
+}
+
+func TestShPropagatesFailureStatus(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigVanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status int
+	sys.InstallStaticAndroidBinary("/bin/d", "sh-driver", func(c *prog.Call) uint64 {
+		lc := bionic.Sys(c.Ctx.(*kernel.Thread))
+		pid := lc.Fork(func(cc *bionic.C) {
+			cc.Exec("/system/bin/sh", []string{"-c", "/bin/nonexistent"})
+			cc.Exit(126)
+		})
+		_, status, _ = lc.Wait(pid)
+		return 0
+	})
+	sys.Start("/bin/d", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if status != 127 {
+		t.Fatalf("status = %d, want 127 (command not found)", status)
+	}
+}

@@ -1,0 +1,174 @@
+// Package ciderpress implements CiderPress, the proxy service of
+// Section 3: "a standard Android app that integrates launch and execution
+// of an iOS app with Android's Launcher and system services. It is
+// directly started by Android's Launcher, receives input such as touch
+// events and accelerometer data from the Android input subsystem, and its
+// life cycle is managed like any other Android app. CiderPress launches
+// the foreign binary, and proxies its own display memory, incoming input
+// events, and app state changes to the iOS app."
+package ciderpress
+
+import (
+	"fmt"
+
+	"repro/internal/bionic"
+	"repro/internal/graphics"
+	"repro/internal/hw"
+	"repro/internal/input"
+	"repro/internal/kernel"
+	"repro/internal/prog"
+)
+
+// ProgKey is the CiderPress program's registry key.
+const ProgKey = "ciderpress"
+
+// BinaryPath is where the CiderPress APK's native binary lives.
+const BinaryPath = "/system/app/CiderPress"
+
+// EventFDArg is the argv convention telling the iOS app which descriptor
+// carries its event socket.
+const EventFDArg = "-ciderpress-eventfd"
+
+// Service holds the system objects CiderPress needs.
+type Service struct {
+	// InputDev is the Android input device it reads.
+	InputDev *input.Device
+	// SF is SurfaceFlinger, for the proxy display surface.
+	SF *graphics.SurfaceFlinger
+	// Display is the panel, for surface sizing.
+	Display *hw.DisplayModel
+
+	// proxy is the Android-side surface whose memory is proxied to the
+	// foreign app (and whose contents back the recents screenshot).
+	proxy *graphics.Surface
+	// lastStatus is the foreign app's exit status.
+	lastStatus int
+	launches   int
+}
+
+// Launches reports how many foreign apps this service has started.
+func (s *Service) Launches() int { return s.launches }
+
+// LastStatus returns the most recent foreign app's exit status.
+func (s *Service) LastStatus() int { return s.lastStatus }
+
+// Screenshot returns the proxy surface contents — what Android's recent
+// activity list shows for the iOS app.
+func (s *Service) Screenshot() []byte {
+	if s.proxy == nil {
+		return nil
+	}
+	return append([]byte(nil), s.proxy.Buf.Backing.Bytes()...)
+}
+
+// Register installs the CiderPress program. Its argv is the iOS app's
+// executable path (the Launcher shortcut's payload).
+func Register(reg *prog.Registry, svc *Service) error {
+	return reg.Register(ProgKey, func(c *prog.Call) uint64 {
+		t := c.Ctx.(*kernel.Thread)
+		return svc.run(t)
+	})
+}
+
+// run is the CiderPress main.
+func (s *Service) run(t *kernel.Thread) uint64 {
+	lc := bionic.Sys(t)
+	argv := t.Task().Argv()
+	if len(argv) < 1 {
+		return 2
+	}
+	appPath := argv[0]
+
+	// Allocate the proxy display surface; screen shots of the iOS app
+	// appear in Android's recent activity list through it.
+	proxy, err := s.SF.CreateSurface(t, "ciderpress:"+appPath, s.Display.Width, s.Display.Height)
+	if err != nil {
+		return 2
+	}
+	s.proxy = proxy
+	defer s.SF.DestroySurface(t, proxy)
+
+	// The event channel to the foreign app's eventpump: a connected
+	// AF_UNIX pair; the child inherits the far end across fork+exec.
+	localFD, childFD, errno := lc.Socketpair()
+	if errno != kernel.OK {
+		return 2
+	}
+
+	// Launch the foreign binary. This is an Android (Linux) binary
+	// fork+exec'ing an iOS binary — exactly the fork+exec(ios) path the
+	// microbenchmarks measure.
+	pid := lc.Fork(func(cc *bionic.C) {
+		cc.Close(localFD)
+		cc.Exec(appPath, []string{EventFDArg, fmt.Sprint(childFD)})
+		cc.Exit(127)
+	})
+	if pid < 0 {
+		return 2
+	}
+	lc.Close(childFD)
+	s.launches++
+
+	// Forward input events from the Android input subsystem to the app,
+	// watching both the input device and the app socket: if the foreign
+	// app exits, its socket end closes and the forwarding stops — the
+	// proxy's life cycle tracks the app's, like any Android activity.
+	inFD, errno := lc.Open("/dev/input0")
+	if errno != kernel.OK {
+		return 2
+	}
+	buf := make([]byte, 16*input.EventSize)
+	var pending []byte
+forward:
+	for {
+		res, errno := lc.Select(&kernel.SelectRequest{
+			ReadFDs: []int{inFD, localFD}, Timeout: -1,
+		})
+		if errno != kernel.OK {
+			break
+		}
+		for _, fd := range res.ReadReady {
+			if fd == localFD {
+				// Readable app socket means EOF here (the app never
+				// writes): the foreign binary exited.
+				if n, _ := lc.Read(localFD, buf); n == 0 {
+					break forward
+				}
+				continue
+			}
+			n, errno := lc.Read(inFD, buf)
+			if errno != kernel.OK || n == 0 {
+				break forward
+			}
+			if _, werrno := lc.Write(localFD, buf[:n]); werrno != kernel.OK {
+				break forward
+			}
+			pending = append(pending, buf[:n]...)
+			for len(pending) >= input.EventSize {
+				e, err := input.Unmarshal(pending[:input.EventSize])
+				pending = pending[input.EventSize:]
+				if err == nil && e.Type == input.Lifecycle && e.Code == input.LifecycleStop {
+					break forward
+				}
+			}
+		}
+	}
+	lc.Close(inFD)
+	lc.Close(localFD)
+
+	// The app lifecycle follows Android's: reap the foreign process.
+	_, status, _ := lc.Wait(pid)
+	s.lastStatus = status
+	return uint64(status)
+}
+
+// InstallBinary writes the CiderPress executable into the Android image.
+func InstallBinary(fs interface {
+	WriteFile(string, []byte) error
+}) error {
+	bin, err := prog.DynamicELF(ProgKey, []string{"libc.so", "libutils.so", "libgui.so"})
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(BinaryPath, bin)
+}

@@ -1,0 +1,300 @@
+// Package dalvik implements the Android app execution substrate: a
+// register-based DEX-like bytecode format and the interpreting virtual
+// machine that runs it. This is what makes Fig. 6's headline comparison
+// structural rather than asserted: the Android PassMark app really is
+// bytecode executed instruction-by-instruction (paying a dispatch cost per
+// instruction), while the iOS app is native code paying only the
+// arithmetic cost — "the Android version is written in Java and
+// interpreted through the Dalvik VM while the iOS version is written in
+// Objective-C and compiled and run as a native binary" (Section 6.3).
+package dalvik
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcodes. Instructions are 32-bit words: op in byte 0, operands in bytes
+// 1..3; CONST takes one extension word.
+const (
+	OpNop uint8 = iota
+	// OpConst rd <- imm32 (next word).
+	OpConst
+	// OpMove rd <- rs.
+	OpMove
+	// Integer ALU: rd <- ra op rb.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpXor
+	OpAnd
+	OpOr
+	OpShl
+	OpShr
+	// Double ALU (registers hold IEEE-754 bits): rd <- ra op rb.
+	OpDAdd
+	OpDMul
+	OpDDiv
+	// OpI2D rd <- double(rs).
+	OpI2D
+	// OpCmp rd <- sign(ra - rb) as int64.
+	OpCmp
+	// OpIf rs cond ±off (branch if rs cond 0).
+	OpIf
+	// OpGoto ±off.
+	OpGoto
+	// OpNewArr rd <- new array of rs elements.
+	OpNewArr
+	// OpALoad rd <- arr[idx] (rd, rarr, ridx).
+	OpALoad
+	// OpAStore arr[idx] <- rs (rarr, ridx, rs).
+	OpAStore
+	// OpArrLen rd <- len(arr) (rd, rarr).
+	OpArrLen
+	// OpInvoke rd <- call method[imm in byte2] passing regs [byte3 ...).
+	// Encoded as op, rd, methodIdx, firstArg; arg count in ext word.
+	OpInvoke
+	// OpIntrin rd <- host intrinsic (JNI-style native call).
+	OpIntrin
+	// OpReturn rs.
+	OpReturn
+	numOps
+)
+
+// Branch conditions for OpIf (byte 2).
+const (
+	IfEq uint8 = iota
+	IfNe
+	IfLt
+	IfGe
+	IfGt
+	IfLe
+)
+
+// Method is one dex method body.
+type Method struct {
+	// Name is the method's identifier ("main", "computePrimes").
+	Name string
+	// Registers is the frame size.
+	Registers int
+	// Code is the instruction stream.
+	Code []uint32
+}
+
+// File is a parsed or under-construction dex container.
+type File struct {
+	// Methods in index order (OpInvoke references by index).
+	Methods []Method
+}
+
+// MethodIndex returns the index of the named method.
+func (f *File) MethodIndex(name string) (int, bool) {
+	for i, m := range f.Methods {
+		if m.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// dexMagic mirrors the real container magic ("dex\n035\0").
+var dexMagic = []byte("dex\n035\x00")
+
+// Marshal encodes the container.
+func (f *File) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(dexMagic)
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint32(len(f.Methods)))
+	for _, m := range f.Methods {
+		if len(m.Name) > 255 {
+			return nil, fmt.Errorf("dalvik: method name too long")
+		}
+		buf.WriteByte(uint8(len(m.Name)))
+		buf.WriteString(m.Name)
+		w(uint16(m.Registers))
+		w(uint32(len(m.Code)))
+		for _, insn := range m.Code {
+			w(insn)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Parse decodes a dex container.
+func Parse(b []byte) (*File, error) {
+	if len(b) < len(dexMagic) || !bytes.Equal(b[:len(dexMagic)], dexMagic) {
+		return nil, fmt.Errorf("dalvik: bad dex magic")
+	}
+	r := bytes.NewReader(b[len(dexMagic):])
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var nm uint32
+	if err := rd(&nm); err != nil {
+		return nil, err
+	}
+	if nm > 1<<16 {
+		return nil, fmt.Errorf("dalvik: implausible method count %d", nm)
+	}
+	f := &File{}
+	for i := uint32(0); i < nm; i++ {
+		var nameLen uint8
+		if err := rd(&nameLen); err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := r.Read(name); err != nil {
+			return nil, err
+		}
+		var regs uint16
+		var codeLen uint32
+		if err := rd(&regs); err != nil {
+			return nil, err
+		}
+		if err := rd(&codeLen); err != nil {
+			return nil, err
+		}
+		if codeLen > 1<<22 {
+			return nil, fmt.Errorf("dalvik: implausible code length %d", codeLen)
+		}
+		code := make([]uint32, codeLen)
+		for j := range code {
+			if err := rd(&code[j]); err != nil {
+				return nil, err
+			}
+		}
+		f.Methods = append(f.Methods, Method{Name: string(name), Registers: int(regs), Code: code})
+	}
+	return f, nil
+}
+
+// ins packs an instruction word.
+func ins(op, b1, b2, b3 uint8) uint32 {
+	return uint32(op) | uint32(b1)<<8 | uint32(b2)<<16 | uint32(b3)<<24
+}
+
+// Assembler builds method bodies with labels.
+type Assembler struct {
+	name   string
+	regs   int
+	code   []uint32
+	labels map[string]int
+	// fixups are (instruction index, label) pairs; the branch offset is
+	// patched into the instruction's ext word at Assemble time.
+	fixups []fixup
+}
+
+type fixup struct {
+	at    int
+	label string
+}
+
+// NewAssembler starts a method with the given frame size.
+func NewAssembler(name string, registers int) *Assembler {
+	return &Assembler{name: name, regs: registers, labels: map[string]int{}}
+}
+
+// Label marks the current position.
+func (a *Assembler) Label(l string) *Assembler {
+	a.labels[l] = len(a.code)
+	return a
+}
+
+// Const loads an immediate.
+func (a *Assembler) Const(rd uint8, imm int32) *Assembler {
+	a.code = append(a.code, ins(OpConst, rd, 0, 0), uint32(imm))
+	return a
+}
+
+// Move copies a register.
+func (a *Assembler) Move(rd, rs uint8) *Assembler {
+	a.code = append(a.code, ins(OpMove, rd, rs, 0))
+	return a
+}
+
+// Op3 emits a three-register ALU instruction.
+func (a *Assembler) Op3(op, rd, ra, rb uint8) *Assembler {
+	a.code = append(a.code, ins(op, rd, ra, rb))
+	return a
+}
+
+// If branches to label when rs cond 0.
+func (a *Assembler) If(rs uint8, cond uint8, label string) *Assembler {
+	a.code = append(a.code, ins(OpIf, rs, cond, 0), 0)
+	a.fixups = append(a.fixups, fixup{at: len(a.code) - 1, label: label})
+	return a
+}
+
+// Goto jumps to label.
+func (a *Assembler) Goto(label string) *Assembler {
+	a.code = append(a.code, ins(OpGoto, 0, 0, 0), 0)
+	a.fixups = append(a.fixups, fixup{at: len(a.code) - 1, label: label})
+	return a
+}
+
+// NewArr allocates an array of rs elements into rd.
+func (a *Assembler) NewArr(rd, rsize uint8) *Assembler {
+	a.code = append(a.code, ins(OpNewArr, rd, rsize, 0))
+	return a
+}
+
+// ALoad loads arr[idx].
+func (a *Assembler) ALoad(rd, rarr, ridx uint8) *Assembler {
+	a.code = append(a.code, ins(OpALoad, rd, rarr, ridx))
+	return a
+}
+
+// AStore stores arr[idx] = rs.
+func (a *Assembler) AStore(rarr, ridx, rs uint8) *Assembler {
+	a.code = append(a.code, ins(OpAStore, rarr, ridx, rs))
+	return a
+}
+
+// ArrLen loads an array's length.
+func (a *Assembler) ArrLen(rd, rarr uint8) *Assembler {
+	a.code = append(a.code, ins(OpArrLen, rd, rarr, 0))
+	return a
+}
+
+// Invoke calls method midx with nargs args starting at firstArg; the
+// result lands in rd.
+func (a *Assembler) Invoke(rd uint8, midx uint8, firstArg uint8, nargs uint8) *Assembler {
+	a.code = append(a.code, ins(OpInvoke, rd, midx, firstArg), uint32(nargs))
+	return a
+}
+
+// Intrin calls host intrinsic id with nargs args starting at firstArg.
+func (a *Assembler) Intrin(rd uint8, id uint8, firstArg uint8, nargs uint8) *Assembler {
+	a.code = append(a.code, ins(OpIntrin, rd, id, firstArg), uint32(nargs))
+	return a
+}
+
+// Return ends the method.
+func (a *Assembler) Return(rs uint8) *Assembler {
+	a.code = append(a.code, ins(OpReturn, rs, 0, 0))
+	return a
+}
+
+// Assemble resolves labels and produces the method.
+func (a *Assembler) Assemble() (Method, error) {
+	code := append([]uint32(nil), a.code...)
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return Method{}, fmt.Errorf("dalvik: undefined label %q in %s", f.label, a.name)
+		}
+		code[f.at] = uint32(int32(target))
+	}
+	return Method{Name: a.name, Registers: a.regs, Code: code}, nil
+}
+
+// MustAssemble is Assemble that panics (for static program construction).
+func (a *Assembler) MustAssemble() Method {
+	m, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

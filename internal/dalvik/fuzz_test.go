@@ -1,0 +1,44 @@
+package dalvik
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: the dex parser consumes app-store bytes.
+func TestParseNeverPanics(t *testing.T) {
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		Parse(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseCorruptedValid mutates a valid dex container; Parse must never
+// panic, and a successful parse must still be safely executable (the VM
+// traps on bad code rather than panicking).
+func TestParseCorruptedValid(t *testing.T) {
+	good, err := sumLoop().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(good); off++ {
+		mut := append([]byte(nil), good...)
+		mut[off] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at offset %d: %v", off, r)
+				}
+			}()
+			Parse(mut)
+		}()
+	}
+}

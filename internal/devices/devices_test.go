@@ -1,0 +1,256 @@
+package devices_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/dyld"
+	"repro/internal/kernel"
+	"repro/internal/prog"
+)
+
+// yelpLike models the paper's Yelp example: asks for the location, falls
+// back gracefully when services are unavailable, and keeps working.
+func yelpLike(th *kernel.Thread, gotFix *devices.Fix, fellBack *bool) uint64 {
+	fn, ok := dyld.ResolveSymbol(th, "_CLLocationManagerGetFix")
+	if !ok {
+		return 1
+	}
+	ret := fn(&prog.Call{Ctx: th})
+	if ret == devices.KCLErrDenied {
+		// "Yelp simply assumes the user's current location is unavailable,
+		// and continues to function" (§6.4).
+		*fellBack = true
+		return 0
+	}
+	*gotFix = devices.UnpackFix(ret)
+	return 0
+}
+
+func TestFixPackUnpackProperty(t *testing.T) {
+	f := func(lat, lon int32) bool {
+		if lat < -90_000_000 || lat > 90_000_000 || lon < -180_000_000 || lon > 180_000_000 {
+			return true // out of the coordinate domain
+		}
+		in := devices.Fix{LatE6: lat, LonE6: lon, Valid: true}
+		return devices.UnpackFix(in.Pack()) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixPackUnpack(t *testing.T) {
+	f := devices.Fix{LatE6: 40_807_500, LonE6: -73_962_100, Valid: true} // Columbia
+	got := devices.UnpackFix(f.Pack())
+	if got != f {
+		t.Fatalf("round trip: %+v != %+v", got, f)
+	}
+	if devices.UnpackFix(devices.Fix{}.Pack()).Valid {
+		t.Fatal("invalid fix must stay invalid")
+	}
+}
+
+func TestPrototypeCiderYelpFallback(t *testing.T) {
+	// Paper-faithful configuration: no iOS location support.
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GPS.SetFix(40_807_500, -73_962_100) // the hardware has a fix...
+	var fix devices.Fix
+	var fellBack bool
+	sys.InstallIOSBinary("/Applications/Yelp.app/Yelp", "yelp", nil, func(c *prog.Call) uint64 {
+		return yelpLike(c.Ctx.(*kernel.Thread), &fix, &fellBack)
+	})
+	sys.Start("/Applications/Yelp.app/Yelp", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fellBack {
+		t.Fatal("prototype Cider must report location unavailable")
+	}
+	if fix.Valid {
+		t.Fatal("no fix should reach the app")
+	}
+}
+
+func TestExtendedCiderDeliversGPSFix(t *testing.T) {
+	// The §6.4 sketch implemented: I/O Kit driver + diplomatic functions.
+	sys, err := core.NewSystem(core.ConfigCider, core.Options{ExtendedDevices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GPS.SetFix(40_807_500, -73_962_100)
+	var fix devices.Fix
+	var fellBack bool
+	sys.InstallIOSBinary("/Applications/Yelp.app/Yelp", "yelp", nil, func(c *prog.Call) uint64 {
+		return yelpLike(c.Ctx.(*kernel.Thread), &fix, &fellBack)
+	})
+	sys.Start("/Applications/Yelp.app/Yelp", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fellBack {
+		t.Fatal("extended Cider should deliver a fix")
+	}
+	if !fix.Valid || fix.LatE6 != 40_807_500 || fix.LonE6 != -73_962_100 {
+		t.Fatalf("fix = %+v", fix)
+	}
+	// The I/O Kit registry sees the GPS through the device-add bridge.
+	var matched int
+	sys2, _ := core.NewSystem(core.ConfigCider, core.Options{ExtendedDevices: true})
+	sys2.InstallStaticAndroidBinary("/bin/probe", "probe", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		matched = len(sys2.IOKit.ServiceMatching(th, "AppleSmartGPS"))
+		return 0
+	})
+	sys2.Start("/bin/probe", nil)
+	if err := sys2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 {
+		t.Fatalf("AppleSmartGPS matches = %d, want 1", matched)
+	}
+}
+
+func TestIPadNativeLocation(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigIPad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GPS.SetFix(37_331_700, -122_030_200)
+	var fix devices.Fix
+	var fellBack bool
+	sys.InstallIOSBinary("/Applications/Maps.app/Maps", "maps", nil, func(c *prog.Call) uint64 {
+		return yelpLike(c.Ctx.(*kernel.Thread), &fix, &fellBack)
+	})
+	sys.Start("/Applications/Maps.app/Maps", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fellBack || !fix.Valid {
+		t.Fatalf("iPad native location failed: fellBack=%v fix=%+v", fellBack, fix)
+	}
+}
+
+// facetimeLike requires the camera, as the paper's Facetime example does.
+func facetimeLike(th *kernel.Thread, frames *uint64) uint64 {
+	fn, ok := dyld.ResolveSymbol(th, "_AVCaptureStillImage")
+	if !ok {
+		return 1
+	}
+	// Allocate a gralloc-backed surface through IOSurface for the frame.
+	surf, ok := dyld.ResolveSymbol(th, "_IOSurfaceCreate")
+	if !ok {
+		return 1
+	}
+	bufID := surf(&prog.Call{Ctx: th, Args: []uint64{1280, 960, 4}})
+	ret := fn(&prog.Call{Ctx: th, Args: []uint64{bufID}})
+	if ret == devices.KAVErrNoDevice {
+		return 2 // cannot run without a camera
+	}
+	*frames = ret
+	return 0
+}
+
+func TestPrototypeCiderCameraAppFails(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames uint64
+	var status uint64
+	sys.InstallIOSBinary("/Applications/FT.app/FT", "ft", nil, func(c *prog.Call) uint64 {
+		status = facetimeLike(c.Ctx.(*kernel.Thread), &frames)
+		return status
+	})
+	sys.Start("/Applications/FT.app/FT", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if status != 2 {
+		t.Fatalf("status = %d, want 2 (camera unavailable on prototype Cider)", status)
+	}
+}
+
+func TestExtendedCiderCameraCaptures(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider, core.Options{ExtendedDevices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames, status uint64
+	sys.InstallIOSBinary("/Applications/FT.app/FT", "ft", nil, func(c *prog.Call) uint64 {
+		status = facetimeLike(c.Ctx.(*kernel.Thread), &frames)
+		return status
+	})
+	sys.Start("/Applications/FT.app/FT", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if status != 0 || frames != 1 {
+		t.Fatalf("status=%d frames=%d", status, frames)
+	}
+	if sys.Camera.Frames() != 1 {
+		t.Fatalf("camera frames = %d (capture must hit Android hardware)", sys.Camera.Frames())
+	}
+	// The captured bytes landed in the gralloc buffer.
+	buf, ok := sys.Gfx.Gralloc.Get(1)
+	if !ok {
+		t.Fatal("no gralloc buffer")
+	}
+	nonzero := false
+	for _, b := range buf.Backing.Bytes()[:64] {
+		if b != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("frame data did not reach the buffer")
+	}
+}
+
+func TestIPadNativeCamera(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigIPad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames, status uint64
+	sys.InstallIOSBinary("/Applications/FT.app/FT", "ft", nil, func(c *prog.Call) uint64 {
+		status = facetimeLike(c.Ctx.(*kernel.Thread), &frames)
+		return status
+	})
+	sys.Start("/Applications/FT.app/FT", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if status != 0 || frames != 1 {
+		t.Fatalf("status=%d frames=%d", status, frames)
+	}
+}
+
+func TestGPSDeviceNodeIoctl(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigVanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GPS.SetFix(1_000_000, 2_000_000)
+	var packed uint64
+	sys.InstallStaticAndroidBinary("/bin/gpsread", "gpsread", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		fd := th.Syscall(kernel.SysOpen, &kernel.SyscallArgs{Path: "/dev/gps0"})
+		ret := th.Syscall(kernel.SysIoctl, &kernel.SyscallArgs{I: [6]uint64{fd.R0, devices.GPSIoctlGetFix}})
+		packed = ret.R0
+		return 0
+	})
+	sys.Start("/bin/gpsread", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fix := devices.UnpackFix(packed)
+	if !fix.Valid || fix.LatE6 != 1_000_000 {
+		t.Fatalf("fix = %+v", fix)
+	}
+}

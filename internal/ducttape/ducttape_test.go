@@ -1,0 +1,333 @@
+package ducttape
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func TestLinkBasicZones(t *testing.T) {
+	img, err := Link([]Unit{
+		{Name: "linux/mutex.c", Zone: Domestic, Defines: []string{"mutex_lock"}},
+		{Name: "tape/shims.c", Zone: Tape, Defines: []string{"lck_mtx_lock"}, References: []string{"mutex_lock"}},
+		{Name: "xnu/ipc.c", Zone: Foreign, Defines: []string{"ipc_port_alloc"}, References: []string{"lck_mtx_lock"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := img.Resolve("ipc_port_alloc")
+	if !ok || u.Name != "xnu/ipc.c" {
+		t.Fatalf("resolve: %v %v", u, ok)
+	}
+}
+
+func TestLinkForeignCannotSeeDomestic(t *testing.T) {
+	_, err := Link([]Unit{
+		{Name: "linux/mutex.c", Zone: Domestic, Defines: []string{"mutex_lock"}},
+		{Name: "xnu/ipc.c", Zone: Foreign, References: []string{"mutex_lock"}},
+	})
+	zv, ok := err.(*ErrZoneViolation)
+	if !ok {
+		t.Fatalf("err = %v, want ErrZoneViolation", err)
+	}
+	if zv.From != Foreign || zv.To != Domestic || zv.Symbol != "mutex_lock" {
+		t.Fatalf("violation = %+v", zv)
+	}
+}
+
+func TestLinkDomesticCannotSeeForeign(t *testing.T) {
+	_, err := Link([]Unit{
+		{Name: "xnu/ipc.c", Zone: Foreign, Defines: []string{"ipc_port_alloc"}},
+		{Name: "linux/driver.c", Zone: Domestic, References: []string{"ipc_port_alloc"}},
+	})
+	if _, ok := err.(*ErrZoneViolation); !ok {
+		t.Fatalf("err = %v, want ErrZoneViolation", err)
+	}
+}
+
+func TestLinkTapeSeesBoth(t *testing.T) {
+	_, err := Link([]Unit{
+		{Name: "linux/mutex.c", Zone: Domestic, Defines: []string{"mutex_lock"}},
+		{Name: "xnu/ipc.c", Zone: Foreign, Defines: []string{"ipc_port_alloc"}},
+		{Name: "tape/glue.c", Zone: Tape, References: []string{"mutex_lock", "ipc_port_alloc"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkConflictRemapped(t *testing.T) {
+	img, err := Link([]Unit{
+		{Name: "linux/panic.c", Zone: Domestic, Defines: []string{"panic"}},
+		{Name: "xnu/debug.c", Zone: Foreign, Defines: []string{"panic"}},
+		{Name: "xnu/user.c", Zone: Foreign, References: []string{"panic"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaps := img.Remaps()
+	if len(remaps) != 1 || remaps[0].Symbol != "panic" || remaps[0].NewName != "xnu_panic" {
+		t.Fatalf("remaps = %+v", remaps)
+	}
+	// Foreign view of "panic" resolves to the remapped foreign symbol.
+	u, ok := img.Resolve("xnu_panic")
+	if !ok || u.Name != "xnu/debug.c" {
+		t.Fatalf("xnu_panic resolves to %v", u)
+	}
+	// Domestic symbol untouched.
+	u, _ = img.Resolve("panic")
+	if u.Name != "linux/panic.c" {
+		t.Fatalf("panic resolves to %v", u)
+	}
+}
+
+func TestLinkDuplicateSameZone(t *testing.T) {
+	_, err := Link([]Unit{
+		{Name: "xnu/a.c", Zone: Foreign, Defines: []string{"f"}},
+		{Name: "xnu/b.c", Zone: Foreign, Defines: []string{"f"}},
+	})
+	if _, ok := err.(*ErrDuplicate); !ok {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	_, err = Link([]Unit{
+		{Name: "linux/a.c", Zone: Domestic, Defines: []string{"g"}},
+		{Name: "tape/b.c", Zone: Tape, Defines: []string{"g"}},
+	})
+	if _, ok := err.(*ErrDuplicate); !ok {
+		t.Fatalf("domestic/tape dup: err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestLinkUnresolvedForeignIsWorkList(t *testing.T) {
+	img, err := Link([]Unit{
+		{Name: "xnu/iokit.c", Zone: Foreign, References: []string{"IODMAController_init"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := img.Unresolved()
+	if len(wl["xnu/iokit.c"]) != 1 || wl["xnu/iokit.c"][0] != "IODMAController_init" {
+		t.Fatalf("work list = %v", wl)
+	}
+}
+
+func TestLinkUnresolvedDomesticIsError(t *testing.T) {
+	_, err := Link([]Unit{
+		{Name: "linux/a.c", Zone: Domestic, References: []string{"ghost"}},
+	})
+	if err == nil {
+		t.Fatal("dangling domestic reference must fail")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	img, _ := Link([]Unit{
+		{Name: "linux/panic.c", Zone: Domestic, Defines: []string{"panic"}},
+		{Name: "xnu/debug.c", Zone: Foreign, Defines: []string{"panic"}},
+	})
+	r := img.Report()
+	for _, want := range []string{"2 units", "panic -> xnu_panic", "1 domestic, 1 foreign"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+// envHarness boots a minimal kernel for adaptation-layer tests.
+func envHarness(t *testing.T) (*sim.Sim, *kernel.Kernel, *Env) {
+	t.Helper()
+	s := sim.New()
+	k, err := kernel.New(s, kernel.Config{
+		Profile: kernel.ProfileCider, Device: hw.Nexus7(),
+		Root: vfs.New(), Registry: prog.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, k, NewEnv(k)
+}
+
+// spawnThread creates a bare kernel thread for tests via StartProcess on a
+// registered trivial binary is overkill; instead run bodies as raw sim
+// procs attached to threads through SpawnThread of a root process.
+func runThreads(t *testing.T, s *sim.Sim, k *kernel.Kernel, bodies ...func(*kernel.Thread)) {
+	t.Helper()
+	reg := k.Registry()
+	fs := k.Root().(*vfs.FS)
+	key := "dt-harness"
+	reg.MustRegister(key, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		done := sim.NewWaitQueue("harness-join")
+		remaining := len(bodies)
+		for i, body := range bodies {
+			b := body
+			_ = i
+			th.SpawnThread("w", func(wt *kernel.Thread) {
+				b(wt)
+				remaining--
+				if remaining == 0 {
+					done.WakeAll(wt.Proc(), sim.WakeNormal)
+				}
+			})
+		}
+		if remaining > 0 {
+			done.Wait(th.Proc())
+		}
+		return 0
+	})
+	bin := testELF(t, key)
+	if err := fs.WriteFile("/bin/harness", bin); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterBinFmt(&kernel.ELFLoader{})
+	if _, err := k.StartProcess("/bin/harness", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testELF(t *testing.T, key string) []byte {
+	t.Helper()
+	b, err := prog.StaticELF(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestLckMtxMutualExclusion(t *testing.T) {
+	s, k, env := envHarness(t)
+	m := env.NewLckMtx("test")
+	inside := 0
+	maxInside := 0
+	body := func(th *kernel.Thread) {
+		for i := 0; i < 10; i++ {
+			m.Lock(th)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			th.Charge(time.Microsecond)
+			inside--
+			m.Unlock(th)
+		}
+	}
+	runThreads(t, s, k, body, body, body)
+	if maxInside != 1 {
+		t.Fatalf("maxInside = %d, want 1", maxInside)
+	}
+}
+
+func TestLckMtxTryLock(t *testing.T) {
+	s, k, env := envHarness(t)
+	m := env.NewLckMtx("try")
+	var first, second bool
+	runThreads(t, s, k, func(th *kernel.Thread) {
+		first = m.TryLock(th)
+		second = m.TryLock(th)
+		m.Unlock(th)
+	})
+	if !first || second {
+		t.Fatalf("trylock = %v/%v, want true/false", first, second)
+	}
+}
+
+func TestSemaphoreBlocksAndSignals(t *testing.T) {
+	s, k, env := envHarness(t)
+	sem := env.NewSemaphore("s", 0)
+	var waitedUntil time.Duration
+	runThreads(t, s, k,
+		func(th *kernel.Thread) {
+			sem.Wait(th)
+			waitedUntil = th.Now()
+		},
+		func(th *kernel.Thread) {
+			th.Charge(3 * time.Millisecond)
+			sem.Signal(th)
+		},
+	)
+	if waitedUntil < 3*time.Millisecond {
+		t.Fatalf("waiter resumed at %v, before signal", waitedUntil)
+	}
+}
+
+func TestSemaphoreTimeout(t *testing.T) {
+	s, k, env := envHarness(t)
+	sem := env.NewSemaphore("s", 0)
+	var timedOut bool
+	runThreads(t, s, k, func(th *kernel.Thread) {
+		_, timedOut = sem.WaitTimeout(th, 2*time.Millisecond)
+	})
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestWaitEventBlockWakeup(t *testing.T) {
+	s, k, env := envHarness(t)
+	we := env.NewWaitEvent()
+	woken := 0
+	runThreads(t, s, k,
+		func(th *kernel.Thread) { we.Block(th, "evt"); woken++ },
+		func(th *kernel.Thread) { we.Block(th, "evt"); woken++ },
+		func(th *kernel.Thread) {
+			th.Charge(time.Millisecond)
+			if n := we.Wakeup(th, "evt"); n != 2 {
+				t.Errorf("Wakeup woke %d, want 2", n)
+			}
+		},
+	)
+	if woken != 2 {
+		t.Fatalf("woken = %d", woken)
+	}
+}
+
+func TestKallocAccounting(t *testing.T) {
+	s, k, env := envHarness(t)
+	runThreads(t, s, k, func(th *kernel.Thread) {
+		buf := env.Kalloc(th, 4096)
+		if env.AllocatedBytes() != 4096 {
+			t.Errorf("allocated = %d", env.AllocatedBytes())
+		}
+		env.Kfree(th, buf)
+	})
+	if env.AllocatedBytes() != 0 {
+		t.Fatalf("leak: %d bytes", env.AllocatedBytes())
+	}
+}
+
+func TestQueueSemantics(t *testing.T) {
+	var q Queue[int]
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Enqueue(3)
+	if v, _ := q.Peek(); v != 1 {
+		t.Fatalf("peek = %d", v)
+	}
+	if !q.Remove(func(v int) bool { return v == 2 }) {
+		t.Fatal("remove failed")
+	}
+	if v, _ := q.Dequeue(); v != 1 {
+		t.Fatal("fifo broken")
+	}
+	if v, _ := q.Dequeue(); v != 3 {
+		t.Fatal("remove did not delete middle")
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty dequeue should fail")
+	}
+	sum := 0
+	q.Enqueue(5)
+	q.Each(func(v int) { sum += v })
+	if sum != 5 {
+		t.Fatalf("each sum = %d", sum)
+	}
+}

@@ -1,0 +1,389 @@
+// Package elfx implements the ELF binary format used by domestic (Linux /
+// Android) binaries and Bionic shared objects: byte-level encoding and
+// decoding of 32-bit little-endian ARM ELF images with program headers, a
+// dynamic segment (DT_NEEDED, DT_SONAME), and a dynamic symbol table.
+//
+// Cider needs both directions: the Linux kernel's ELF loader runs domestic
+// binaries, and Cider cross-compiles an Android ELF loader as an iOS
+// library so diplomatic functions can load domestic libraries inside
+// foreign apps (Section 4.3). The encoding follows the real ELF32 layout
+// (Elf32_Ehdr, Elf32_Phdr, Elf32_Dyn, Elf32_Sym); section headers are
+// omitted, as they are for any stripped runtime image — the dynamic linker
+// only consumes program headers and the dynamic table.
+package elfx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// ELF identification.
+var magic = [4]byte{0x7f, 'E', 'L', 'F'}
+
+const (
+	// ClassELF32 is ELFCLASS32.
+	ClassELF32 = 1
+	// Data2LSB is ELFDATA2LSB (little endian).
+	Data2LSB = 1
+	// MachineARM is EM_ARM.
+	MachineARM = 40
+)
+
+// Object file types (e_type).
+const (
+	// TypeExec is ET_EXEC.
+	TypeExec = 2
+	// TypeDyn is ET_DYN (shared object).
+	TypeDyn = 3
+)
+
+// Program header types.
+const (
+	// PTLoad is PT_LOAD.
+	PTLoad = 1
+	// PTDynamic is PT_DYNAMIC.
+	PTDynamic = 2
+)
+
+// Segment flags (p_flags).
+const (
+	// FlagX is PF_X.
+	FlagX = 1
+	// FlagW is PF_W.
+	FlagW = 2
+	// FlagR is PF_R.
+	FlagR = 4
+)
+
+// Dynamic tags.
+const (
+	// DTNull terminates the dynamic table.
+	DTNull = 0
+	// DTNeeded names a required library.
+	DTNeeded = 1
+	// DTStrTab is the string table offset.
+	DTStrTab = 5
+	// DTSymTab is the symbol table offset.
+	DTSymTab = 6
+	// DTSoName is the shared object name.
+	DTSoName = 14
+	// DTSymCount is a private tag carrying the symbol count (real ELF
+	// derives it from the hash table; the simulation has no hash table).
+	DTSymCount = 0x6ffffff0
+)
+
+// Symbol binding/type for st_info.
+const (
+	// BindGlobal is STB_GLOBAL << 4.
+	BindGlobal = 1 << 4
+	// TypeFunc is STT_FUNC.
+	TypeFunc = 2
+)
+
+// Segment is one PT_LOAD range.
+type Segment struct {
+	// VAddr is the load address.
+	VAddr uint32
+	// MemSize is the in-memory size (>= len(Data); rest zero-filled).
+	MemSize uint32
+	// Flags is the PF_* permission mask.
+	Flags uint32
+	// Data is the file contents.
+	Data []byte
+}
+
+// Symbol is one dynamic symbol.
+type Symbol struct {
+	// Name is the symbol string (no leading underscore, ELF style).
+	Name string
+	// Value is the symbol address.
+	Value uint32
+	// Defined marks an export; undefined symbols are imports.
+	Defined bool
+}
+
+// File is a parsed or under-construction ELF image.
+type File struct {
+	// Type is TypeExec or TypeDyn.
+	Type uint16
+	// Entry is the program entry point (e_entry).
+	Entry uint32
+	// Segments are the PT_LOAD ranges in file order.
+	Segments []*Segment
+	// Needed lists DT_NEEDED library names.
+	Needed []string
+	// SoName is the DT_SONAME of a shared object.
+	SoName string
+	// Symbols is the dynamic symbol table.
+	Symbols []Symbol
+}
+
+// Lookup returns the symbol with the given name.
+func (f *File) Lookup(name string) (Symbol, bool) {
+	for _, s := range f.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// ExportedSymbols returns all defined symbols in table order.
+func (f *File) ExportedSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range f.Symbols {
+		if s.Defined {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+const (
+	ehdrSize = 52 // sizeof(Elf32_Ehdr)
+	phdrSize = 32 // sizeof(Elf32_Phdr)
+	dynSize  = 8  // sizeof(Elf32_Dyn)
+	symSize  = 16 // sizeof(Elf32_Sym)
+)
+
+var le = binary.LittleEndian
+
+// Marshal encodes the image into ELF bytes.
+func (f *File) Marshal() ([]byte, error) {
+	// String table: NUL, then needed names, soname, symbol names.
+	var strtab bytes.Buffer
+	strtab.WriteByte(0)
+	intern := func(s string) uint32 {
+		off := uint32(strtab.Len())
+		strtab.WriteString(s)
+		strtab.WriteByte(0)
+		return off
+	}
+	neededOff := make([]uint32, len(f.Needed))
+	for i, n := range f.Needed {
+		neededOff[i] = intern(n)
+	}
+	var sonameOff uint32
+	if f.SoName != "" {
+		sonameOff = intern(f.SoName)
+	}
+	symNameOff := make([]uint32, len(f.Symbols))
+	for i, s := range f.Symbols {
+		symNameOff[i] = intern(s.Name)
+	}
+
+	// Dynamic entries.
+	type dyn struct{ tag, val uint32 }
+	var dyns []dyn
+	for _, off := range neededOff {
+		dyns = append(dyns, dyn{DTNeeded, off})
+	}
+	if f.SoName != "" {
+		dyns = append(dyns, dyn{DTSoName, sonameOff})
+	}
+
+	// Layout: ehdr, phdrs, segment data, dynamic, dynsym, dynstr.
+	nph := len(f.Segments) + 1 // + PT_DYNAMIC
+	off := ehdrSize + phdrSize*nph
+	segOff := make([]int, len(f.Segments))
+	for i, s := range f.Segments {
+		segOff[i] = off
+		off += len(s.Data)
+	}
+	dynOff := off
+	// +3 for SYMTAB, STRTAB, SYMCOUNT; +1 for NULL.
+	ndyn := len(dyns) + 4
+	symOff := dynOff + ndyn*dynSize
+	strOff := symOff + symSize*len(f.Symbols)
+	dyns = append(dyns,
+		dyn{DTSymTab, uint32(symOff)},
+		dyn{DTStrTab, uint32(strOff)},
+		dyn{DTSymCount, uint32(len(f.Symbols))},
+		dyn{DTNull, 0},
+	)
+
+	var buf bytes.Buffer
+	w := func(v any) { binary.Write(&buf, le, v) }
+
+	// Elf32_Ehdr.
+	buf.Write(magic[:])
+	buf.WriteByte(ClassELF32)
+	buf.WriteByte(Data2LSB)
+	buf.WriteByte(1) // EV_CURRENT
+	buf.Write(make([]byte, 9))
+	w(f.Type)
+	w(uint16(MachineARM))
+	w(uint32(1)) // version
+	w(f.Entry)
+	w(uint32(ehdrSize)) // phoff
+	w(uint32(0))        // shoff (no sections)
+	w(uint32(0))        // flags
+	w(uint16(ehdrSize))
+	w(uint16(phdrSize))
+	w(uint16(nph))
+	w(uint16(0)) // shentsize
+	w(uint16(0)) // shnum
+	w(uint16(0)) // shstrndx
+
+	// Program headers.
+	for i, s := range f.Segments {
+		memsz := s.MemSize
+		if memsz < uint32(len(s.Data)) {
+			memsz = uint32(len(s.Data))
+		}
+		w(uint32(PTLoad))
+		w(uint32(segOff[i]))   // offset
+		w(s.VAddr)             // vaddr
+		w(s.VAddr)             // paddr
+		w(uint32(len(s.Data))) // filesz
+		w(memsz)               // memsz
+		w(s.Flags)
+		w(uint32(4096)) // align
+	}
+	dynTotal := uint32(strOff + strtab.Len() - dynOff)
+	w(uint32(PTDynamic))
+	w(uint32(dynOff))
+	w(uint32(0))
+	w(uint32(0))
+	w(dynTotal)
+	w(dynTotal)
+	w(uint32(FlagR))
+	w(uint32(4))
+
+	// Segment data.
+	for _, s := range f.Segments {
+		buf.Write(s.Data)
+	}
+	// Dynamic table.
+	for _, d := range dyns {
+		w(d.tag)
+		w(d.val)
+	}
+	// Dynamic symbols.
+	for i, s := range f.Symbols {
+		w(symNameOff[i])
+		w(s.Value)
+		w(uint32(0)) // size
+		info := uint8(BindGlobal | TypeFunc)
+		buf.WriteByte(info)
+		buf.WriteByte(0) // other
+		shndx := uint16(0)
+		if s.Defined {
+			shndx = 1
+		}
+		w(shndx)
+	}
+	buf.Write(strtab.Bytes())
+	return buf.Bytes(), nil
+}
+
+// ErrBadMagic reports a non-ELF image.
+type ErrBadMagic struct{}
+
+func (e *ErrBadMagic) Error() string { return "elfx: bad ELF magic" }
+
+// Parse decodes an ELF image.
+func Parse(b []byte) (*File, error) {
+	if len(b) < ehdrSize || !bytes.Equal(b[:4], magic[:]) {
+		return nil, &ErrBadMagic{}
+	}
+	if b[4] != ClassELF32 || b[5] != Data2LSB {
+		return nil, fmt.Errorf("elfx: unsupported class/data %d/%d", b[4], b[5])
+	}
+	f := &File{
+		Type:  le.Uint16(b[16:]),
+		Entry: le.Uint32(b[24:]),
+	}
+	phoff := int(le.Uint32(b[28:]))
+	phentsize := int(le.Uint16(b[42:]))
+	phnum := int(le.Uint16(b[44:]))
+	var dynOff, dynSz int
+	for i := 0; i < phnum; i++ {
+		p := phoff + i*phentsize
+		if p+phdrSize > len(b) {
+			return nil, fmt.Errorf("elfx: truncated program headers")
+		}
+		typ := le.Uint32(b[p:])
+		offset := int(le.Uint32(b[p+4:]))
+		vaddr := le.Uint32(b[p+8:])
+		filesz := int(le.Uint32(b[p+16:]))
+		memsz := le.Uint32(b[p+20:])
+		flags := le.Uint32(b[p+24:])
+		switch typ {
+		case PTLoad:
+			if offset+filesz > len(b) {
+				return nil, fmt.Errorf("elfx: PT_LOAD out of range")
+			}
+			f.Segments = append(f.Segments, &Segment{
+				VAddr:   vaddr,
+				MemSize: memsz,
+				Flags:   flags,
+				Data:    append([]byte(nil), b[offset:offset+filesz]...),
+			})
+		case PTDynamic:
+			dynOff, dynSz = offset, filesz
+		}
+	}
+	if dynOff == 0 {
+		return f, nil
+	}
+	if dynOff+dynSz > len(b) {
+		return nil, fmt.Errorf("elfx: PT_DYNAMIC out of range")
+	}
+	var symTab, strTab, symCount int
+	var neededIdx []uint32
+	var sonameIdx uint32
+	hasSoname := false
+	for p := dynOff; p+dynSize <= dynOff+dynSz; p += dynSize {
+		tag := le.Uint32(b[p:])
+		val := le.Uint32(b[p+4:])
+		switch tag {
+		case DTNull:
+			p = dynOff + dynSz // break
+		case DTNeeded:
+			neededIdx = append(neededIdx, val)
+		case DTSoName:
+			sonameIdx, hasSoname = val, true
+		case DTSymTab:
+			symTab = int(val)
+		case DTStrTab:
+			strTab = int(val)
+		case DTSymCount:
+			symCount = int(val)
+		}
+	}
+	if strTab >= len(b) {
+		return nil, fmt.Errorf("elfx: string table out of range")
+	}
+	str := func(off uint32) string {
+		if strTab+int(off) >= len(b) {
+			return ""
+		}
+		s := b[strTab+int(off):]
+		if i := bytes.IndexByte(s, 0); i >= 0 {
+			return string(s[:i])
+		}
+		return string(s)
+	}
+	for _, idx := range neededIdx {
+		f.Needed = append(f.Needed, str(idx))
+	}
+	if hasSoname {
+		f.SoName = str(sonameIdx)
+	}
+	if symCount > 0 {
+		if symTab+symCount*symSize > len(b) {
+			return nil, fmt.Errorf("elfx: symbol table out of range")
+		}
+		for i := 0; i < symCount; i++ {
+			e := b[symTab+i*symSize:]
+			f.Symbols = append(f.Symbols, Symbol{
+				Name:    str(le.Uint32(e[0:])),
+				Value:   le.Uint32(e[4:]),
+				Defined: le.Uint16(e[14:]) != 0,
+			})
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,171 @@
+package elfx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSO() *File {
+	return &File{
+		Type:   TypeDyn,
+		SoName: "libGLESv2.so",
+		Needed: []string{"libc.so", "libEGL.so"},
+		Segments: []*Segment{
+			{VAddr: 0x1000, Flags: FlagR | FlagX, Data: []byte("prog:libGLESv2\x00")},
+			{VAddr: 0x8000, Flags: FlagR | FlagW, Data: []byte{9, 9}, MemSize: 0x2000},
+		},
+		Symbols: []Symbol{
+			{Name: "glDrawArrays", Value: 0x1010, Defined: true},
+			{Name: "glClear", Value: 0x1020, Defined: true},
+			{Name: "ioctl", Defined: false},
+		},
+	}
+}
+
+func TestRoundTripSharedObject(t *testing.T) {
+	f := sampleSO()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != TypeDyn {
+		t.Fatalf("type = %d", g.Type)
+	}
+	if g.SoName != "libGLESv2.so" {
+		t.Fatalf("soname = %q", g.SoName)
+	}
+	if len(g.Needed) != 2 || g.Needed[0] != "libc.so" || g.Needed[1] != "libEGL.so" {
+		t.Fatalf("needed = %v", g.Needed)
+	}
+	if len(g.Segments) != 2 {
+		t.Fatalf("segments = %d", len(g.Segments))
+	}
+	if !bytes.Equal(g.Segments[0].Data, []byte("prog:libGLESv2\x00")) {
+		t.Fatalf("text = %q", g.Segments[0].Data)
+	}
+	if g.Segments[1].MemSize != 0x2000 {
+		t.Fatalf("memsize = %#x", g.Segments[1].MemSize)
+	}
+	if g.Segments[0].Flags != FlagR|FlagX {
+		t.Fatalf("flags = %d", g.Segments[0].Flags)
+	}
+}
+
+func TestRoundTripSymbols(t *testing.T) {
+	b, _ := sampleSO().Marshal()
+	g, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Symbols) != 3 {
+		t.Fatalf("symbols = %d", len(g.Symbols))
+	}
+	s, ok := g.Lookup("glDrawArrays")
+	if !ok || !s.Defined || s.Value != 0x1010 {
+		t.Fatalf("glDrawArrays = %+v, ok=%v", s, ok)
+	}
+	u, _ := g.Lookup("ioctl")
+	if u.Defined {
+		t.Fatal("ioctl should be undefined")
+	}
+	if len(g.ExportedSymbols()) != 2 {
+		t.Fatalf("exports = %v", g.ExportedSymbols())
+	}
+}
+
+func TestExecutable(t *testing.T) {
+	f := &File{
+		Type:  TypeExec,
+		Entry: 0x1000,
+		Segments: []*Segment{
+			{VAddr: 0x1000, Flags: FlagR | FlagX, Data: []byte("prog:hello\x00")},
+		},
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != TypeExec || g.Entry != 0x1000 {
+		t.Fatalf("type=%d entry=%#x", g.Type, g.Entry)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Parse([]byte{0xfe, 0xed, 0xfa, 0xce, 0, 0, 0, 0}); err == nil {
+		t.Fatal("macho magic should be rejected")
+	}
+	if _, ok := func() (any, bool) {
+		_, err := Parse(nil)
+		e, ok := err.(*ErrBadMagic)
+		return e, ok
+	}(); !ok {
+		t.Fatal("want *ErrBadMagic for empty input")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	b, _ := sampleSO().Marshal()
+	for _, cut := range []int{ehdrSize, ehdrSize + 10, len(b) - len(b)/4} {
+		if _, err := Parse(b[:cut]); err == nil {
+			t.Errorf("parse of %d/%d bytes should fail", cut, len(b))
+		}
+	}
+}
+
+func TestMagicBytes(t *testing.T) {
+	b, _ := sampleSO().Marshal()
+	if !bytes.Equal(b[:4], []byte{0x7f, 'E', 'L', 'F'}) {
+		t.Fatalf("magic = %v", b[:4])
+	}
+	if b[4] != ClassELF32 || b[5] != Data2LSB {
+		t.Fatalf("class/data = %d/%d", b[4], b[5])
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	check := func(soname string, needed []string, data []byte) bool {
+		if !validName(soname) {
+			return true
+		}
+		for _, n := range needed {
+			if !validName(n) {
+				return true
+			}
+		}
+		f := &File{Type: TypeDyn, SoName: soname, Needed: needed,
+			Segments: []*Segment{{Flags: FlagR, Data: data}}}
+		b, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		g, err := Parse(b)
+		if err != nil {
+			return false
+		}
+		if g.SoName != soname || len(g.Needed) != len(needed) {
+			return false
+		}
+		for i := range needed {
+			if g.Needed[i] != needed[i] {
+				return false
+			}
+		}
+		return bytes.Equal(g.Segments[0].Data, data)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validName(s string) bool {
+	return len(s) > 0 && bytes.IndexByte([]byte(s), 0) < 0
+}

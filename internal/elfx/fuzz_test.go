@@ -1,0 +1,45 @@
+package elfx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: the ELF loader consumes untrusted bytes.
+func TestParseNeverPanics(t *testing.T) {
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		Parse(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseCorruptedValid mutates a valid shared object at every third
+// offset; Parse must never panic.
+func TestParseCorruptedValid(t *testing.T) {
+	good, err := sampleSO().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(good); off += 3 {
+		for _, val := range []byte{0x00, 0xFF, 0x80} {
+			mut := append([]byte(nil), good...)
+			mut[off] = val
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at offset %d value %#x: %v", off, val, r)
+					}
+				}()
+				Parse(mut)
+			}()
+		}
+	}
+}

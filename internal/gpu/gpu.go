@@ -1,0 +1,126 @@
+// Package gpu simulates the tablet's 3D engine: an asynchronous command
+// processor with its own completion clock, fence/sync objects, and a cost
+// model driven by the device's hw.GPUModel. It underlies both graphics
+// stacks — Android's libGLESv2/SurfaceFlinger and the iPad's native GL —
+// and reproduces the paper's fence-synchronization bug (Section 6.3): the
+// Cider prototype's GLES library mishandled fences, degrading the
+// image-rendering PassMark tests.
+package gpu
+
+import (
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+)
+
+// GPU is one simulated graphics engine. The engine runs asynchronously
+// from the CPU: submissions accumulate onto a completion clock
+// (busyUntil), and only synchronization points (fences, finish, swap)
+// stall the calling thread.
+type GPU struct {
+	model *hw.GPUModel
+	// busyUntil is the virtual time at which all submitted work retires.
+	busyUntil time.Duration
+	// BuggyFences reproduces the Cider prototype's incorrect "fence"
+	// synchronization support: every fence wait over-synchronizes,
+	// serializing the pipeline (Section 6.3, image rendering).
+	BuggyFences bool
+	// stats
+	draws, fences uint64
+	gpuBusy       time.Duration
+}
+
+// New creates a GPU from a hardware model.
+func New(model *hw.GPUModel) *GPU {
+	return &GPU{model: model}
+}
+
+// Model returns the hardware description.
+func (g *GPU) Model() *hw.GPUModel { return g.model }
+
+// Stats reports (draw calls, fence waits, total busy time).
+func (g *GPU) Stats() (uint64, uint64, time.Duration) {
+	return g.draws, g.fences, g.gpuBusy
+}
+
+// submit appends work to the engine's queue: the CPU pays the command
+// submission cost; the GPU clock extends by the work's duration.
+func (g *GPU) submit(t *kernel.Thread, work time.Duration) {
+	t.Charge(g.model.CmdCost)
+	now := t.Now()
+	if g.busyUntil < now {
+		g.busyUntil = now
+	}
+	g.busyUntil += work
+	g.gpuBusy += work
+}
+
+// Command submits a state-change command (no GPU work beyond decode).
+func (g *GPU) Command(t *kernel.Thread) {
+	g.submit(t, g.model.CmdCost/4)
+}
+
+// Draw submits a draw call transforming vertices and filling pixels.
+func (g *GPU) Draw(t *kernel.Thread, vertices, pixels int64) {
+	g.draws++
+	g.submit(t, g.model.VertexTime(vertices)+g.model.FillTime(pixels))
+}
+
+// Fill submits a clear/blit of the given pixel count.
+func (g *GPU) Fill(t *kernel.Thread, pixels int64) {
+	g.submit(t, g.model.FillTime(pixels))
+}
+
+// Upload submits a texture upload of n bytes (fill-rate bound path).
+func (g *GPU) Upload(t *kernel.Thread, n int64) {
+	g.submit(t, g.model.FillTime(n/4))
+}
+
+// Fence is a sync object snapshotting the queue tail at creation.
+type Fence struct {
+	at time.Duration
+}
+
+// CreateFence inserts a fence after all currently queued work
+// (glFenceSync / EGL_KHR_fence_sync).
+func (g *GPU) CreateFence(t *kernel.Thread) *Fence {
+	g.submit(t, 0)
+	return &Fence{at: g.busyUntil}
+}
+
+// WaitFence blocks the calling thread until the fence signals. With
+// BuggyFences the wait over-synchronizes: it drains the whole queue and
+// pays repeated interrupt latencies — the prototype bug that held back the
+// image-rendering results.
+func (g *GPU) WaitFence(t *kernel.Thread, f *Fence) {
+	g.fences++
+	target := f.at
+	if g.BuggyFences {
+		target = g.busyUntil + 3*g.model.FenceLatency
+	}
+	now := t.Now()
+	if target > now {
+		t.Proc().Sleep(target - now)
+	}
+	t.Charge(g.model.FenceLatency)
+}
+
+// Finish drains the queue (glFinish).
+func (g *GPU) Finish(t *kernel.Thread) {
+	now := t.Now()
+	if g.busyUntil > now {
+		t.Proc().Sleep(g.busyUntil - now)
+	}
+	t.Charge(g.model.FenceLatency)
+}
+
+// Present submits the per-frame overhead (swap/scan-out handoff) and
+// returns the fence for the frame's completion.
+func (g *GPU) Present(t *kernel.Thread) *Fence {
+	g.submit(t, g.model.FrameOverhead)
+	return &Fence{at: g.busyUntil}
+}
+
+// BusyUntil exposes the completion clock (tests).
+func (g *GPU) BusyUntil() time.Duration { return g.busyUntil }

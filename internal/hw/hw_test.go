@@ -1,0 +1,107 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCyclesConversion(t *testing.T) {
+	cpu := &CPUModel{FreqMHz: 1000}
+	if got := cpu.Cycles(1000); got != time.Microsecond {
+		t.Fatalf("1000 cycles at 1GHz = %v, want 1µs", got)
+	}
+	cpu = &CPUModel{FreqMHz: 1300}
+	got := cpu.Cycles(1300)
+	if got != time.Microsecond {
+		t.Fatalf("1300 cycles at 1.3GHz = %v, want 1µs", got)
+	}
+}
+
+func TestOpTimeUsesCPI(t *testing.T) {
+	cpu := Nexus7().CPU
+	add := cpu.OpTime(OpIntAdd, 1000)
+	div := cpu.OpTime(OpIntDiv, 1000)
+	if div <= add {
+		t.Fatalf("int-div (%v) should be slower than int-add (%v)", div, add)
+	}
+}
+
+func TestIPadSlowerCPU(t *testing.T) {
+	// Every basic-op measurement in Fig. 5 is worse on the iPad mini.
+	n7, ipad := Nexus7().CPU, IPadMini().CPU
+	for op := OpIntAdd; op < numCPUOps; op++ {
+		if ipad.OpTime(op, 1000) <= n7.OpTime(op, 1000) {
+			t.Errorf("op %v: iPad (%v) should be slower than Nexus 7 (%v)",
+				op, ipad.OpTime(op, 1000), n7.OpTime(op, 1000))
+		}
+	}
+}
+
+func TestIPadFasterGPU(t *testing.T) {
+	n7, ipad := Nexus7().GPU, IPadMini().GPU
+	if ipad.FillTime(1e6) >= n7.FillTime(1e6) {
+		t.Fatal("iPad GPU fill should be faster than Nexus 7")
+	}
+	if ipad.VertexTime(1e6) >= n7.VertexTime(1e6) {
+		t.Fatal("iPad GPU vertex should be faster than Nexus 7")
+	}
+}
+
+func TestIPadFasterStorageWrite(t *testing.T) {
+	n7, ipad := Nexus7().Storage, IPadMini().Storage
+	if ipad.WriteTime(1<<20) >= n7.WriteTime(1<<20) {
+		t.Fatal("iPad storage write should be faster (Fig. 6 storage group)")
+	}
+}
+
+func TestToolchainScale(t *testing.T) {
+	gcc, xcode := GCC441(), Xcode421()
+	if gcc.OpScale(OpIntDiv) != 1.0 {
+		t.Fatalf("gcc int-div scale = %v, want 1.0", gcc.OpScale(OpIntDiv))
+	}
+	if xcode.OpScale(OpIntDiv) <= 1.0 {
+		t.Fatal("xcode int-div should be worse than 1.0 (Fig. 5 basic ops)")
+	}
+	if xcode.OpScale(OpIntAdd) != 1.0 {
+		t.Fatal("xcode int-add should be unscaled")
+	}
+	var nilTC *Toolchain
+	if nilTC.OpScale(OpIntMul) != 1.0 {
+		t.Fatal("nil toolchain must scale 1.0")
+	}
+}
+
+func TestMemStreamTimes(t *testing.T) {
+	m := &MemModel{ReadBWMBs: 1000, WriteBWMBs: 500}
+	if got := m.ReadTime(1e9); got != time.Second {
+		t.Fatalf("1GB at 1000MB/s = %v, want 1s", got)
+	}
+	if got := m.WriteTime(5e8); got != time.Second {
+		t.Fatalf("500MB at 500MB/s = %v, want 1s", got)
+	}
+}
+
+func TestStorageTimesIncludeOpLatency(t *testing.T) {
+	s := &StorageModel{ReadBWMBs: 10, WriteBWMBs: 10, OpLatency: time.Millisecond}
+	if got := s.ReadTime(0); got != time.Millisecond {
+		t.Fatalf("0-byte read = %v, want 1ms op latency", got)
+	}
+}
+
+func TestDisplayPixels(t *testing.T) {
+	if Nexus7().Display.Pixels() != 1280*800 {
+		t.Fatal("Nexus 7 display should be 1280x800")
+	}
+	if IPadMini().Display.Pixels() != 1024*768 {
+		t.Fatal("iPad mini display should be 1024x768")
+	}
+}
+
+func TestCPUOpString(t *testing.T) {
+	if OpIntDiv.String() != "int-div" {
+		t.Fatalf("OpIntDiv = %q", OpIntDiv.String())
+	}
+	if CPUOp(99).String() != "op(?)" {
+		t.Fatal("out-of-range op should stringify safely")
+	}
+}

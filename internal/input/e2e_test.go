@@ -1,0 +1,227 @@
+package input_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/input"
+	"repro/internal/kernel"
+	"repro/internal/prog"
+	"repro/internal/uikit"
+)
+
+// TestEndToEndTouchPipeline drives the full Section 5.2 path: a hardware
+// touch enters the Android input device, CiderPress forwards it over the
+// BSD socket, the eventpump translates it and pumps it into the app's Mach
+// event port, and the app's gesture recognizer sees a tap — all while the
+// app renders through diplomatic GL.
+func TestEndToEndTouchPipeline(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var taps, events int
+	var launched bool
+	err = sys.InstallIOSBinary("/Applications/touchy.app/touchy", "touchy", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		return uikit.Main(th, uikit.Delegate{
+			OnLaunch: func(app *uikit.App) {
+				launched = true
+				app.GL.Call("_glClear", 0x4000)
+				app.Present()
+			},
+			OnEvent: func(app *uikit.App, e input.HIDEvent) {
+				if e.Kind == input.HIDTouch {
+					events++
+				}
+			},
+			OnGesture: func(app *uikit.App, g input.Gesture) {
+				if g.Kind == input.GestureTap {
+					taps++
+				}
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sys.LaunchIOSApp("/Applications/touchy.app/touchy"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "hardware" driver process injecting a tap, then a stop.
+	sys.InstallStaticAndroidBinary("/system/bin/touchdriver", "touchdriver", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		th.Charge(50 * time.Millisecond) // let the app come up
+		sys.Input.Inject(th, input.Event{Type: input.TouchDown, X: 640, Y: 400, TimeNs: 1})
+		th.Charge(10 * time.Millisecond)
+		sys.Input.Inject(th, input.Event{Type: input.TouchUp, X: 640, Y: 400, TimeNs: 2})
+		th.Charge(10 * time.Millisecond)
+		sys.Input.Inject(th, input.Event{Type: input.Lifecycle, Code: input.LifecycleStop})
+		return 0
+	})
+	if _, err := sys.Start("/system/bin/touchdriver", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !launched {
+		t.Fatal("app never launched")
+	}
+	if events < 2 {
+		t.Fatalf("app saw %d touch events, want 2", events)
+	}
+	if taps != 1 {
+		t.Fatalf("taps = %d, want 1", taps)
+	}
+	if sys.CiderPress.Launches() != 1 {
+		t.Fatalf("CiderPress launches = %d", sys.CiderPress.Launches())
+	}
+	// The proxy surface exists for Android's recents screenshots.
+	if sys.CiderPress.Screenshot() == nil {
+		t.Fatal("no proxy surface screenshot")
+	}
+	if sys.CiderPress.LastStatus() != 0 {
+		t.Fatalf("app exit status = %d", sys.CiderPress.LastStatus())
+	}
+}
+
+// TestLifecyclePauseResume verifies proxied app state changes reach the
+// app as lifecycle events.
+func TestLifecyclePauseResume(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []int32
+	sys.InstallIOSBinary("/Applications/l.app/l", "lapp", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		return uikit.Main(th, uikit.Delegate{
+			OnEvent: func(app *uikit.App, e input.HIDEvent) {
+				if e.Kind == input.HIDLifecycle {
+					states = append(states, e.Code)
+				}
+			},
+		})
+	})
+	sys.LaunchIOSApp("/Applications/l.app/l")
+	sys.InstallStaticAndroidBinary("/system/bin/lifedriver", "lifedriver", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		th.Charge(50 * time.Millisecond)
+		for _, code := range []int32{input.LifecyclePause, input.LifecycleResume, input.LifecycleStop} {
+			sys.Input.Inject(th, input.Event{Type: input.Lifecycle, Code: code})
+			th.Charge(5 * time.Millisecond)
+		}
+		return 0
+	})
+	sys.Start("/system/bin/lifedriver", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{input.LifecyclePause, input.LifecycleResume, input.LifecycleStop}
+	if len(states) != len(want) {
+		t.Fatalf("states = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("states = %v, want %v", states, want)
+		}
+	}
+}
+
+// TestPinchToZoomEndToEnd drives a two-finger pinch through the pipeline.
+func TestPinchToZoomEndToEnd(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pinches int
+	var lastScale float32
+	sys.InstallIOSBinary("/Applications/z.app/z", "zapp", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		return uikit.Main(th, uikit.Delegate{
+			OnGesture: func(app *uikit.App, g input.Gesture) {
+				if g.Kind == input.GesturePinch {
+					pinches++
+					lastScale = g.Scale
+				}
+			},
+		})
+	})
+	sys.LaunchIOSApp("/Applications/z.app/z")
+	sys.InstallStaticAndroidBinary("/system/bin/zoomdriver", "zoomdriver", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		th.Charge(50 * time.Millisecond)
+		inject := func(e input.Event) {
+			sys.Input.Inject(th, e)
+			th.Charge(2 * time.Millisecond)
+		}
+		inject(input.Event{Type: input.TouchDown, Pointer: 0, X: 500, Y: 400})
+		inject(input.Event{Type: input.TouchDown, Pointer: 1, X: 780, Y: 400})
+		inject(input.Event{Type: input.TouchMove, Pointer: 0, X: 300, Y: 400})
+		inject(input.Event{Type: input.TouchMove, Pointer: 1, X: 980, Y: 400})
+		inject(input.Event{Type: input.TouchUp, Pointer: 0, X: 300, Y: 400})
+		inject(input.Event{Type: input.TouchUp, Pointer: 1, X: 980, Y: 400})
+		inject(input.Event{Type: input.Lifecycle, Code: input.LifecycleStop})
+		return 0
+	})
+	sys.Start("/system/bin/zoomdriver", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pinches == 0 {
+		t.Fatal("no pinch reached the app")
+	}
+	if lastScale <= 1 {
+		t.Fatalf("spread scale = %v, want > 1", lastScale)
+	}
+}
+
+// TestAccelerometerPipeline: CiderPress forwards accelerometer data too
+// ("receives input such as touch events and accelerometer data", §3).
+func TestAccelerometerPipeline(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	var lastG float32
+	sys.InstallIOSBinary("/Applications/a.app/a", "accel-app", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		return uikit.Main(th, uikit.Delegate{
+			OnEvent: func(app *uikit.App, e input.HIDEvent) {
+				if e.Kind == input.HIDAccelerometer {
+					samples++
+					lastG = e.X
+				}
+			},
+		})
+	})
+	sys.LaunchIOSApp("/Applications/a.app/a")
+	sys.InstallStaticAndroidBinary("/system/bin/shake", "shake", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		th.Charge(50 * time.Millisecond)
+		for i := 0; i < 4; i++ {
+			// milli-g values, translated to g by the eventpump.
+			sys.Input.Inject(th, input.Event{Type: input.Accel, X: int32(250 * (i + 1)), Y: 0})
+			th.Charge(5 * time.Millisecond)
+		}
+		sys.Input.Inject(th, input.Event{Type: input.Lifecycle, Code: input.LifecycleStop})
+		return 0
+	})
+	sys.Start("/system/bin/shake", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if samples != 4 {
+		t.Fatalf("samples = %d, want 4", samples)
+	}
+	if lastG != 1.0 {
+		t.Fatalf("last sample = %vg, want 1.0g", lastG)
+	}
+}

@@ -1,0 +1,88 @@
+package input
+
+import (
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/xnu"
+)
+
+// StartEventPump creates the eventpump: "a new thread in each iOS app to
+// act as a bridge between the Android input system and the Mach IPC port
+// expecting input events. This thread listens for events from the Android
+// CiderPress app on a BSD socket. It then pumps those events into the iOS
+// app via Mach IPC." (Section 5.2, Figure 2.)
+//
+// sockFD is the app's end of the CiderPress socket pair; eventPort is the
+// app's Mach event port (a receive right in the app's space). The pump
+// exits when the socket reaches EOF or the app stops. Screen dimensions
+// drive coordinate normalization.
+func StartEventPump(t *kernel.Thread, sockFD int, eventPort xnu.PortName, screenW, screenH int) *kernel.Thread {
+	return t.SpawnThread("eventpump", func(pt *kernel.Thread) {
+		lc := libsystem.Sys(pt)
+		var pending []byte
+		buf := make([]byte, 256)
+		for {
+			n, errno := lc.Read(sockFD, buf)
+			if errno != kernel.OK || n == 0 {
+				return // socket closed: CiderPress went away
+			}
+			pending = append(pending, buf[:n]...)
+			for len(pending) >= EventSize {
+				e, err := Unmarshal(pending[:EventSize])
+				pending = pending[EventSize:]
+				if err != nil {
+					continue
+				}
+				h := Translate(e, screenW, screenH)
+				kr := lc.MachSend(eventPort, &xnu.Message{
+					ID:   machEventMsgID,
+					Body: h.Marshal(),
+				}, -1)
+				if kr != xnu.KernSuccess {
+					return
+				}
+				if e.Type == Lifecycle && e.Code == LifecycleStop {
+					return
+				}
+			}
+		}
+	})
+}
+
+// machEventMsgID tags HID event messages on the app's event port.
+const machEventMsgID = 0x4849 // 'HI'
+
+// EventLoop is the app-side receive loop: block on the Mach event port,
+// decode HID events, run them through the gesture recognizer, and hand
+// both raw events and recognized gestures to the app. It returns when a
+// LifecycleStop arrives or the port dies.
+func EventLoop(t *kernel.Thread, eventPort xnu.PortName, onEvent func(HIDEvent), onGesture func(Gesture)) {
+	lc := libsystem.Sys(t)
+	rec := NewGestureRecognizer()
+	for {
+		msg, kr := lc.MachReceive(eventPort, time.Duration(-1))
+		if kr != xnu.KernSuccess {
+			return
+		}
+		if msg.ID != machEventMsgID {
+			continue
+		}
+		h, err := UnmarshalHID(msg.Body)
+		if err != nil {
+			continue
+		}
+		if onEvent != nil {
+			onEvent(h)
+		}
+		if onGesture != nil {
+			for _, g := range rec.Feed(h) {
+				onGesture(g)
+			}
+		}
+		if h.Kind == HIDLifecycle && h.Code == LifecycleStop {
+			return
+		}
+	}
+}

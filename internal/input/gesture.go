@@ -1,0 +1,151 @@
+package input
+
+import "math"
+
+// GestureKind classifies a recognized gesture.
+type GestureKind int
+
+const (
+	// GestureTap is a quick touch with little movement.
+	GestureTap GestureKind = iota + 1
+	// GesturePan is a single-finger drag.
+	GesturePan
+	// GesturePinch is a two-finger scale gesture (pinch-to-zoom).
+	GesturePinch
+)
+
+func (k GestureKind) String() string {
+	switch k {
+	case GestureTap:
+		return "tap"
+	case GesturePan:
+		return "pan"
+	case GesturePinch:
+		return "pinch"
+	}
+	return "gesture(?)"
+}
+
+// Gesture is one recognized gesture, in normalized coordinates.
+type Gesture struct {
+	Kind GestureKind
+	// X and Y locate the gesture (tap point / pan position).
+	X, Y float32
+	// DX and DY are the pan delta since the last report.
+	DX, DY float32
+	// Scale is the pinch scale factor since the gesture began.
+	Scale float32
+}
+
+// fingerState tracks one active transducer.
+type fingerState struct {
+	active         bool
+	startX, startY float32
+	x, y           float32
+	moved          bool
+}
+
+// GestureRecognizer is the user-space recognizer stack iOS frameworks run
+// over raw HID events ("passes these events up the user space stack
+// through gesture recognizers and event handlers", Section 5.2). It
+// supports the gestures the paper demonstrates: taps, panning, and
+// pinch-to-zoom.
+type GestureRecognizer struct {
+	fingers [10]fingerState
+	// pinchStartDist anchors the scale factor.
+	pinchStartDist float32
+	pinching       bool
+}
+
+// NewGestureRecognizer creates an empty recognizer.
+func NewGestureRecognizer() *GestureRecognizer {
+	return &GestureRecognizer{}
+}
+
+// moveThreshold separates taps from pans (normalized units).
+const moveThreshold = 0.01
+
+// Feed consumes one HID event and returns any gestures it completes or
+// advances.
+func (r *GestureRecognizer) Feed(h HIDEvent) []Gesture {
+	if h.Kind != HIDTouch || int(h.Finger) >= len(r.fingers) {
+		return nil
+	}
+	f := &r.fingers[h.Finger]
+	var out []Gesture
+	switch h.Phase {
+	case PhaseBegan:
+		*f = fingerState{active: true, startX: h.X, startY: h.Y, x: h.X, y: h.Y}
+		if r.activeFingers() == 2 {
+			r.pinching = true
+			r.pinchStartDist = r.fingerDistance()
+		}
+	case PhaseMoved:
+		if !f.active {
+			return nil
+		}
+		dx, dy := h.X-f.x, h.Y-f.y
+		f.x, f.y = h.X, h.Y
+		if abs32(h.X-f.startX) > moveThreshold || abs32(h.Y-f.startY) > moveThreshold {
+			f.moved = true
+		}
+		if r.pinching && r.activeFingers() == 2 {
+			d := r.fingerDistance()
+			if r.pinchStartDist > 0 {
+				out = append(out, Gesture{Kind: GesturePinch, X: h.X, Y: h.Y, Scale: d / r.pinchStartDist})
+			}
+		} else if f.moved && r.activeFingers() == 1 {
+			out = append(out, Gesture{Kind: GesturePan, X: h.X, Y: h.Y, DX: dx, DY: dy})
+		}
+	case PhaseEnded:
+		if !f.active {
+			return nil
+		}
+		wasMoved := f.moved
+		f.active = false
+		if r.pinching && r.activeFingers() < 2 {
+			r.pinching = false
+		}
+		if !wasMoved && !r.pinching && r.activeFingers() == 0 {
+			out = append(out, Gesture{Kind: GestureTap, X: h.X, Y: h.Y})
+		}
+	}
+	return out
+}
+
+func (r *GestureRecognizer) activeFingers() int {
+	n := 0
+	for i := range r.fingers {
+		if r.fingers[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// fingerDistance returns the distance between the first two active
+// fingers.
+func (r *GestureRecognizer) fingerDistance() float32 {
+	var pts [][2]float32
+	for i := range r.fingers {
+		if r.fingers[i].active {
+			pts = append(pts, [2]float32{r.fingers[i].x, r.fingers[i].y})
+			if len(pts) == 2 {
+				break
+			}
+		}
+	}
+	if len(pts) < 2 {
+		return 0
+	}
+	dx := float64(pts[0][0] - pts[1][0])
+	dy := float64(pts[0][1] - pts[1][1])
+	return float32(math.Hypot(dx, dy))
+}
+
+func abs32(f float32) float32 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,211 @@
+// Package input implements Section 5.2: multi-touch input for iOS apps on
+// Android. It provides the Android input subsystem (an evdev-style device
+// queue), the wire encoding CiderPress uses to forward events over a BSD
+// socket, the translation of Android input events into the HID event
+// format iOS apps expect, the *eventpump* bridge thread that pumps
+// translated events into the app's Mach IPC event port, and the user-space
+// gesture recognizers (tap / pan / pinch-to-zoom) that sit above it.
+package input
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EventType is an Android input event class.
+type EventType uint8
+
+const (
+	// TouchDown is a pointer-down event.
+	TouchDown EventType = iota + 1
+	// TouchMove is a pointer-move event.
+	TouchMove
+	// TouchUp is a pointer-up event.
+	TouchUp
+	// Key is a key press.
+	Key
+	// Accel is an accelerometer sample.
+	Accel
+	// Lifecycle carries an app state change proxied by CiderPress
+	// (pause / resume / stop), so the iOS app follows the Android
+	// activity lifecycle (Section 3).
+	Lifecycle
+)
+
+func (t EventType) String() string {
+	switch t {
+	case TouchDown:
+		return "touch-down"
+	case TouchMove:
+		return "touch-move"
+	case TouchUp:
+		return "touch-up"
+	case Key:
+		return "key"
+	case Accel:
+		return "accel"
+	case Lifecycle:
+		return "lifecycle"
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// Lifecycle codes.
+const (
+	// LifecyclePause backgrounds the app.
+	LifecyclePause = 1
+	// LifecycleResume foregrounds the app.
+	LifecycleResume = 2
+	// LifecycleStop terminates the app.
+	LifecycleStop = 3
+)
+
+// Event is one Android input event (the evdev-cooked form the framework
+// delivers).
+type Event struct {
+	// Type classifies the event.
+	Type EventType
+	// Pointer is the touch pointer index (multi-touch slot).
+	Pointer uint8
+	// X and Y are panel coordinates in pixels (or milli-g for Accel).
+	X, Y int32
+	// Code is the key code / lifecycle code.
+	Code int32
+	// TimeNs is the event timestamp.
+	TimeNs int64
+}
+
+// EventSize is the wire size of a marshaled Event.
+const EventSize = 22
+
+// Marshal encodes the event for the CiderPress→eventpump socket.
+func (e Event) Marshal() []byte {
+	b := make([]byte, EventSize)
+	b[0] = byte(e.Type)
+	b[1] = e.Pointer
+	binary.LittleEndian.PutUint32(b[2:], uint32(e.X))
+	binary.LittleEndian.PutUint32(b[6:], uint32(e.Y))
+	binary.LittleEndian.PutUint32(b[10:], uint32(e.Code))
+	binary.LittleEndian.PutUint64(b[14:], uint64(e.TimeNs))
+	return b
+}
+
+// Unmarshal decodes one wire event.
+func Unmarshal(b []byte) (Event, error) {
+	if len(b) < EventSize {
+		return Event{}, fmt.Errorf("input: short event (%d bytes)", len(b))
+	}
+	return Event{
+		Type:    EventType(b[0]),
+		Pointer: b[1],
+		X:       int32(binary.LittleEndian.Uint32(b[2:])),
+		Y:       int32(binary.LittleEndian.Uint32(b[6:])),
+		Code:    int32(binary.LittleEndian.Uint32(b[10:])),
+		TimeNs:  int64(binary.LittleEndian.Uint64(b[14:])),
+	}, nil
+}
+
+// HID kinds (the iOS IOHIDEvent families the simulation models).
+const (
+	// HIDTouch is a digitizer event.
+	HIDTouch uint8 = 1
+	// HIDKeyboard is a key event.
+	HIDKeyboard uint8 = 2
+	// HIDAccelerometer is a motion sample.
+	HIDAccelerometer uint8 = 3
+	// HIDLifecycle is Cider's proxied app-state event.
+	HIDLifecycle uint8 = 4
+)
+
+// HID touch phases (UITouchPhase).
+const (
+	// PhaseBegan is UITouchPhaseBegan.
+	PhaseBegan uint8 = 0
+	// PhaseMoved is UITouchPhaseMoved.
+	PhaseMoved uint8 = 1
+	// PhaseEnded is UITouchPhaseEnded.
+	PhaseEnded uint8 = 3
+)
+
+// HIDEvent is the event format iOS apps expect on their Mach event port.
+// Coordinates are normalized to [0,1] as IOHID digitizer events are.
+type HIDEvent struct {
+	// Kind is the HID event family.
+	Kind uint8
+	// Phase is the touch phase (touch events).
+	Phase uint8
+	// Finger is the digitizer transducer index.
+	Finger uint8
+	// X and Y are normalized coordinates.
+	X, Y float32
+	// Code carries key/lifecycle codes or accel values.
+	Code int32
+	// TimeNs is the original event timestamp.
+	TimeNs int64
+}
+
+// HIDEventSize is the wire size of a marshaled HIDEvent (the Mach message
+// body the eventpump sends).
+const HIDEventSize = 23
+
+// Marshal encodes the HID event as a Mach message body.
+func (h HIDEvent) Marshal() []byte {
+	b := make([]byte, HIDEventSize)
+	b[0] = h.Kind
+	b[1] = h.Phase
+	b[2] = h.Finger
+	binary.LittleEndian.PutUint32(b[3:], uint32(int32(h.X*65536)))
+	binary.LittleEndian.PutUint32(b[7:], uint32(int32(h.Y*65536)))
+	binary.LittleEndian.PutUint32(b[11:], uint32(h.Code))
+	binary.LittleEndian.PutUint64(b[15:], uint64(h.TimeNs))
+	return b
+}
+
+// UnmarshalHID decodes a Mach event message body.
+func UnmarshalHID(b []byte) (HIDEvent, error) {
+	if len(b) < HIDEventSize {
+		return HIDEvent{}, fmt.Errorf("input: short HID event (%d bytes)", len(b))
+	}
+	return HIDEvent{
+		Kind:   b[0],
+		Phase:  b[1],
+		Finger: b[2],
+		X:      float32(int32(binary.LittleEndian.Uint32(b[3:]))) / 65536,
+		Y:      float32(int32(binary.LittleEndian.Uint32(b[7:]))) / 65536,
+		Code:   int32(binary.LittleEndian.Uint32(b[11:])),
+		TimeNs: int64(binary.LittleEndian.Uint64(b[15:])),
+	}, nil
+}
+
+// Translate converts an Android input event into the iOS HID form,
+// normalizing panel coordinates — the eventpump's per-event work:
+// "it simply reads events from the Android input system, translates them
+// as necessary into a format understood by iOS apps" (Section 5.2).
+func Translate(e Event, screenW, screenH int) HIDEvent {
+	h := HIDEvent{Finger: e.Pointer, Code: e.Code, TimeNs: e.TimeNs}
+	switch e.Type {
+	case TouchDown, TouchMove, TouchUp:
+		h.Kind = HIDTouch
+		switch e.Type {
+		case TouchDown:
+			h.Phase = PhaseBegan
+		case TouchMove:
+			h.Phase = PhaseMoved
+		default:
+			h.Phase = PhaseEnded
+		}
+		if screenW > 0 && screenH > 0 {
+			h.X = float32(e.X) / float32(screenW)
+			h.Y = float32(e.Y) / float32(screenH)
+		}
+	case Key:
+		h.Kind = HIDKeyboard
+	case Accel:
+		h.Kind = HIDAccelerometer
+		h.X = float32(e.X) / 1000 // milli-g to g
+		h.Y = float32(e.Y) / 1000
+	case Lifecycle:
+		h.Kind = HIDLifecycle
+	}
+	return h
+}

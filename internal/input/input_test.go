@@ -1,0 +1,164 @@
+package input
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventWireRoundTrip(t *testing.T) {
+	e := Event{Type: TouchMove, Pointer: 3, X: 640, Y: -12, Code: 7, TimeNs: 123456789}
+	got, err := Unmarshal(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("got %+v, want %+v", got, e)
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+}
+
+func TestEventWirePropertyRoundTrip(t *testing.T) {
+	f := func(typ uint8, ptr uint8, x, y, code int32, ts int64) bool {
+		e := Event{Type: EventType(typ), Pointer: ptr, X: x, Y: y, Code: code, TimeNs: ts}
+		got, err := Unmarshal(e.Marshal())
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHIDWireRoundTrip(t *testing.T) {
+	h := HIDEvent{Kind: HIDTouch, Phase: PhaseMoved, Finger: 1, X: 0.5, Y: 0.25, Code: 9, TimeNs: 42}
+	got, err := UnmarshalHID(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != h.Kind || got.Phase != h.Phase || got.Finger != h.Finger {
+		t.Fatalf("got %+v", got)
+	}
+	if abs32(got.X-h.X) > 0.001 || abs32(got.Y-h.Y) > 0.001 {
+		t.Fatalf("coords drifted: %+v", got)
+	}
+}
+
+func TestTranslateTouch(t *testing.T) {
+	h := Translate(Event{Type: TouchDown, X: 640, Y: 400}, 1280, 800)
+	if h.Kind != HIDTouch || h.Phase != PhaseBegan {
+		t.Fatalf("h = %+v", h)
+	}
+	if h.X != 0.5 || h.Y != 0.5 {
+		t.Fatalf("normalized = (%v,%v), want (0.5,0.5)", h.X, h.Y)
+	}
+	h = Translate(Event{Type: TouchUp, X: 1280, Y: 800}, 1280, 800)
+	if h.Phase != PhaseEnded || h.X != 1 || h.Y != 1 {
+		t.Fatalf("h = %+v", h)
+	}
+}
+
+func TestTranslateOtherKinds(t *testing.T) {
+	if h := Translate(Event{Type: Key, Code: 65}, 100, 100); h.Kind != HIDKeyboard || h.Code != 65 {
+		t.Fatalf("key: %+v", h)
+	}
+	if h := Translate(Event{Type: Accel, X: 1000, Y: -500}, 100, 100); h.Kind != HIDAccelerometer || h.X != 1.0 {
+		t.Fatalf("accel: %+v", h)
+	}
+	if h := Translate(Event{Type: Lifecycle, Code: LifecyclePause}, 100, 100); h.Kind != HIDLifecycle || h.Code != LifecyclePause {
+		t.Fatalf("lifecycle: %+v", h)
+	}
+}
+
+func feed(r *GestureRecognizer, events ...HIDEvent) []Gesture {
+	var out []Gesture
+	for _, e := range events {
+		out = append(out, r.Feed(e)...)
+	}
+	return out
+}
+
+func TestGestureTap(t *testing.T) {
+	r := NewGestureRecognizer()
+	gs := feed(r,
+		HIDEvent{Kind: HIDTouch, Phase: PhaseBegan, X: 0.5, Y: 0.5},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseEnded, X: 0.5, Y: 0.5},
+	)
+	if len(gs) != 1 || gs[0].Kind != GestureTap {
+		t.Fatalf("gestures = %+v", gs)
+	}
+}
+
+func TestGesturePan(t *testing.T) {
+	r := NewGestureRecognizer()
+	gs := feed(r,
+		HIDEvent{Kind: HIDTouch, Phase: PhaseBegan, X: 0.2, Y: 0.2},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseMoved, X: 0.3, Y: 0.2},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseMoved, X: 0.4, Y: 0.2},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseEnded, X: 0.4, Y: 0.2},
+	)
+	pans := 0
+	for _, g := range gs {
+		if g.Kind == GesturePan {
+			pans++
+			if g.DX <= 0 {
+				t.Fatalf("pan delta = %v", g.DX)
+			}
+		}
+		if g.Kind == GestureTap {
+			t.Fatal("a drag must not be a tap")
+		}
+	}
+	if pans == 0 {
+		t.Fatal("no pan recognized")
+	}
+}
+
+func TestGesturePinch(t *testing.T) {
+	r := NewGestureRecognizer()
+	gs := feed(r,
+		HIDEvent{Kind: HIDTouch, Phase: PhaseBegan, Finger: 0, X: 0.4, Y: 0.5},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseBegan, Finger: 1, X: 0.6, Y: 0.5},
+		// Spread apart: zoom in.
+		HIDEvent{Kind: HIDTouch, Phase: PhaseMoved, Finger: 0, X: 0.3, Y: 0.5},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseMoved, Finger: 1, X: 0.7, Y: 0.5},
+	)
+	var pinch *Gesture
+	for i := range gs {
+		if gs[i].Kind == GesturePinch {
+			pinch = &gs[i]
+		}
+	}
+	if pinch == nil {
+		t.Fatal("no pinch recognized")
+	}
+	if pinch.Scale <= 1.0 {
+		t.Fatalf("spread should scale > 1, got %v", pinch.Scale)
+	}
+	// Release both; no tap should fire.
+	gs = feed(r,
+		HIDEvent{Kind: HIDTouch, Phase: PhaseEnded, Finger: 0, X: 0.3, Y: 0.5},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseEnded, Finger: 1, X: 0.7, Y: 0.5},
+	)
+	for _, g := range gs {
+		if g.Kind == GestureTap {
+			t.Fatal("pinch release must not produce a tap")
+		}
+	}
+}
+
+func TestGestureMultiTouchIndependentFingers(t *testing.T) {
+	r := NewGestureRecognizer()
+	// Finger 5 taps while nothing else is down.
+	gs := feed(r,
+		HIDEvent{Kind: HIDTouch, Phase: PhaseBegan, Finger: 5, X: 0.9, Y: 0.9},
+		HIDEvent{Kind: HIDTouch, Phase: PhaseEnded, Finger: 5, X: 0.9, Y: 0.9},
+	)
+	if len(gs) != 1 || gs[0].Kind != GestureTap {
+		t.Fatalf("gestures = %+v", gs)
+	}
+	// Out-of-range finger ignored safely.
+	if out := r.Feed(HIDEvent{Kind: HIDTouch, Phase: PhaseBegan, Finger: 99}); out != nil {
+		t.Fatal("out-of-range finger should be ignored")
+	}
+}

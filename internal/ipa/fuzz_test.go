@@ -1,0 +1,24 @@
+package ipa_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ipa"
+)
+
+// TestParseNeverPanics: .ipa files arrive from outside the device.
+func TestParseNeverPanics(t *testing.T) {
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		ipa.Parse(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// Errno is a kernel error number. The kernel's canonical numbering is
+// Linux's (the domestic kernel); the ABI layer translates to XNU/BSD
+// numbers at the syscall boundary for iOS-persona threads, the same place
+// Cider converts return conventions (Section 4.1).
+type Errno int
+
+// Canonical (Linux/ARM) errno values used by the simulation.
+const (
+	// OK is success (not a real errno; used as the zero value).
+	OK Errno = 0
+	// EPERM: operation not permitted.
+	EPERM Errno = 1
+	// ENOENT: no such file or directory.
+	ENOENT Errno = 2
+	// ESRCH: no such process.
+	ESRCH Errno = 3
+	// EINTR: interrupted system call.
+	EINTR Errno = 4
+	// EIO: I/O error.
+	EIO Errno = 5
+	// ENOEXEC: exec format error.
+	ENOEXEC Errno = 8
+	// EBADF: bad file descriptor.
+	EBADF Errno = 9
+	// ECHILD: no child processes.
+	ECHILD Errno = 10
+	// EAGAIN: resource temporarily unavailable.
+	EAGAIN Errno = 11
+	// ENOMEM: out of memory.
+	ENOMEM Errno = 12
+	// EACCES: permission denied.
+	EACCES Errno = 13
+	// EFAULT: bad address.
+	EFAULT Errno = 14
+	// EEXIST: file exists.
+	EEXIST Errno = 17
+	// ENOTDIR: not a directory.
+	ENOTDIR Errno = 20
+	// EISDIR: is a directory.
+	EISDIR Errno = 21
+	// EINVAL: invalid argument.
+	EINVAL Errno = 22
+	// ENFILE/EMFILE: too many open files.
+	EMFILE Errno = 24
+	// ENOTTY: inappropriate ioctl for device.
+	ENOTTY Errno = 25
+	// ENOSPC: no space left on device.
+	ENOSPC Errno = 28
+	// EPIPE: broken pipe.
+	EPIPE Errno = 32
+	// ENOSYS: function not implemented.
+	ENOSYS Errno = 38
+	// ENOTEMPTY: directory not empty.
+	ENOTEMPTY Errno = 39
+	// ELOOP: too many levels of symbolic links.
+	ELOOP Errno = 40
+	// EOPNOTSUPP: operation not supported.
+	EOPNOTSUPP Errno = 95
+)
+
+var errnoNames = map[Errno]string{
+	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH",
+	EINTR: "EINTR", EIO: "EIO", ENOEXEC: "ENOEXEC", EBADF: "EBADF",
+	ECHILD: "ECHILD", EAGAIN: "EAGAIN", ENOMEM: "ENOMEM", EACCES: "EACCES",
+	EFAULT: "EFAULT", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR",
+	EISDIR: "EISDIR", EINVAL: "EINVAL", EMFILE: "EMFILE", ENOTTY: "ENOTTY",
+	ENOSPC: "ENOSPC", EPIPE: "EPIPE", ENOSYS: "ENOSYS",
+	ENOTEMPTY: "ENOTEMPTY", ELOOP: "ELOOP", EOPNOTSUPP: "EOPNOTSUPP",
+}
+
+func (e Errno) Error() string {
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// linuxToXNUErrno maps canonical (Linux) errno values to their XNU/BSD
+// numbers where they differ (errno.h on each platform). Part of the XNU
+// ABI's return-convention translation (Section 4.1); diplomatic functions
+// apply the inverse when converting domestic TLS errno values back into
+// the foreign TLS area (arbitration step 8, Section 4.3).
+var linuxToXNUErrno = map[Errno]int{
+	EAGAIN:     35, // BSD EAGAIN
+	ENOSYS:     78,
+	ELOOP:      62,
+	ENOTEMPTY:  66,
+	EOPNOTSUPP: 102,
+}
+
+var xnuToLinuxErrno = func() map[int]Errno {
+	m := make(map[int]Errno)
+	for l, x := range linuxToXNUErrno {
+		m[x] = l
+	}
+	return m
+}()
+
+// ErrnoToXNU converts a canonical errno to its XNU/BSD number.
+func ErrnoToXNU(e Errno) int {
+	if x, ok := linuxToXNUErrno[e]; ok {
+		return x
+	}
+	return int(e)
+}
+
+// ErrnoFromXNU converts an XNU/BSD errno number to the canonical value.
+func ErrnoFromXNU(x int) Errno {
+	if l, ok := xnuToLinuxErrno[x]; ok {
+		return l
+	}
+	return Errno(x)
+}
+
+// ErrnoFromVFS maps a vfs error onto the errno a Linux kernel would return
+// for the same condition.
+func ErrnoFromVFS(err error) Errno {
+	switch err.(type) {
+	case nil:
+		return OK
+	case *vfs.ErrNotFound:
+		return ENOENT
+	case *vfs.ErrExists:
+		return EEXIST
+	case *vfs.ErrNotDir:
+		return ENOTDIR
+	case *vfs.ErrIsDir:
+		return EISDIR
+	case *vfs.ErrNotEmpty:
+		return ENOTEMPTY
+	case *vfs.ErrLoop:
+		return ELOOP
+	}
+	return EIO
+}

@@ -1,0 +1,358 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/persona"
+	"repro/internal/vfs"
+)
+
+// Linux ARM EABI syscall numbers for the calls the simulation implements.
+const (
+	SysExit        = 1
+	SysFork        = 2
+	SysRead        = 3
+	SysWrite       = 4
+	SysOpen        = 5
+	SysClose       = 6
+	SysCreat       = 8
+	SysUnlink      = 10
+	SysExecve      = 11
+	SysGetpid      = 20
+	SysKill        = 37
+	SysPipe        = 42
+	SysIoctl       = 54
+	SysDup         = 41
+	SysGetppid     = 64
+	SysSelect      = 142 // _newselect
+	SysRtSigaction = 174
+	SysWait4       = 114
+	SysSocketpair  = 288 // ARM EABI socketpair
+	// SysSetPersona is the new syscall Cider adds, "available from all
+	// personas" (Section 4.3). It occupies an unused slot.
+	SysSetPersona = 983045
+)
+
+// SyscallArgs carries a syscall's arguments across the dispatch boundary.
+// Raw integer registers ride in I; pointer-typed payloads that a real
+// kernel would copy in from user memory ride in the typed fields (the
+// simulation's stand-in for copy_from_user).
+type SyscallArgs struct {
+	// I holds up to six register arguments.
+	I [6]uint64
+	// Path is a pathname argument.
+	Path string
+	// Path2 is a second pathname (rename).
+	Path2 string
+	// Buf is a data buffer (read target / write source).
+	Buf []byte
+	// Argv is an argument vector (execve).
+	Argv []string
+	// Act is a signal disposition (sigaction).
+	Act *SigAction
+	// ChildFn is the child body for fork-family calls (the simulation's
+	// stand-in for "returns twice"; see Thread.forkInternal).
+	ChildFn func(*Thread)
+	// Select is the descriptor-set payload for select(2).
+	Select *SelectRequest
+}
+
+// SyscallRet carries a syscall's results.
+type SyscallRet struct {
+	// R0 is the primary return value.
+	R0 uint64
+	// R1 is the secondary return value (pipe, socketpair).
+	R1 uint64
+	// Errno is OK on success.
+	Errno Errno
+	// Select is select's result payload.
+	Select *SelectResult
+}
+
+// SyscallHandler implements one syscall.
+type SyscallHandler func(t *Thread, a *SyscallArgs) SyscallRet
+
+// SyscallTable is one persona's dispatch table. Cider "maintains one or
+// more syscall dispatch tables for each persona, and switches among them
+// based on the persona of the calling thread and the syscall number"
+// (Section 4.1).
+type SyscallTable struct {
+	// Name identifies the table ("linux", "xnu-bsd").
+	Name string
+	// EntryExtra and ExitExtra are charged around every call through this
+	// table — the XNU table carries the trap-demux/translation costs.
+	EntryExtra time.Duration
+	ExitExtra  time.Duration
+	handlers   map[int]SyscallHandler
+	names      map[int]string
+}
+
+// NewSyscallTable creates an empty table.
+func NewSyscallTable(name string) *SyscallTable {
+	return &SyscallTable{
+		Name:     name,
+		handlers: make(map[int]SyscallHandler),
+		names:    make(map[int]string),
+	}
+}
+
+// Register installs a handler for a syscall number.
+func (tb *SyscallTable) Register(num int, name string, h SyscallHandler) {
+	tb.handlers[num] = h
+	tb.names[num] = name
+}
+
+// Lookup returns the handler for num.
+func (tb *SyscallTable) Lookup(num int) (SyscallHandler, bool) {
+	h, ok := tb.handlers[num]
+	return h, ok
+}
+
+// NameOf returns the registered name of a syscall number.
+func (tb *SyscallTable) NameOf(num int) string {
+	if n, ok := tb.names[num]; ok {
+		return n
+	}
+	return fmt.Sprintf("sys_%d", num)
+}
+
+// Len returns the number of registered handlers.
+func (tb *SyscallTable) Len() int { return len(tb.handlers) }
+
+// Syscall is the kernel trap entry: every simulated user-space trap funnels
+// through here. It charges entry/exit costs, performs Cider's per-entry
+// persona check, dispatches through the calling thread's persona table, and
+// delivers pending signals on the return path.
+func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
+	k := t.k
+	if a == nil {
+		a = &SyscallArgs{}
+	}
+	t.charge(k.costs.SyscallEntry)
+	if k.PersonaAware() {
+		// "Extra persona checking and handling code run on every syscall
+		// entry" — the 8.5% null-syscall overhead (Section 6.2).
+		t.charge(k.costs.PersonaCheck)
+	}
+	table := k.tables[t.Persona.Current()]
+	if table == nil {
+		// No ABI provisioned for this persona on this kernel (e.g. an iOS
+		// binary trapping into vanilla Linux).
+		t.charge(k.costs.SyscallExit)
+		return SyscallRet{R0: ^uint64(0), Errno: ENOSYS}
+	}
+	if table.EntryExtra > 0 {
+		t.charge(table.EntryExtra)
+	}
+	h, ok := table.Lookup(num)
+	var ret SyscallRet
+	if !ok {
+		ret = SyscallRet{R0: ^uint64(0), Errno: ENOSYS}
+	} else {
+		t.inSyscall = true
+		ret = h(t, a)
+		t.inSyscall = false
+	}
+	if table.ExitExtra > 0 {
+		t.charge(table.ExitExtra)
+	}
+	t.charge(k.costs.SyscallExit)
+	if ret.Errno != OK {
+		// Post errno to the current persona's TLS area, in that persona's
+		// own numbering.
+		e := int(ret.Errno)
+		if t.Persona.Current() == persona.IOS {
+			e = int(ErrnoToXNU(ret.Errno))
+		}
+		t.Persona.CurrentTLS().Errno = e
+	}
+	t.checkSignals()
+	return ret
+}
+
+// InstallLinuxTable builds and installs the native Linux syscall table for
+// the Android persona. Vanilla kernels install only this table.
+func (k *Kernel) InstallLinuxTable() *SyscallTable {
+	tb := NewSyscallTable("linux")
+	tb.Register(SysExit, "exit", func(t *Thread, a *SyscallArgs) SyscallRet {
+		t.exitTask(int(a.I[0]))
+		return SyscallRet{}
+	})
+	tb.Register(SysFork, "fork", func(t *Thread, a *SyscallArgs) SyscallRet {
+		if a.ChildFn == nil {
+			return SyscallRet{Errno: EINVAL}
+		}
+		pid, errno := t.forkInternal(a.ChildFn)
+		return SyscallRet{R0: uint64(pid), Errno: errno}
+	})
+	tb.Register(SysRead, "read", func(t *Thread, a *SyscallArgs) SyscallRet {
+		f, errno := t.task.fds.Get(int(a.I[0]))
+		if errno != OK {
+			return SyscallRet{Errno: errno}
+		}
+		t.charge(t.k.costs.ReadBase)
+		n, errno := f.Read(t, a.Buf)
+		return SyscallRet{R0: uint64(n), Errno: errno}
+	})
+	tb.Register(SysWrite, "write", func(t *Thread, a *SyscallArgs) SyscallRet {
+		f, errno := t.task.fds.Get(int(a.I[0]))
+		if errno != OK {
+			return SyscallRet{Errno: errno}
+		}
+		t.charge(t.k.costs.WriteBase)
+		n, errno := f.Write(t, a.Buf)
+		return SyscallRet{R0: uint64(n), Errno: errno}
+	})
+	tb.Register(SysOpen, "open", func(t *Thread, a *SyscallArgs) SyscallRet {
+		fd, errno := t.openInternal(a.Path, int(a.I[1]))
+		return SyscallRet{R0: uint64(fd), Errno: errno}
+	})
+	tb.Register(SysClose, "close", func(t *Thread, a *SyscallArgs) SyscallRet {
+		t.charge(t.k.costs.CloseBase)
+		return SyscallRet{Errno: t.task.fds.Close(t, int(a.I[0]))}
+	})
+	tb.Register(SysCreat, "creat", func(t *Thread, a *SyscallArgs) SyscallRet {
+		fd, errno := t.creatInternal(a.Path)
+		return SyscallRet{R0: uint64(fd), Errno: errno}
+	})
+	tb.Register(SysUnlink, "unlink", func(t *Thread, a *SyscallArgs) SyscallRet {
+		return SyscallRet{Errno: t.unlinkInternal(a.Path)}
+	})
+	tb.Register(SysExecve, "execve", func(t *Thread, a *SyscallArgs) SyscallRet {
+		errno := t.execInternal(a.Path, a.Argv)
+		return SyscallRet{Errno: errno} // reached only on failure
+	})
+	tb.Register(SysGetpid, "getpid", func(t *Thread, a *SyscallArgs) SyscallRet {
+		return SyscallRet{R0: uint64(t.task.pid)}
+	})
+	tb.Register(SysGetppid, "getppid", func(t *Thread, a *SyscallArgs) SyscallRet {
+		return SyscallRet{R0: uint64(t.task.PPID())}
+	})
+	tb.Register(SysKill, "kill", func(t *Thread, a *SyscallArgs) SyscallRet {
+		return SyscallRet{Errno: t.killInternal(int(a.I[0]), int(a.I[1]))}
+	})
+	tb.Register(SysPipe, "pipe", func(t *Thread, a *SyscallArgs) SyscallRet {
+		r, w, errno := t.pipeInternal()
+		return SyscallRet{R0: uint64(r), R1: uint64(w), Errno: errno}
+	})
+	tb.Register(SysDup, "dup", func(t *Thread, a *SyscallArgs) SyscallRet {
+		fd, errno := t.task.fds.Dup(int(a.I[0]))
+		return SyscallRet{R0: uint64(fd), Errno: errno}
+	})
+	tb.Register(SysIoctl, "ioctl", func(t *Thread, a *SyscallArgs) SyscallRet {
+		f, errno := t.task.fds.Get(int(a.I[0]))
+		if errno != OK {
+			return SyscallRet{Errno: errno}
+		}
+		t.charge(t.k.costs.IoctlBase)
+		r, errno := f.Ioctl(t, a.I[1], a.I[2])
+		return SyscallRet{R0: r, Errno: errno}
+	})
+	tb.Register(SysSelect, "select", func(t *Thread, a *SyscallArgs) SyscallRet {
+		if a.Select == nil {
+			return SyscallRet{Errno: EINVAL}
+		}
+		res, errno := t.selectInternal(a.Select)
+		ret := SyscallRet{Errno: errno, Select: res}
+		if res != nil {
+			ret.R0 = uint64(res.N())
+		}
+		return ret
+	})
+	tb.Register(SysRtSigaction, "rt_sigaction", func(t *Thread, a *SyscallArgs) SyscallRet {
+		return SyscallRet{Errno: t.sigactionInternal(int(a.I[0]), a.Act)}
+	})
+	tb.Register(SysWait4, "wait4", func(t *Thread, a *SyscallArgs) SyscallRet {
+		pid, status, errno := t.waitInternal(int(int64(a.I[0])))
+		return SyscallRet{R0: uint64(pid), R1: uint64(status), Errno: errno}
+	})
+	tb.Register(SysSocketpair, "socketpair", func(t *Thread, a *SyscallArgs) SyscallRet {
+		f1, f2, errno := t.socketpairInternal()
+		return SyscallRet{R0: uint64(f1), R1: uint64(f2), Errno: errno}
+	})
+	if k.PersonaAware() {
+		tb.Register(SysSetPersona, "set_persona", sysSetPersona)
+	}
+	k.SetSyscallTable(persona.Android, tb)
+	return tb
+}
+
+// sysSetPersona implements Cider's new set_persona syscall: switch the
+// calling thread's kernel ABI personality and TLS area pointer
+// (Section 4.3, component 2). Registered in every persona's table.
+func sysSetPersona(t *Thread, a *SyscallArgs) SyscallRet {
+	to := persona.Kind(a.I[0])
+	if to < 0 || int(to) >= persona.NumKinds {
+		return SyscallRet{Errno: EINVAL}
+	}
+	t.charge(t.k.costs.SetPersonaCost)
+	prev := t.Persona.Switch(to)
+	return SyscallRet{R0: uint64(prev)}
+}
+
+// openInternal resolves a path and produces a descriptor: regular files
+// get an fsFile; device nodes dispatch to the device framework.
+func (t *Thread) openInternal(path string, flags int) (int, Errno) {
+	k := t.k
+	t.charge(k.costs.OpenBase)
+	node, err := k.root.Lookup(path)
+	if err != nil {
+		if _, missing := err.(*vfs.ErrNotFound); missing && flags&OCreat != 0 {
+			return t.creatInternal(path)
+		}
+		return -1, ErrnoFromVFS(err)
+	}
+	if node.IsDir() {
+		return -1, EISDIR
+	}
+	if node.Kind() == vfs.KindDevice {
+		dev, ok := node.Dev().(Device)
+		if !ok {
+			return -1, EIO
+		}
+		f, errno := dev.Open(t)
+		if errno != OK {
+			return -1, errno
+		}
+		return t.task.fds.Alloc(f)
+	}
+	return t.task.fds.Alloc(&fsFile{node: node, k: k})
+}
+
+// OCreat is the open flag requesting creation.
+const OCreat = 0x40 // Linux O_CREAT
+
+// creatInternal creates a file (truncating an existing one) and opens it.
+func (t *Thread) creatInternal(path string) (int, Errno) {
+	k := t.k
+	t.charge(k.costs.CreateBase)
+	t.charge(k.device.Storage.CreateLatency)
+	node, err := k.root.Create(path)
+	if err != nil {
+		if _, exists := err.(*vfs.ErrExists); !exists {
+			return -1, ErrnoFromVFS(err)
+		}
+		n2, lerr := k.root.Lookup(path)
+		if lerr != nil {
+			return -1, ErrnoFromVFS(lerr)
+		}
+		if n2.IsDir() {
+			return -1, EISDIR
+		}
+		n2.SetData(nil) // truncate
+		return t.task.fds.Alloc(&fsFile{node: n2, k: k})
+	}
+	return t.task.fds.Alloc(&fsFile{node: node, k: k})
+}
+
+// unlinkInternal removes a file.
+func (t *Thread) unlinkInternal(path string) Errno {
+	k := t.k
+	t.charge(k.costs.UnlinkBase)
+	t.charge(k.device.Storage.DeleteLatency)
+	if err := k.root.Remove(path); err != nil {
+		return ErrnoFromVFS(err)
+	}
+	return OK
+}

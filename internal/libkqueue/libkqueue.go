@@ -1,0 +1,149 @@
+// Package libkqueue is the user-space kqueue/kevent implementation of
+// Section 4.2: "the BSD kqueue and kevent notification mechanisms were
+// easier to support in Cider as user space libraries because of the
+// availability of existing open source user-level implementations
+// [libkqueue]. Because they did not need to be incorporated into the
+// kernel, they did not need to be incorporated using duct tape, but simply
+// via API interposition."
+//
+// As in the real libkqueue, the BSD API is emulated over the host kernel's
+// native multiplexing primitive — select(2) here — entirely in user space.
+package libkqueue
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+)
+
+// Filter types (sys/event.h).
+const (
+	// EvfiltRead is EVFILT_READ.
+	EvfiltRead = -1
+	// EvfiltWrite is EVFILT_WRITE.
+	EvfiltWrite = -2
+)
+
+// Flags (sys/event.h).
+const (
+	// EvAdd is EV_ADD.
+	EvAdd = 0x0001
+	// EvDelete is EV_DELETE.
+	EvDelete = 0x0002
+	// EvOneshot is EV_ONESHOT.
+	EvOneshot = 0x0010
+)
+
+// Kevent is struct kevent.
+type Kevent struct {
+	// Ident is the descriptor being watched.
+	Ident int
+	// Filter selects the event type.
+	Filter int16
+	// Flags carry EV_* actions on input, EV_* state on output.
+	Flags uint16
+	// Udata is the opaque user pointer.
+	Udata uint64
+}
+
+// watch is one registered (ident, filter) interest.
+type watch struct {
+	ev      Kevent
+	oneshot bool
+}
+
+// KQ is a kqueue instance — user-space state only, as libkqueue keeps it.
+type KQ struct {
+	lc      *libsystem.C
+	watches map[[2]int64]*watch
+	closed  bool
+	// emuCost is the per-kevent call bookkeeping the emulation layer adds.
+	emuCost time.Duration
+}
+
+// New is kqueue(2): allocate a queue for the calling thread's process.
+func New(lc *libsystem.C) *KQ {
+	return &KQ{
+		lc:      lc,
+		watches: make(map[[2]int64]*watch),
+		emuCost: lc.T.Kernel().Device().CPU.Cycles(900),
+	}
+}
+
+func key(ident int, filter int16) [2]int64 {
+	return [2]int64{int64(ident), int64(filter)}
+}
+
+// Kevent is kevent(2): apply changes, then poll/wait for up to len(events)
+// results. timeout < 0 blocks, 0 polls. Returns the number of events.
+func (kq *KQ) Kevent(changes []Kevent, events []Kevent, timeout time.Duration) (int, error) {
+	if kq.closed {
+		return 0, fmt.Errorf("libkqueue: closed queue")
+	}
+	kq.lc.T.Charge(kq.emuCost)
+	for _, ch := range changes {
+		switch {
+		case ch.Flags&EvDelete != 0:
+			delete(kq.watches, key(ch.Ident, ch.Filter))
+		case ch.Flags&EvAdd != 0:
+			if ch.Filter != EvfiltRead && ch.Filter != EvfiltWrite {
+				return 0, fmt.Errorf("libkqueue: unsupported filter %d", ch.Filter)
+			}
+			kq.watches[key(ch.Ident, ch.Filter)] = &watch{
+				ev:      ch,
+				oneshot: ch.Flags&EvOneshot != 0,
+			}
+		}
+	}
+	if len(events) == 0 {
+		return 0, nil
+	}
+	// Emulate over select(2), exactly as libkqueue's posix backend does.
+	var readFDs, writeFDs []int
+	for _, w := range kq.watches {
+		if w.ev.Filter == EvfiltRead {
+			readFDs = append(readFDs, w.ev.Ident)
+		} else {
+			writeFDs = append(writeFDs, w.ev.Ident)
+		}
+	}
+	if len(readFDs)+len(writeFDs) == 0 {
+		return 0, nil
+	}
+	res, errno := kq.lc.Select(&kernel.SelectRequest{
+		ReadFDs: readFDs, WriteFDs: writeFDs, Timeout: timeout,
+	})
+	if errno != kernel.OK {
+		return 0, fmt.Errorf("libkqueue: select: %v", errno)
+	}
+	n := 0
+	deliver := func(fd int, filter int16) {
+		if n >= len(events) {
+			return
+		}
+		w, ok := kq.watches[key(fd, filter)]
+		if !ok {
+			return
+		}
+		events[n] = w.ev
+		n++
+		if w.oneshot {
+			delete(kq.watches, key(fd, filter))
+		}
+	}
+	for _, fd := range res.ReadReady {
+		deliver(fd, EvfiltRead)
+	}
+	for _, fd := range res.WriteReady {
+		deliver(fd, EvfiltWrite)
+	}
+	return n, nil
+}
+
+// Watches reports registered interests (tests).
+func (kq *KQ) Watches() int { return len(kq.watches) }
+
+// Close releases the queue.
+func (kq *KQ) Close() { kq.closed = true }

@@ -1,0 +1,125 @@
+package libkqueue_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/libkqueue"
+	"repro/internal/libsystem"
+	"repro/internal/prog"
+)
+
+// runIOS executes body in an iOS process on Cider.
+func runIOS(t *testing.T, body func(lc *libsystem.C)) {
+	t.Helper()
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.InstallIOSBinary("/bin/kq", "kq-"+t.Name(), nil, func(c *prog.Call) uint64 {
+		body(libsystem.Sys(c.Ctx.(*kernel.Thread)))
+		return 0
+	})
+	sys.Start("/bin/kq", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeventReadReadiness(t *testing.T) {
+	runIOS(t, func(lc *libsystem.C) {
+		r, w, _ := lc.Pipe()
+		kq := libkqueue.New(lc)
+		changes := []libkqueue.Kevent{{Ident: r, Filter: libkqueue.EvfiltRead, Flags: libkqueue.EvAdd, Udata: 77}}
+		evs := make([]libkqueue.Kevent, 4)
+		// Nothing readable yet: poll returns 0.
+		n, err := kq.Kevent(changes, evs, 0)
+		if err != nil || n != 0 {
+			t.Errorf("empty pipe: n=%d err=%v", n, err)
+		}
+		lc.Write(w, []byte("x"))
+		n, err = kq.Kevent(nil, evs, 0)
+		if err != nil || n != 1 {
+			t.Errorf("after write: n=%d err=%v", n, err)
+			return
+		}
+		if evs[0].Ident != r || evs[0].Udata != 77 {
+			t.Errorf("event = %+v", evs[0])
+		}
+	})
+}
+
+func TestKeventWriteReadinessAndDelete(t *testing.T) {
+	runIOS(t, func(lc *libsystem.C) {
+		_, w, _ := lc.Pipe()
+		kq := libkqueue.New(lc)
+		kq.Kevent([]libkqueue.Kevent{{Ident: w, Filter: libkqueue.EvfiltWrite, Flags: libkqueue.EvAdd}}, nil, 0)
+		evs := make([]libkqueue.Kevent, 1)
+		n, err := kq.Kevent(nil, evs, 0)
+		if err != nil || n != 1 {
+			t.Errorf("writable pipe: n=%d err=%v", n, err)
+		}
+		// Delete the interest: no more events.
+		kq.Kevent([]libkqueue.Kevent{{Ident: w, Filter: libkqueue.EvfiltWrite, Flags: libkqueue.EvDelete}}, nil, 0)
+		if kq.Watches() != 0 {
+			t.Errorf("watches = %d after delete", kq.Watches())
+		}
+	})
+}
+
+func TestKeventBlocksUntilReady(t *testing.T) {
+	runIOS(t, func(lc *libsystem.C) {
+		r, w, _ := lc.Pipe()
+		kq := libkqueue.New(lc)
+		kq.Kevent([]libkqueue.Kevent{{Ident: r, Filter: libkqueue.EvfiltRead, Flags: libkqueue.EvAdd}}, nil, 0)
+		// A sibling thread writes after 5ms.
+		lc.T.SpawnThread("writer", func(wt *kernel.Thread) {
+			wt.Charge(5 * time.Millisecond)
+			libsystem.Sys(wt).Write(w, []byte("y"))
+		})
+		evs := make([]libkqueue.Kevent, 1)
+		start := lc.T.Now()
+		n, err := kq.Kevent(nil, evs, -1)
+		if err != nil || n != 1 {
+			t.Errorf("blocking kevent: n=%d err=%v", n, err)
+		}
+		if lc.T.Now()-start < 5*time.Millisecond {
+			t.Error("kevent returned before the writer ran")
+		}
+	})
+}
+
+func TestKeventOneshot(t *testing.T) {
+	runIOS(t, func(lc *libsystem.C) {
+		r, w, _ := lc.Pipe()
+		lc.Write(w, []byte("z"))
+		kq := libkqueue.New(lc)
+		kq.Kevent([]libkqueue.Kevent{{
+			Ident: r, Filter: libkqueue.EvfiltRead,
+			Flags: libkqueue.EvAdd | libkqueue.EvOneshot,
+		}}, nil, 0)
+		evs := make([]libkqueue.Kevent, 1)
+		if n, _ := kq.Kevent(nil, evs, 0); n != 1 {
+			t.Error("oneshot did not fire")
+		}
+		if kq.Watches() != 0 {
+			t.Error("oneshot interest not removed")
+		}
+	})
+}
+
+func TestKeventErrors(t *testing.T) {
+	runIOS(t, func(lc *libsystem.C) {
+		kq := libkqueue.New(lc)
+		_, err := kq.Kevent([]libkqueue.Kevent{{Ident: 0, Filter: 99, Flags: libkqueue.EvAdd}}, nil, 0)
+		if err == nil {
+			t.Error("bad filter should fail")
+		}
+		kq.Close()
+		if _, err := kq.Kevent(nil, nil, 0); err == nil {
+			t.Error("closed queue should fail")
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package libsystem_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/persona"
+	"repro/internal/prog"
+	"repro/internal/xnu"
+)
+
+func onIOS(t *testing.T, body func(lc *libsystem.C)) {
+	t.Helper()
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.InstallIOSBinary("/bin/ls-t", "lst-"+t.Name(), nil, func(c *prog.Call) uint64 {
+		body(libsystem.Sys(c.Ctx.(*kernel.Thread)))
+		return 0
+	})
+	sys.Start("/bin/ls-t", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtExitRunsLIFO(t *testing.T) {
+	var order []int
+	onIOS(t, func(lc *libsystem.C) {
+		pid := lc.Fork(func(cc *libsystem.C) {
+			st := libsystem.ForTask(cc.T.Task())
+			st.AtExit(func(*kernel.Thread) { order = append(order, 1) })
+			st.AtExit(func(*kernel.Thread) { order = append(order, 2) })
+			cc.Exit(0)
+		})
+		lc.Wait(pid)
+	})
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("order = %v, want [2 1] (LIFO)", order)
+	}
+}
+
+func TestAtForkPhaseOrdering(t *testing.T) {
+	var phases []string
+	onIOS(t, func(lc *libsystem.C) {
+		st := libsystem.ForTask(lc.T.Task())
+		st.AtFork(
+			func(*kernel.Thread) { phases = append(phases, "prepare-a") },
+			func(*kernel.Thread) { phases = append(phases, "parent-a") },
+			func(*kernel.Thread) { phases = append(phases, "child-a") },
+		)
+		st.AtFork(
+			func(*kernel.Thread) { phases = append(phases, "prepare-b") },
+			func(*kernel.Thread) { phases = append(phases, "parent-b") },
+			func(*kernel.Thread) { phases = append(phases, "child-b") },
+		)
+		pid := lc.Fork(func(cc *libsystem.C) { cc.Exit(0) })
+		lc.Wait(pid)
+	})
+	// POSIX: prepare handlers run in reverse registration order; parent
+	// and child handlers in registration order.
+	// With dyld's 115 handlers already registered, ours are the last two;
+	// filter to them.
+	var ours []string
+	for _, p := range phases {
+		ours = append(ours, p)
+	}
+	want := []string{"prepare-b", "prepare-a", "child-a", "child-b", "parent-a", "parent-b"}
+	// Child handlers run before the parent resumes or after depending on
+	// scheduling; assert set-wise ordering constraints instead:
+	idx := map[string]int{}
+	for i, p := range ours {
+		idx[p] = i
+	}
+	if idx["prepare-b"] > idx["prepare-a"] {
+		t.Fatalf("prepare order wrong: %v", ours)
+	}
+	if idx["parent-a"] > idx["parent-b"] {
+		t.Fatalf("parent order wrong: %v", ours)
+	}
+	if idx["child-a"] > idx["child-b"] {
+		t.Fatalf("child order wrong: %v", ours)
+	}
+	for _, w := range want {
+		if _, ok := idx[w]; !ok {
+			t.Fatalf("missing phase %s in %v", w, ours)
+		}
+	}
+	// Prepare must precede everything else.
+	if idx["prepare-a"] > idx["child-a"] || idx["prepare-a"] > idx["parent-a"] {
+		t.Fatalf("prepare did not run first: %v", ours)
+	}
+}
+
+func TestStateClonedAcrossFork(t *testing.T) {
+	// A handler registered in the child must not appear in the parent.
+	var parentAtexit int
+	onIOS(t, func(lc *libsystem.C) {
+		pid := lc.Fork(func(cc *libsystem.C) {
+			libsystem.ForTask(cc.T.Task()).AtExit(func(*kernel.Thread) {})
+			cc.Exit(0)
+		})
+		lc.Wait(pid)
+		n, _, _, _ := libsystem.ForTask(lc.T.Task()).Counts()
+		parentAtexit = n
+	})
+	// dyld registered exactly 115 (one per image); the child's extra one
+	// must not leak back.
+	if parentAtexit != 115 {
+		t.Fatalf("parent atexit handlers = %d, want 115", parentAtexit)
+	}
+}
+
+func TestErrnoInIOSTLS(t *testing.T) {
+	var errno int
+	onIOS(t, func(lc *libsystem.C) {
+		lc.Open("/no/such/path")
+		errno = lc.Errno()
+	})
+	if errno != int(kernel.ENOENT) {
+		t.Fatalf("errno = %d, want ENOENT", errno)
+	}
+}
+
+func TestPosixSpawnFromLibsystem(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	sys.InstallIOSBinary("/bin/spawned", "spawned-"+t.Name(), nil, func(c *prog.Call) uint64 {
+		ran = true
+		return 0
+	})
+	var status int
+	sys.InstallIOSBinary("/bin/spawner", "spawner-"+t.Name(), nil, func(c *prog.Call) uint64 {
+		lc := libsystem.Sys(c.Ctx.(*kernel.Thread))
+		pid, errno := lc.PosixSpawn("/bin/spawned", nil)
+		if errno != kernel.OK {
+			return 1
+		}
+		_, status, _ = lc.Wait(pid)
+		return 0
+	})
+	sys.Start("/bin/spawner", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || status != 0 {
+		t.Fatalf("ran=%v status=%d", ran, status)
+	}
+}
+
+// TestLibcSurface exercises the full wrapper surface directly.
+func TestLibcSurface(t *testing.T) {
+	onIOS(t, func(lc *libsystem.C) {
+		// Files.
+		fd, errno := lc.Creat("/tmp/ls.dat")
+		if errno != kernel.OK {
+			t.Errorf("creat: %v", errno)
+			return
+		}
+		if n, _ := lc.Write(fd, []byte("hello")); n != 5 {
+			t.Errorf("write = %d", n)
+		}
+		lc.Close(fd)
+		fd, _ = lc.Open("/tmp/ls.dat")
+		buf := make([]byte, 8)
+		if n, _ := lc.Read(fd, buf); n != 5 || string(buf[:5]) != "hello" {
+			t.Errorf("read = %d %q", n, buf[:5])
+		}
+		lc.Close(fd)
+		if errno := lc.Unlink("/tmp/ls.dat"); errno != kernel.OK {
+			t.Errorf("unlink: %v", errno)
+		}
+		// Pipes + select.
+		r, w, _ := lc.Pipe()
+		lc.Write(w, []byte("x"))
+		res, errno := lc.Select(&kernel.SelectRequest{ReadFDs: []int{r}, Timeout: 0})
+		if errno != kernel.OK || res.N() != 1 {
+			t.Errorf("select: %v n=%d", errno, res.N())
+		}
+		// Sockets.
+		a, b, errno := lc.Socketpair()
+		if errno != kernel.OK {
+			t.Errorf("socketpair: %v", errno)
+		}
+		lc.Write(a, []byte("ping"))
+		n, _ := lc.Read(b, buf)
+		if string(buf[:n]) != "ping" {
+			t.Errorf("socket read %q", buf[:n])
+		}
+		// Ioctl on the framebuffer.
+		fb, errno := lc.Open("/dev/fb0")
+		if errno != kernel.OK {
+			t.Errorf("open fb0: %v", errno)
+		} else if v, _ := lc.Ioctl(fb, 0x4600, 0); v != 1280<<16|800 {
+			t.Errorf("fb ioctl = %#x", v)
+		}
+		// Identity.
+		if lc.GetPID() <= 0 || lc.GetPPID() != 0 {
+			t.Errorf("pid/ppid = %d/%d", lc.GetPID(), lc.GetPPID())
+		}
+		// Persona round trip via the libc wrapper.
+		prev := lc.SetPersona(persona.Android)
+		if prev != persona.IOS {
+			t.Errorf("prev persona = %v", prev)
+		}
+		lc.T.Syscall(kernel.SysSetPersona, &kernel.SyscallArgs{I: [6]uint64{uint64(persona.IOS)}})
+	})
+}
+
+// TestPthreadWrappers drives the psynch-backed pthread surface.
+func TestPthreadWrappers(t *testing.T) {
+	onIOS(t, func(lc *libsystem.C) {
+		const mu, cv, sem = 0x10, 0x20, 0x30
+		if kr := lc.PthreadMutexLock(mu); kr != xnu.KernSuccess {
+			t.Errorf("lock: %v", kr)
+		}
+		woken := false
+		lc.T.SpawnThread("signaler", func(st *kernel.Thread) {
+			slc := libsystem.Sys(st)
+			st.Proc().Sleep(2 * time.Millisecond)
+			slc.PthreadMutexLock(mu)
+			woken = true
+			slc.PthreadCondSignal(cv)
+			slc.PthreadMutexUnlock(mu)
+		})
+		timedOut, kr := lc.PthreadCondWait(cv, mu, 0)
+		if kr != xnu.KernSuccess || timedOut {
+			t.Errorf("cvwait: %v timedOut=%v", kr, timedOut)
+		}
+		if !woken {
+			t.Error("cvwait returned before signal")
+		}
+		lc.PthreadMutexUnlock(mu)
+		if n := lc.PthreadCondBroadcast(cv); n != 0 {
+			t.Errorf("broadcast woke %d, want 0", n)
+		}
+		// Semaphore traps.
+		ps, _ := xnu.PsynchFromKernel(lc.T.Kernel())
+		ps.SemInit(lc.T, sem, 1)
+		if kr := lc.SemaphoreWait(sem); kr != xnu.KernSuccess {
+			t.Errorf("semwait: %v", kr)
+		}
+		if kr := lc.SemaphoreSignal(sem); kr != xnu.KernSuccess {
+			t.Errorf("semsignal: %v", kr)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package libsystem
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/prog"
+)
+
+// ShKey is the registry key of the iOS shell program body (the Mach-O
+// /bin/sh copied from an iOS device, in the paper's setup).
+const ShKey = "ios-sh"
+
+// RegisterSh installs the iOS shell: `sh -c <command>` — shell startup,
+// then fork+exec of the command. Because the shell itself is an iOS binary,
+// its fork pays the full atfork/page-table cost and its exec reruns dyld's
+// library walk, which is what the fork+sh(ios) lmbench variant measures.
+func RegisterSh(reg *prog.Registry) error {
+	return reg.Register(ShKey, func(c *prog.Call) uint64 {
+		t := c.Ctx.(*kernel.Thread)
+		lc := Sys(t)
+		argv := t.Task().Argv()
+		// Shell initialization compute (option parsing, env setup).
+		t.Charge(t.Kernel().Device().CPU.Cycles(2300000))
+		if len(argv) < 2 || argv[0] != "-c" {
+			return 2
+		}
+		cmd := argv[1]
+		pid := lc.Fork(func(cc *C) {
+			cc.Exec(cmd, nil)
+			cc.Exit(127)
+		})
+		if pid < 0 {
+			return 2
+		}
+		_, status, _ := lc.Wait(pid)
+		return uint64(status)
+	})
+}

@@ -1,0 +1,128 @@
+package lmbench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report aggregates Fig. 5: per-test latencies for every configuration,
+// with normalization against vanilla Android.
+type Report struct {
+	// Tests in figure order.
+	Tests []Test
+	// Latency[test][config] is the measured per-op latency.
+	Latency map[string]map[string]time.Duration
+	// Failed[test][config] marks tests that could not complete.
+	Failed map[string]map[string]bool
+}
+
+// RunFigure5 runs the full battery on all four configurations.
+func RunFigure5() (*Report, error) {
+	return RunFigure5Tests(AllTests())
+}
+
+// RunFigure5Tests runs a chosen subset on all four configurations.
+func RunFigure5Tests(tests []Test) (*Report, error) {
+	rep := &Report{
+		Tests:   tests,
+		Latency: map[string]map[string]time.Duration{},
+		Failed:  map[string]map[string]bool{},
+	}
+	for _, conf := range Configurations() {
+		results, err := Run(conf, tests)
+		if err != nil {
+			return nil, fmt.Errorf("lmbench: %s: %w", conf.Name, err)
+		}
+		for _, r := range results {
+			if rep.Latency[r.Test] == nil {
+				rep.Latency[r.Test] = map[string]time.Duration{}
+				rep.Failed[r.Test] = map[string]bool{}
+			}
+			rep.Latency[r.Test][conf.Name] = r.Latency
+			rep.Failed[r.Test][conf.Name] = r.Failed
+		}
+	}
+	return rep, nil
+}
+
+// baseName resolves a test's normalization baseline.
+func (r *Report) baseName(test string) string {
+	for _, t := range r.Tests {
+		if t.Name == test {
+			return t.BaseName()
+		}
+	}
+	return test
+}
+
+// Normalized returns test latency in config relative to the baseline
+// test's vanilla-Android latency (the Fig. 5 y-axis; lower is better).
+// ok is false when either side failed.
+func (r *Report) Normalized(test, config string) (float64, bool) {
+	baseTest := r.baseName(test)
+	base := r.Latency[baseTest][ConfigAndroid]
+	lat, have := r.Latency[test][config]
+	if !have || base == 0 || r.Failed[baseTest][ConfigAndroid] || r.Failed[test][config] {
+		return 0, false
+	}
+	return float64(lat) / float64(base), true
+}
+
+// Render produces the Fig. 5 table: one row per test, normalized columns
+// plus the absolute vanilla latency for scale.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: lmbench latencies normalized to vanilla Android (lower is better)\n")
+	fmt.Fprintf(&b, "%-22s %-7s | %14s %14s %14s %14s\n",
+		"test", "group", ConfigAndroid+"(abs)", ConfigCiderAndroid, ConfigCiderIOS, ConfigIPad)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 98))
+	group := ""
+	for _, t := range r.Tests {
+		if t.Group != group {
+			group = t.Group
+			fmt.Fprintf(&b, "· %s\n", groupTitle(group))
+		}
+		base := r.Latency[t.Name][ConfigAndroid]
+		if r.Failed[t.Name][ConfigAndroid] {
+			base = 0
+		}
+		fmt.Fprintf(&b, "%-22s %-7s | %14s", t.Name, t.Group, fmtDur(base))
+		for _, cfg := range []string{ConfigCiderAndroid, ConfigCiderIOS, ConfigIPad} {
+			if norm, ok := r.Normalized(t.Name, cfg); ok {
+				fmt.Fprintf(&b, " %13.2fx", norm)
+			} else {
+				fmt.Fprintf(&b, " %14s", "n/a")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func groupTitle(g string) string {
+	switch g {
+	case "basic":
+		return "basic CPU operations"
+	case "syscall":
+		return "syscalls and signals"
+	case "proc":
+		return "process creation"
+	case "comm":
+		return "local communication and file operations"
+	}
+	return g
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "n/a"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+}

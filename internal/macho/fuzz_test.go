@@ -1,0 +1,70 @@
+package macho
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary bytes must produce an error or a value,
+// never a panic — the loader consumes untrusted app-store data.
+func TestParseNeverPanics(t *testing.T) {
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %d bytes: %v", len(data), r)
+				ok = false
+			}
+		}()
+		Parse(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsWithMagic: same, but force the magic so the parser
+// walks the load-command machinery on garbage.
+func TestParseNeverPanicsWithMagic(t *testing.T) {
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		b := make([]byte, len(data)+28)
+		binary.LittleEndian.PutUint32(b, Magic32)
+		copy(b[4:], data)
+		Parse(b)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseCorruptedValid mutates a valid image byte-by-byte at a sample
+// of offsets; parsing must never panic and must either fail or produce a
+// structurally-consistent file.
+func TestParseCorruptedValid(t *testing.T) {
+	f := sampleExe()
+	good, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(good); off += 3 {
+		for _, val := range []byte{0x00, 0xFF, 0x80} {
+			mut := append([]byte(nil), good...)
+			mut[off] = val
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at offset %d value %#x: %v", off, val, r)
+					}
+				}()
+				Parse(mut)
+			}()
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package macho
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// sampleExe builds a representative iOS app binary.
+func sampleExe() *File {
+	return &File{
+		CPUType:    CPUTypeARM,
+		CPUSubtype: CPUSubtypeARMV7,
+		FileType:   TypeExecute,
+		Flags:      FlagNoUndefs | FlagDyldLink | FlagPIE,
+		Segments: []*Segment{
+			{
+				Name:   "__TEXT",
+				VMAddr: 0x1000,
+				Prot:   ProtRead | ProtExecute,
+				Data:   []byte("prog:com.example.app\x00"),
+				Sections: []Section{
+					{Name: "__text", Addr: 0x1000, Size: 21, Offset: 0},
+				},
+			},
+			{
+				Name:   "__DATA",
+				VMAddr: 0x8000,
+				VMSize: 0x4000,
+				Prot:   ProtRead | ProtWrite,
+				Data:   []byte{1, 2, 3, 4},
+			},
+		},
+		Symbols: []Symbol{
+			{Name: "_main", Type: NTypeSect | NTypeExt, Sect: 1, Value: 0x1000},
+			{Name: "_helper", Type: NTypeSect, Sect: 1, Value: 0x1010},
+			{Name: "_IOSurfaceCreate", Type: NTypeUndef | NTypeExt},
+		},
+		Dylibs:      []string{"/usr/lib/libSystem.B.dylib", "/System/Library/Frameworks/UIKit.framework/UIKit"},
+		Dylinker:    "/usr/lib/dyld",
+		EntryOffset: 28,
+		HasEntry:    true,
+	}
+}
+
+func TestRoundTripExecutable(t *testing.T) {
+	f := sampleExe()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CPUType != CPUTypeARM || g.CPUSubtype != CPUSubtypeARMV7 {
+		t.Fatalf("cpu = %d/%d", g.CPUType, g.CPUSubtype)
+	}
+	if g.FileType != TypeExecute {
+		t.Fatalf("filetype = %d", g.FileType)
+	}
+	if g.Flags != f.Flags {
+		t.Fatalf("flags = %#x, want %#x", g.Flags, f.Flags)
+	}
+	if len(g.Segments) != 2 {
+		t.Fatalf("segments = %d", len(g.Segments))
+	}
+	text := g.Segment("__TEXT")
+	if text == nil || !bytes.Equal(text.Data, []byte("prog:com.example.app\x00")) {
+		t.Fatalf("__TEXT data = %q", text.Data)
+	}
+	if text.Prot != ProtRead|ProtExecute {
+		t.Fatalf("__TEXT prot = %d", text.Prot)
+	}
+	data := g.Segment("__DATA")
+	if data.VMSize != 0x4000 {
+		t.Fatalf("__DATA vmsize = %#x (zero-fill lost)", data.VMSize)
+	}
+	if len(g.Dylibs) != 2 || g.Dylibs[0] != "/usr/lib/libSystem.B.dylib" {
+		t.Fatalf("dylibs = %v", g.Dylibs)
+	}
+	if g.Dylinker != "/usr/lib/dyld" {
+		t.Fatalf("dylinker = %q", g.Dylinker)
+	}
+	if !g.HasEntry || g.EntryOffset != 28 {
+		t.Fatalf("entry = %v %d", g.HasEntry, g.EntryOffset)
+	}
+	if len(g.Segments[0].Sections) != 1 || g.Segments[0].Sections[0].Name != "__text" {
+		t.Fatalf("sections = %+v", g.Segments[0].Sections)
+	}
+}
+
+func TestRoundTripSymbols(t *testing.T) {
+	f := sampleExe()
+	b, _ := f.Marshal()
+	g, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Symbols) != 3 {
+		t.Fatalf("symbols = %d", len(g.Symbols))
+	}
+	m, ok := g.Lookup("_main")
+	if !ok || !m.Exported() || m.Value != 0x1000 {
+		t.Fatalf("_main = %+v ok=%v", m, ok)
+	}
+	h, _ := g.Lookup("_helper")
+	if h.Exported() {
+		t.Fatal("_helper is local, must not be exported")
+	}
+	u, _ := g.Lookup("_IOSurfaceCreate")
+	if !u.Undefined() {
+		t.Fatal("_IOSurfaceCreate must be undefined (dyld-bound)")
+	}
+	if len(g.ExportedSymbols()) != 1 {
+		t.Fatalf("exported = %v", g.ExportedSymbols())
+	}
+	if len(g.UndefinedSymbols()) != 1 {
+		t.Fatalf("undefined = %v", g.UndefinedSymbols())
+	}
+}
+
+func TestDylibIDRoundTrip(t *testing.T) {
+	f := &File{
+		CPUType:  CPUTypeARM,
+		FileType: TypeDylib,
+		DylibID:  "/usr/lib/libEGLbridge.dylib",
+		Segments: []*Segment{{Name: "__TEXT", Prot: ProtRead | ProtExecute, Data: []byte("x")}},
+		Symbols:  []Symbol{{Name: "_eagl_present", Type: NTypeSect | NTypeExt, Sect: 1}},
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DylibID != f.DylibID {
+		t.Fatalf("id = %q", g.DylibID)
+	}
+	if g.FileType != TypeDylib {
+		t.Fatalf("filetype = %d", g.FileType)
+	}
+}
+
+func TestEncryptionInfo(t *testing.T) {
+	f := sampleExe()
+	f.Encryption = &EncryptionInfo{CryptOff: 4096, CryptSize: 8192, CryptID: 1}
+	b, _ := f.Marshal()
+	g, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Encrypted() {
+		t.Fatal("should be encrypted")
+	}
+	if g.Encryption.CryptOff != 4096 || g.Encryption.CryptSize != 8192 {
+		t.Fatalf("enc = %+v", g.Encryption)
+	}
+	g.Encryption.CryptID = 0
+	if g.Encrypted() {
+		t.Fatal("CryptID=0 must mean decrypted")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := Parse([]byte("\x7fELF this is not macho at all......"))
+	if _, ok := err.(*ErrBadMagic); !ok {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	_, err = Parse(nil)
+	if _, ok := err.(*ErrBadMagic); !ok {
+		t.Fatalf("nil: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	f := sampleExe()
+	b, _ := f.Marshal()
+	for _, cut := range []int{headerSize + 4, headerSize + 40, len(b) / 2} {
+		if cut >= len(b) {
+			continue
+		}
+		if _, err := Parse(b[:cut]); err == nil {
+			t.Errorf("parse of %d/%d bytes should fail", cut, len(b))
+		}
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	f := &File{Segments: []*Segment{{Name: "__THIS_NAME_IS_WAY_TOO_LONG", Data: []byte("x")}}}
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("oversized segment name should fail to marshal")
+	}
+}
+
+func TestMagicConstant(t *testing.T) {
+	f := sampleExe()
+	b, _ := f.Marshal()
+	if le.Uint32(b) != 0xfeedface {
+		t.Fatalf("magic = %#x, want 0xfeedface", le.Uint32(b))
+	}
+}
+
+func TestPropertyRoundTripSymbolNames(t *testing.T) {
+	check := func(names []string) bool {
+		f := &File{CPUType: CPUTypeARM, FileType: TypeDylib, DylibID: "/l.dylib",
+			Segments: []*Segment{{Name: "__TEXT", Data: []byte("k")}}}
+		for _, n := range names {
+			if len(n) == 0 || bytes.IndexByte([]byte(n), 0) >= 0 {
+				return true // skip invalid symbol names
+			}
+			f.Symbols = append(f.Symbols, Symbol{Name: n, Type: NTypeSect | NTypeExt, Sect: 1})
+		}
+		b, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		g, err := Parse(b)
+		if err != nil || len(g.Symbols) != len(f.Symbols) {
+			return false
+		}
+		for i := range names {
+			if g.Symbols[i].Name != f.Symbols[i].Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySegmentDataPreserved(t *testing.T) {
+	check := func(data []byte, vmExtra uint16) bool {
+		f := &File{Segments: []*Segment{{
+			Name: "__DATA", Data: data, VMSize: uint32(len(data)) + uint32(vmExtra),
+		}}}
+		b, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		g, err := Parse(b)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(g.Segments[0].Data, data) &&
+			g.Segments[0].VMSize == uint32(len(data))+uint32(vmExtra)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package mem implements simulated virtual memory: per-task address spaces
+// made of mapped regions with page-granular accounting.
+//
+// The page accounting is what makes the paper's fork numbers reproducible:
+// an iOS process whose dyld has mapped 115 dylibs (~90 MB) pays for copying
+// every page-table entry on fork, which is where ~1 ms of the 3.75 ms iOS
+// fork+exit latency comes from (Section 6.2).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the simulated page size (4 KB, as on ARM Linux and XNU).
+const PageSize = 4096
+
+// PageCount returns the number of pages needed to hold size bytes.
+func PageCount(size uint64) uint64 {
+	return (size + PageSize - 1) / PageSize
+}
+
+// PageAlign rounds size up to a page boundary.
+func PageAlign(size uint64) uint64 {
+	return PageCount(size) * PageSize
+}
+
+// Prot is a bitmask of region access permissions.
+type Prot uint8
+
+const (
+	// ProtRead allows loads.
+	ProtRead Prot = 1 << iota
+	// ProtWrite allows stores.
+	ProtWrite
+	// ProtExec allows instruction fetch.
+	ProtExec
+)
+
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Backing is the physical store behind one or more regions. Shared mappings
+// (Mach OOL memory, IOSurfaces, gralloc buffers) alias the same Backing.
+type Backing struct {
+	data []byte
+	refs int
+}
+
+// NewBacking allocates a zeroed backing store of size bytes.
+func NewBacking(size uint64) *Backing {
+	return &Backing{data: make([]byte, size), refs: 0}
+}
+
+// Bytes exposes the raw store (used by the GPU and compositor simulators).
+func (b *Backing) Bytes() []byte { return b.data }
+
+// Refs reports how many regions currently alias this backing.
+func (b *Backing) Refs() int { return b.refs }
+
+// Region is one contiguous mapping in an address space.
+type Region struct {
+	// Base is the starting virtual address (page aligned).
+	Base uint64
+	// Size is the mapping length in bytes (page aligned).
+	Size uint64
+	// Prot is the access permission.
+	Prot Prot
+	// Name labels the mapping for /proc/maps-style dumps (binary path,
+	// "[stack]", "[heap]", dylib path, ...).
+	Name string
+	// Shared marks the mapping as shared rather than private: fork children
+	// alias the same Backing instead of copying.
+	Shared bool
+	// Submap marks a nested-map mapping (XNU's shared-region mechanism,
+	// used by dyld's shared library cache): fork shares it without copying
+	// any page-table entries, which is why the iPad's fork is fast despite
+	// its 90 MB of mapped libraries (Section 6.2).
+	Submap  bool
+	backing *Backing
+	// offset is the region's start within the backing store.
+	offset uint64
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.Base + r.Size }
+
+// Pages returns the number of page-table entries this region occupies.
+func (r *Region) Pages() uint64 { return PageCount(r.Size) }
+
+// Backing returns the region's physical store.
+func (r *Region) Backing() *Backing { return r.backing }
+
+func (r *Region) String() string {
+	return fmt.Sprintf("%08x-%08x %s %s", r.Base, r.End(), r.Prot, r.Name)
+}
+
+// ErrFault is the simulated memory access fault (SIGSEGV/SIGBUS source).
+type ErrFault struct {
+	// Addr is the faulting address.
+	Addr uint64
+	// Write indicates a store fault; otherwise a load fault.
+	Write bool
+}
+
+func (e *ErrFault) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: fault: invalid %s at 0x%x", kind, e.Addr)
+}
+
+// AddressSpace is a task's virtual memory map.
+type AddressSpace struct {
+	regions []*Region // sorted by Base
+	// nextAuto is the next address the allocator hands out for
+	// address-unspecified mappings.
+	nextAuto uint64
+}
+
+// mmapBase is where automatic placement starts (above typical text bases).
+const mmapBase = 0x4000_0000
+
+// NewAddressSpace creates an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{nextAuto: mmapBase}
+}
+
+// Regions returns the mappings in address order. The slice is shared; do
+// not mutate.
+func (as *AddressSpace) Regions() []*Region { return as.regions }
+
+// PageCount returns the total number of mapped pages — the number of PTEs a
+// fork must copy.
+func (as *AddressSpace) PageCount() uint64 {
+	var n uint64
+	for _, r := range as.regions {
+		n += r.Pages()
+	}
+	return n
+}
+
+// PTECount returns the pages whose table entries the process itself owns:
+// submap (shared-region) pages are excluded, matching what fork copies and
+// exec tears down.
+func (as *AddressSpace) PTECount() uint64 {
+	var n uint64
+	for _, r := range as.regions {
+		if !r.Submap {
+			n += r.Pages()
+		}
+	}
+	return n
+}
+
+// MappedBytes returns the total mapped size.
+func (as *AddressSpace) MappedBytes() uint64 {
+	var n uint64
+	for _, r := range as.regions {
+		n += r.Size
+	}
+	return n
+}
+
+// find returns the region containing addr, or nil.
+func (as *AddressSpace) find(addr uint64) *Region {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].End() > addr
+	})
+	if i < len(as.regions) && as.regions[i].Base <= addr {
+		return as.regions[i]
+	}
+	return nil
+}
+
+// FindRegion returns the region containing addr, or nil.
+func (as *AddressSpace) FindRegion(addr uint64) *Region { return as.find(addr) }
+
+// FindByName returns the first region with the given name, or nil.
+func (as *AddressSpace) FindByName(name string) *Region {
+	for _, r := range as.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// overlaps reports whether [base, base+size) intersects any mapping.
+func (as *AddressSpace) overlaps(base, size uint64) bool {
+	for _, r := range as.regions {
+		if base < r.End() && r.Base < base+size {
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds r keeping address order.
+func (as *AddressSpace) insert(r *Region) {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].Base > r.Base
+	})
+	as.regions = append(as.regions, nil)
+	copy(as.regions[i+1:], as.regions[i:])
+	as.regions[i] = r
+	r.backing.refs++
+}
+
+// Map creates a new mapping. base==0 requests automatic placement. size is
+// rounded up to a page boundary. A fresh zeroed backing is allocated.
+func (as *AddressSpace) Map(base, size uint64, prot Prot, name string, shared bool) (*Region, error) {
+	return as.MapBacking(base, size, prot, name, shared, nil, 0)
+}
+
+// MapBacking creates a mapping over an existing backing store (shared
+// memory, IOSurface, Mach OOL transfer). backing==nil allocates a fresh
+// store. offset is the region's start within the backing.
+func (as *AddressSpace) MapBacking(base, size uint64, prot Prot, name string, shared bool, backing *Backing, offset uint64) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("mem: zero-size mapping %q", name)
+	}
+	size = PageAlign(size)
+	if base == 0 {
+		base = as.nextAuto
+		for as.overlaps(base, size) {
+			base += size
+		}
+		as.nextAuto = base + size
+	} else if base%PageSize != 0 {
+		return nil, fmt.Errorf("mem: unaligned base 0x%x for %q", base, name)
+	} else if as.overlaps(base, size) {
+		return nil, fmt.Errorf("mem: mapping %q at 0x%x overlaps existing region", name, base)
+	}
+	if backing == nil {
+		backing = NewBacking(size)
+		offset = 0
+	} else if offset+size > uint64(len(backing.data)) {
+		return nil, fmt.Errorf("mem: mapping %q exceeds backing (%d+%d > %d)", name, offset, size, len(backing.data))
+	}
+	r := &Region{Base: base, Size: size, Prot: prot, Name: name, Shared: shared, backing: backing, offset: offset}
+	as.insert(r)
+	return r, nil
+}
+
+// Unmap removes the mapping starting exactly at base.
+func (as *AddressSpace) Unmap(base uint64) error {
+	for i, r := range as.regions {
+		if r.Base == base {
+			as.regions = append(as.regions[:i], as.regions[i+1:]...)
+			r.backing.refs--
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: unmap: no region at 0x%x", base)
+}
+
+// UnmapAll drops every mapping (exec, exit).
+func (as *AddressSpace) UnmapAll() {
+	for _, r := range as.regions {
+		r.backing.refs--
+	}
+	as.regions = nil
+	as.nextAuto = mmapBase
+}
+
+// ReadAt copies len(buf) bytes from vaddr, faulting on unmapped or
+// unreadable memory. Reads may span adjacent regions.
+func (as *AddressSpace) ReadAt(vaddr uint64, buf []byte) error {
+	return as.access(vaddr, buf, false)
+}
+
+// WriteAt copies buf to vaddr, faulting on unmapped or read-only memory.
+func (as *AddressSpace) WriteAt(vaddr uint64, buf []byte) error {
+	return as.access(vaddr, buf, true)
+}
+
+func (as *AddressSpace) access(vaddr uint64, buf []byte, write bool) error {
+	for len(buf) > 0 {
+		r := as.find(vaddr)
+		if r == nil {
+			return &ErrFault{Addr: vaddr, Write: write}
+		}
+		if write && r.Prot&ProtWrite == 0 {
+			return &ErrFault{Addr: vaddr, Write: true}
+		}
+		if !write && r.Prot&ProtRead == 0 {
+			return &ErrFault{Addr: vaddr, Write: false}
+		}
+		off := r.offset + (vaddr - r.Base)
+		n := copyLen(uint64(len(buf)), r.End()-vaddr)
+		if write {
+			copy(r.backing.data[off:off+n], buf[:n])
+		} else {
+			copy(buf[:n], r.backing.data[off:off+n])
+		}
+		buf = buf[n:]
+		vaddr += n
+	}
+	return nil
+}
+
+func copyLen(want, avail uint64) uint64 {
+	if want < avail {
+		return want
+	}
+	return avail
+}
+
+// Fork clones the address space for a child task, returning the clone and
+// the number of page-table entries copied (the caller charges PTE-copy time
+// for them). Private regions are deep-copied; shared regions alias the same
+// backing, but their PTEs are still copied.
+func (as *AddressSpace) Fork() (*AddressSpace, uint64) {
+	child := NewAddressSpace()
+	child.nextAuto = as.nextAuto
+	var ptes uint64
+	for _, r := range as.regions {
+		if !r.Submap {
+			ptes += r.Pages()
+		}
+		nr := &Region{Base: r.Base, Size: r.Size, Prot: r.Prot, Name: r.Name, Shared: r.Shared, Submap: r.Submap, offset: r.offset}
+		if r.Shared || r.Submap {
+			nr.backing = r.backing
+		} else {
+			// The simulation copies eagerly rather than COW; the PTE count,
+			// which is what the fork latency model charges for, is the same.
+			nb := NewBacking(uint64(len(r.backing.data)))
+			copy(nb.data, r.backing.data)
+			nr.backing = nb
+		}
+		child.insert(nr)
+	}
+	return child, ptes
+}
+
+// Maps renders a /proc/pid/maps-style listing.
+func (as *AddressSpace) Maps() string {
+	out := ""
+	for _, r := range as.regions {
+		out += r.String() + "\n"
+	}
+	return out
+}

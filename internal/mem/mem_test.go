@@ -1,0 +1,276 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageMath(t *testing.T) {
+	cases := []struct{ size, pages, aligned uint64 }{
+		{0, 0, 0},
+		{1, 1, PageSize},
+		{PageSize, 1, PageSize},
+		{PageSize + 1, 2, 2 * PageSize},
+		{90 << 20, 23040, 90 << 20},
+	}
+	for _, c := range cases {
+		if got := PageCount(c.size); got != c.pages {
+			t.Errorf("PageCount(%d) = %d, want %d", c.size, got, c.pages)
+		}
+		if got := PageAlign(c.size); got != c.aligned {
+			t.Errorf("PageAlign(%d) = %d, want %d", c.size, got, c.aligned)
+		}
+	}
+}
+
+func TestMapAutoPlacement(t *testing.T) {
+	as := NewAddressSpace()
+	r1, err := as.Map(0, 100, ProtRead|ProtWrite, "a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := as.Map(0, 100, ProtRead|ProtWrite, "b", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Base == r2.Base {
+		t.Fatal("auto-placed regions overlap")
+	}
+	if r1.Size != PageSize {
+		t.Fatalf("size not page-aligned: %d", r1.Size)
+	}
+}
+
+func TestMapFixedOverlapRejected(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x10000, PageSize, ProtRead, "a", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(0x10000, PageSize, ProtRead, "b", false); err == nil {
+		t.Fatal("overlapping fixed map should fail")
+	}
+	if _, err := as.Map(0x10001, PageSize, ProtRead, "c", false); err == nil {
+		t.Fatal("unaligned fixed map should fail")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	r, err := as.Map(0, 2*PageSize, ProtRead|ProtWrite, "data", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello cider")
+	if err := as.WriteAt(r.Base+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.ReadAt(r.Base+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestAccessSpansRegions(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x10000, PageSize, ProtRead|ProtWrite, "a", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(0x10000+PageSize, PageSize, ProtRead|ProtWrite, "b", false); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	start := uint64(0x10000 + PageSize - 50)
+	if err := as.WriteAt(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 100)
+	if err := as.ReadAt(start, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-region access corrupted data")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	as := NewAddressSpace()
+	ro, _ := as.Map(0x10000, PageSize, ProtRead, "ro", false)
+	buf := make([]byte, 4)
+	if err := as.ReadAt(0x99999000, buf); err == nil {
+		t.Fatal("read of unmapped memory should fault")
+	}
+	if err := as.WriteAt(ro.Base, buf); err == nil {
+		t.Fatal("write to read-only memory should fault")
+	}
+	fe, ok := as.WriteAt(ro.Base, buf).(*ErrFault)
+	if !ok || !fe.Write {
+		t.Fatalf("want write ErrFault, got %v", fe)
+	}
+}
+
+func TestForkCopiesPrivate(t *testing.T) {
+	as := NewAddressSpace()
+	r, _ := as.Map(0, PageSize, ProtRead|ProtWrite, "priv", false)
+	as.WriteAt(r.Base, []byte("parent"))
+	child, ptes := as.Fork()
+	if ptes != 1 {
+		t.Fatalf("ptes = %d, want 1", ptes)
+	}
+	child.WriteAt(r.Base, []byte("child!"))
+	got := make([]byte, 6)
+	as.ReadAt(r.Base, got)
+	if string(got) != "parent" {
+		t.Fatalf("parent memory changed by child write: %q", got)
+	}
+}
+
+func TestForkSharesShared(t *testing.T) {
+	as := NewAddressSpace()
+	r, _ := as.Map(0, PageSize, ProtRead|ProtWrite, "shm", true)
+	child, _ := as.Fork()
+	child.WriteAt(r.Base, []byte("shared"))
+	got := make([]byte, 6)
+	as.ReadAt(r.Base, got)
+	if string(got) != "shared" {
+		t.Fatalf("shared mapping not visible across fork: %q", got)
+	}
+}
+
+func TestForkPTECountMatchesPaper(t *testing.T) {
+	// 90 MB of dylib mappings is ~23k PTEs — the source of the ~1ms extra
+	// fork cost for iOS binaries (Section 6.2).
+	as := NewAddressSpace()
+	for i := 0; i < 115; i++ {
+		if _, err := as.Map(0, (90<<20)/115, ProtRead|ProtExec, "dylib", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ptes := as.Fork()
+	if ptes < 23000 || ptes > 23200 {
+		t.Fatalf("ptes = %d, want ~23040", ptes)
+	}
+}
+
+func TestMapBackingSharing(t *testing.T) {
+	b := NewBacking(2 * PageSize)
+	as1, as2 := NewAddressSpace(), NewAddressSpace()
+	r1, err := as1.MapBacking(0, PageSize, ProtRead|ProtWrite, "surf", true, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := as2.MapBacking(0, PageSize, ProtRead|ProtWrite, "surf", true, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2", b.Refs())
+	}
+	as1.WriteAt(r1.Base, []byte("zero-copy"))
+	got := make([]byte, 9)
+	as2.ReadAt(r2.Base, got)
+	if string(got) != "zero-copy" {
+		t.Fatalf("cross-space shared backing broken: %q", got)
+	}
+	if _, err := as1.MapBacking(0, 4*PageSize, ProtRead, "big", true, b, 0); err == nil {
+		t.Fatal("mapping beyond backing should fail")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	r, _ := as.Map(0, PageSize, ProtRead, "a", false)
+	if err := as.Unmap(r.Base); err != nil {
+		t.Fatal(err)
+	}
+	if as.FindRegion(r.Base) != nil {
+		t.Fatal("region still present after unmap")
+	}
+	if err := as.Unmap(r.Base); err == nil {
+		t.Fatal("double unmap should fail")
+	}
+	if r.Backing().Refs() != 0 {
+		t.Fatalf("backing refs = %d after unmap, want 0", r.Backing().Refs())
+	}
+}
+
+func TestUnmapAll(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0, PageSize, ProtRead, "a", false)
+	as.Map(0, PageSize, ProtRead, "b", false)
+	as.UnmapAll()
+	if as.PageCount() != 0 || len(as.Regions()) != 0 {
+		t.Fatal("UnmapAll left regions behind")
+	}
+}
+
+func TestFindByName(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0, PageSize, ProtRead, "/usr/lib/libSystem.dylib", false)
+	if as.FindByName("/usr/lib/libSystem.dylib") == nil {
+		t.Fatal("FindByName failed")
+	}
+	if as.FindByName("nope") != nil {
+		t.Fatal("FindByName found a ghost")
+	}
+}
+
+func TestMapsListing(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, PageSize, ProtRead|ProtExec, "text", false)
+	s := as.Maps()
+	if want := "00010000-00011000 r-x text\n"; s != want {
+		t.Fatalf("Maps() = %q, want %q", s, want)
+	}
+}
+
+func TestPropertyReadBackWhatYouWrite(t *testing.T) {
+	as := NewAddressSpace()
+	r, _ := as.Map(0, 16*PageSize, ProtRead|ProtWrite, "prop", false)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := r.Base + uint64(off)
+		if uint64(off)+uint64(len(data)) > r.Size {
+			return true // out of range: skip
+		}
+		if err := as.WriteAt(addr, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := as.ReadAt(addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPageCountConsistent(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		as := NewAddressSpace()
+		var want uint64
+		for _, s := range sizes {
+			if s == 0 {
+				continue
+			}
+			if _, err := as.Map(0, uint64(s), ProtRead, "r", false); err != nil {
+				return false
+			}
+			want += PageCount(uint64(s))
+		}
+		return as.PageCount() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package persona implements Cider's central abstraction: kernel-managed,
+// per-thread execution personas (Section 4). A persona selects two things
+// for a thread — which kernel ABI its traps use, and which thread-local
+// storage (TLS) layout its user-space code sees. Personas are tracked per
+// thread, inherited across fork/clone, and switched at runtime by the
+// set_persona syscall, which is what makes diplomatic functions possible
+// (Section 4.3).
+package persona
+
+import "fmt"
+
+// Kind identifies an execution persona.
+type Kind int
+
+const (
+	// Android is the domestic persona: Linux kernel ABI, Bionic TLS layout.
+	Android Kind = iota
+	// IOS is the foreign persona: XNU kernel ABI, Darwin TLS layout.
+	IOS
+	numKinds
+)
+
+// NumKinds is the number of personas the kernel provisions per thread.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case Android:
+		return "android"
+	case IOS:
+		return "ios"
+	}
+	return fmt.Sprintf("persona(%d)", int(k))
+}
+
+// TLS is one persona's thread-local storage area. The two personas place
+// per-thread state (errno, thread id) at different offsets in real life;
+// the simulation keeps separate areas per persona and lets the ABI layer
+// convert values between them after a persona switch (arbitration step 8).
+type TLS struct {
+	// Errno is the thread's last error number, in the persona's own errno
+	// numbering (Linux numbers for Android, BSD numbers for iOS).
+	Errno int
+	// ThreadID is the persona-visible thread identifier.
+	ThreadID uint64
+	// Slots holds library-defined thread-local values (pthread keys).
+	Slots map[string]uint64
+}
+
+// NewTLS creates an empty TLS area for a thread.
+func NewTLS(tid uint64) *TLS {
+	return &TLS{ThreadID: tid, Slots: make(map[string]uint64)}
+}
+
+// State is the kernel-side persona bookkeeping for one thread: the current
+// persona plus a TLS area pointer for every persona the thread may execute
+// in. Maintaining all areas at once is what lets a single thread call back
+// and forth between foreign and domestic code (Section 4.3, component 2).
+type State struct {
+	current Kind
+	tls     [numKinds]*TLS
+	// switches counts set_persona invocations (diagnostics/benchmarks).
+	switches uint64
+}
+
+// NewState creates persona state with the given initial persona; TLS areas
+// for every persona are provisioned eagerly, as the Cider kernel does.
+func NewState(initial Kind, tid uint64) *State {
+	s := &State{current: initial}
+	for k := Kind(0); k < numKinds; k++ {
+		s.tls[k] = NewTLS(tid)
+	}
+	return s
+}
+
+// Current returns the thread's active persona.
+func (s *State) Current() Kind { return s.current }
+
+// TLS returns the TLS area for a persona (not necessarily the active one).
+func (s *State) TLS(k Kind) *TLS { return s.tls[k] }
+
+// CurrentTLS returns the active persona's TLS area — what the hardware TLS
+// register points at.
+func (s *State) CurrentTLS() *TLS { return s.tls[s.current] }
+
+// Switch changes the active persona, returning the previous one. This is
+// the kernel half of the set_persona syscall: after it returns, kernel
+// traps and TLS accesses use the new persona's tables.
+func (s *State) Switch(to Kind) Kind {
+	prev := s.current
+	s.current = to
+	s.switches++
+	return prev
+}
+
+// Switches reports how many persona switches the thread has performed.
+func (s *State) Switches() uint64 { return s.switches }
+
+// Clone duplicates persona state for fork/clone: the child inherits the
+// parent's current persona and a copy of every TLS area.
+func (s *State) Clone(tid uint64) *State {
+	c := &State{current: s.current, switches: 0}
+	for k := Kind(0); k < numKinds; k++ {
+		src := s.tls[k]
+		dst := NewTLS(tid)
+		dst.Errno = src.Errno
+		for key, v := range src.Slots {
+			dst.Slots[key] = v
+		}
+		c.tls[k] = dst
+	}
+	return c
+}

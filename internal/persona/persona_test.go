@@ -1,0 +1,73 @@
+package persona
+
+import "testing"
+
+func TestNewStateProvisionsAllTLS(t *testing.T) {
+	s := NewState(Android, 42)
+	if s.Current() != Android {
+		t.Fatalf("current = %v", s.Current())
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if s.TLS(k) == nil {
+			t.Fatalf("no TLS for %v", k)
+		}
+		if s.TLS(k).ThreadID != 42 {
+			t.Fatalf("tid = %d", s.TLS(k).ThreadID)
+		}
+	}
+}
+
+func TestSwitchChangesABIAndTLS(t *testing.T) {
+	s := NewState(Android, 1)
+	s.TLS(Android).Errno = 11 // Linux EAGAIN
+	s.TLS(IOS).Errno = 35     // BSD EAGAIN
+	if s.CurrentTLS().Errno != 11 {
+		t.Fatal("android TLS not current")
+	}
+	prev := s.Switch(IOS)
+	if prev != Android || s.Current() != IOS {
+		t.Fatalf("switch: prev=%v cur=%v", prev, s.Current())
+	}
+	// After the switch, TLS accesses use the new persona's area — each
+	// persona keeps its own errno numbering.
+	if s.CurrentTLS().Errno != 35 {
+		t.Fatal("iOS TLS not current after switch")
+	}
+	if s.Switches() != 1 {
+		t.Fatalf("switches = %d", s.Switches())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewState(IOS, 1)
+	s.TLS(IOS).Errno = 9
+	s.TLS(IOS).Slots["key"] = 7
+	c := s.Clone(2)
+	if c.Current() != IOS {
+		t.Fatal("child persona not inherited")
+	}
+	if c.TLS(IOS).Errno != 9 || c.TLS(IOS).Slots["key"] != 7 {
+		t.Fatal("TLS values not copied")
+	}
+	if c.TLS(IOS).ThreadID != 2 {
+		t.Fatalf("child tid = %d", c.TLS(IOS).ThreadID)
+	}
+	// Mutating the child must not affect the parent.
+	c.TLS(IOS).Errno = 1
+	c.TLS(IOS).Slots["key"] = 8
+	if s.TLS(IOS).Errno != 9 || s.TLS(IOS).Slots["key"] != 7 {
+		t.Fatal("clone shares TLS with parent")
+	}
+	if c.Switches() != 0 {
+		t.Fatal("switch counter must reset in child")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Android.String() != "android" || IOS.String() != "ios" {
+		t.Fatal("names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should stringify")
+	}
+}

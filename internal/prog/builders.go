@@ -1,0 +1,121 @@
+package prog
+
+import (
+	"repro/internal/elfx"
+	"repro/internal/macho"
+)
+
+// StaticELF builds a minimal static ELF executable whose text payload is
+// the given program key — the shape of a small test binary like lmbench's
+// hello world.
+func StaticELF(key string) ([]byte, error) {
+	f := &elfx.File{
+		Type:  elfx.TypeExec,
+		Entry: 0x8000,
+		Segments: []*elfx.Segment{
+			{VAddr: 0x8000, Flags: elfx.FlagR | elfx.FlagX, Data: TextPayload(key)},
+		},
+	}
+	return f.Marshal()
+}
+
+// DynamicELF builds an ELF executable that needs shared libraries; the
+// kernel starts it through the user-space linker.
+func DynamicELF(key string, needed []string) ([]byte, error) {
+	f := &elfx.File{
+		Type:   elfx.TypeExec,
+		Entry:  0x8000,
+		Needed: needed,
+		Segments: []*elfx.Segment{
+			{VAddr: 0x8000, Flags: elfx.FlagR | elfx.FlagX, Data: TextPayload(key)},
+		},
+	}
+	return f.Marshal()
+}
+
+// ELFSharedObject builds a Bionic-style shared object exporting the given
+// symbols; each export's implementation key is SymbolKey(soname, symbol).
+func ELFSharedObject(soname string, needed []string, exports []string) ([]byte, error) {
+	f := &elfx.File{
+		Type:   elfx.TypeDyn,
+		SoName: soname,
+		Needed: needed,
+		Segments: []*elfx.Segment{
+			{VAddr: 0x1000, Flags: elfx.FlagR | elfx.FlagX, Data: TextPayload(soname)},
+		},
+	}
+	for i, sym := range exports {
+		f.Symbols = append(f.Symbols, elfx.Symbol{Name: sym, Value: uint32(0x1000 + 16*i), Defined: true})
+	}
+	return f.Marshal()
+}
+
+// MachOExecutable builds an iOS app binary: Mach-O with a __TEXT payload
+// naming the entry key, LC_LOAD_DYLIB references, and /usr/lib/dyld as the
+// dylinker. segMB pads __DATA to model the binary's memory footprint.
+func MachOExecutable(key string, dylibs []string, imports []string) ([]byte, error) {
+	f := &macho.File{
+		CPUType:    macho.CPUTypeARM,
+		CPUSubtype: macho.CPUSubtypeARMV7,
+		FileType:   macho.TypeExecute,
+		Flags:      macho.FlagDyldLink | macho.FlagPIE,
+		Dylinker:   "/usr/lib/dyld",
+		Dylibs:     dylibs,
+		HasEntry:   true,
+		Segments: []*macho.Segment{
+			{
+				Name:   "__TEXT",
+				VMAddr: 0x1000,
+				Prot:   macho.ProtRead | macho.ProtExecute,
+				Data:   TextPayload(key),
+				Sections: []macho.Section{
+					{Name: "__text", Addr: 0x1000, Size: uint32(len(TextPayload(key)))},
+				},
+			},
+			{
+				Name:   "__DATA",
+				VMAddr: 0x100000,
+				VMSize: 0x4000,
+				Prot:   macho.ProtRead | macho.ProtWrite,
+			},
+		},
+		Symbols: []macho.Symbol{
+			{Name: "_main", Type: macho.NTypeSect | macho.NTypeExt, Sect: 1, Value: 0x1000},
+		},
+	}
+	for _, im := range imports {
+		f.Symbols = append(f.Symbols, macho.Symbol{Name: im, Type: macho.NTypeUndef | macho.NTypeExt})
+	}
+	return f.Marshal()
+}
+
+// MachODylib builds an iOS framework/dylib exporting the given symbols
+// (Mach-O style, leading underscore included by the caller); vmBytes sets
+// the library's mapped size, which is what dyld's 90 MB / 115-library
+// footprint is made of.
+func MachODylib(installName string, deps []string, exports []string, vmBytes uint32) ([]byte, error) {
+	textPayload := TextPayload(installName)
+	f := &macho.File{
+		CPUType:    macho.CPUTypeARM,
+		CPUSubtype: macho.CPUSubtypeARMV7,
+		FileType:   macho.TypeDylib,
+		DylibID:    installName,
+		Dylibs:     deps,
+		Segments: []*macho.Segment{
+			{
+				Name:   "__TEXT",
+				VMAddr: 0x1000,
+				VMSize: vmBytes,
+				Prot:   macho.ProtRead | macho.ProtExecute,
+				Data:   textPayload,
+			},
+		},
+	}
+	for i, sym := range exports {
+		f.Symbols = append(f.Symbols, macho.Symbol{
+			Name: sym, Type: macho.NTypeSect | macho.NTypeExt, Sect: 1,
+			Value: uint32(0x1000 + 16*i),
+		})
+	}
+	return f.Marshal()
+}

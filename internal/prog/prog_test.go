@@ -1,0 +1,157 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/elfx"
+	"repro/internal/macho"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	fn := func(c *Call) uint64 { return 42 }
+	if err := r.Register("a", fn); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup("a")
+	if !ok || got(&Call{}) != 42 {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("b"); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestRegistryDuplicateRejected(t *testing.T) {
+	r := NewRegistry()
+	fn := func(c *Call) uint64 { return 0 }
+	r.MustRegister("a", fn)
+	if err := r.Register("a", fn); err == nil {
+		t.Fatal("duplicate registration should fail")
+	}
+	if err := r.Register("nil", nil); err == nil {
+		t.Fatal("nil function should fail")
+	}
+}
+
+func TestRegistryKeysSorted(t *testing.T) {
+	r := NewRegistry()
+	fn := func(c *Call) uint64 { return 0 }
+	for _, k := range []string{"z", "a", "m"} {
+		r.MustRegister(k, fn)
+	}
+	keys := r.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestCallArgVarargs(t *testing.T) {
+	c := &Call{Args: []uint64{7}}
+	if c.Arg(0) != 7 || c.Arg(5) != 0 {
+		t.Fatal("Arg bounds behaviour wrong")
+	}
+}
+
+func TestTextPayloadRoundTrip(t *testing.T) {
+	b := TextPayload("com.example.app")
+	key, err := ParseTextPayload(b)
+	if err != nil || key != "com.example.app" {
+		t.Fatalf("key=%q err=%v", key, err)
+	}
+	if _, err := ParseTextPayload([]byte("garbage")); err == nil {
+		t.Fatal("non-payload should fail")
+	}
+	if _, err := ParseTextPayload([]byte("prog:unterminated")); err == nil {
+		t.Fatal("unterminated payload should fail")
+	}
+}
+
+func TestPropertyTextPayload(t *testing.T) {
+	f := func(key string) bool {
+		if strings.IndexByte(key, 0) >= 0 {
+			return true
+		}
+		got, err := ParseTextPayload(TextPayload(key))
+		return err == nil && got == key
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolKeyRoundTrip(t *testing.T) {
+	key := SymbolKey("/usr/lib/libGLES.dylib", "_glClear")
+	img, sym, ok := SplitSymbolKey(key)
+	if !ok || img != "/usr/lib/libGLES.dylib" || sym != "_glClear" {
+		t.Fatalf("split = %q %q %v", img, sym, ok)
+	}
+	if _, _, ok := SplitSymbolKey("nohash"); ok {
+		t.Fatal("keyless string should not split")
+	}
+}
+
+func TestBuildersProduceParseableImages(t *testing.T) {
+	b, err := StaticELF("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := elfx.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ef.Needed) != 0 {
+		t.Fatal("static ELF should have no deps")
+	}
+
+	b, err = DynamicELF("k2", []string{"libc.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, _ = elfx.Parse(b)
+	if len(ef.Needed) != 1 || ef.Needed[0] != "libc.so" {
+		t.Fatalf("needed = %v", ef.Needed)
+	}
+
+	b, err = ELFSharedObject("libx.so", []string{"libc.so"}, []string{"fn1", "fn2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, _ = elfx.Parse(b)
+	if ef.SoName != "libx.so" || len(ef.ExportedSymbols()) != 2 {
+		t.Fatalf("so: %s, exports %v", ef.SoName, ef.ExportedSymbols())
+	}
+
+	b, err = MachOExecutable("app", []string{"/usr/lib/libSystem.B.dylib"}, []string{"_import1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := macho.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Dylinker != "/usr/lib/dyld" || !mf.HasEntry {
+		t.Fatal("executable shape wrong")
+	}
+	if len(mf.UndefinedSymbols()) != 1 {
+		t.Fatalf("imports = %v", mf.UndefinedSymbols())
+	}
+	key, err := ParseTextPayload(mf.Segment("__TEXT").Data)
+	if err != nil || key != "app" {
+		t.Fatalf("payload key = %q err=%v", key, err)
+	}
+
+	b, err = MachODylib("/F.framework/F", []string{"/usr/lib/libSystem.B.dylib"}, []string{"_e"}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, _ = macho.Parse(b)
+	if mf.DylibID != "/F.framework/F" {
+		t.Fatalf("id = %q", mf.DylibID)
+	}
+	if mf.Segment("__TEXT").VMSize != 1<<20 {
+		t.Fatalf("vmsize = %d", mf.Segment("__TEXT").VMSize)
+	}
+}

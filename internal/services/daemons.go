@@ -1,0 +1,209 @@
+package services
+
+import (
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/prog"
+	"repro/internal/vfs"
+	"repro/internal/xnu"
+)
+
+// Syslogd's captured log, exposed for tests and the cider CLI.
+type SyslogBuffer struct {
+	// Lines holds submitted log lines in arrival order.
+	Lines []string
+}
+
+// RegisterAll installs the service programs (launchd, configd, notifyd,
+// syslogd) into the registry and their Mach-O binaries into the iOS
+// filesystem. The returned SyslogBuffer observes syslogd.
+func RegisterAll(reg *prog.Registry, iosFS *vfs.FS) (*SyslogBuffer, error) {
+	slog := &SyslogBuffer{}
+
+	register := func(key string, body func(t *kernel.Thread) uint64) error {
+		return reg.Register(key, func(c *prog.Call) uint64 {
+			t := c.Ctx.(*kernel.Thread)
+			// Daemons never exit; the simulation may end while they wait.
+			t.Proc().SetDaemon(true)
+			return body(t)
+		})
+	}
+
+	if err := register(LaunchdKey, launchdMain); err != nil {
+		return nil, err
+	}
+	if err := register(ConfigdKey, configdMain); err != nil {
+		return nil, err
+	}
+	if err := register(NotifydKey, notifydMain); err != nil {
+		return nil, err
+	}
+	if err := register(SyslogdKey, func(t *kernel.Thread) uint64 {
+		return syslogdMain(t, slog)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Install the Mach-O binaries (copied from an iOS device, per §3).
+	for _, svc := range []struct{ path, key string }{
+		{LaunchdPath, LaunchdKey},
+		{ConfigdPath, ConfigdKey},
+		{NotifydPath, NotifydKey},
+		{SyslogdPath, SyslogdKey},
+	} {
+		bin, err := prog.MachOExecutable(svc.key, []string{"/usr/lib/libSystem.B.dylib"}, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := iosFS.WriteFile(svc.path, bin); err != nil {
+			return nil, err
+		}
+	}
+	return slog, nil
+}
+
+// launchdMain is pid-1-style: claim the bootstrap port, spawn the standard
+// daemons, then serve the name registry forever.
+func launchdMain(t *kernel.Thread) uint64 {
+	lc := libsystem.Sys(t)
+	ipc, ok := xnu.FromKernel(t.Kernel())
+	if !ok {
+		return 1
+	}
+	// Claim the bootstrap special port (task_set_special_port).
+	bootstrap, kr := ipc.PortAllocate(t)
+	if kr != xnu.KernSuccess {
+		return 1
+	}
+	if r, kr := ipc.MakeSendRight(t, bootstrap); kr == xnu.KernSuccess {
+		ipc.SetBootstrapPort(r.Port)
+	}
+
+	// Start the Mach IPC services (Section 2: "launchd starts Mach IPC
+	// services such as configd, notifyd, ...").
+	for _, path := range []string{ConfigdPath, NotifydPath, SyslogdPath} {
+		lc.PosixSpawn(path, nil)
+	}
+
+	// Serve the bootstrap registry.
+	names := make(map[string]*xnu.CarriedRight)
+	for {
+		msg, kr := lc.MachReceive(bootstrap, -1)
+		if kr != xnu.KernSuccess {
+			return 1
+		}
+		switch msg.ID {
+		case MsgBootstrapRegister:
+			if len(msg.RightNames) == 1 {
+				name := string(msg.Body)
+				right, _ := ipc.MakeSendRight(t, msg.RightNames[0])
+				if right != nil {
+					names[name] = right
+					if msg.ReplyName != xnu.PortNull {
+						lc.MachSend(msg.ReplyName, &xnu.Message{ID: MsgBootstrapOK}, -1)
+					}
+					continue
+				}
+			}
+			if msg.ReplyName != xnu.PortNull {
+				lc.MachSend(msg.ReplyName, &xnu.Message{ID: MsgBootstrapErr}, -1)
+			}
+		case MsgBootstrapLookUp:
+			right, ok := names[string(msg.Body)]
+			if msg.ReplyName == xnu.PortNull {
+				continue
+			}
+			if !ok {
+				lc.MachSend(msg.ReplyName, &xnu.Message{ID: MsgBootstrapErr}, -1)
+				continue
+			}
+			lc.MachSend(msg.ReplyName, &xnu.Message{
+				ID:     MsgBootstrapOK,
+				Rights: []xnu.CarriedRight{*right},
+			}, -1)
+		}
+	}
+}
+
+// configdMain serves a key/value store over Mach IPC.
+func configdMain(t *kernel.Thread) uint64 {
+	lc := libsystem.Sys(t)
+	port := lc.MachReplyPort()
+	if err := BootstrapRegister(lc, ConfigdName, port); err != nil {
+		return 1
+	}
+	store := map[string]string{
+		"Model":            t.Kernel().Device().Name,
+		"UserAssignedName": "Cider Device",
+	}
+	for {
+		msg, kr := lc.MachReceive(port, -1)
+		if kr != xnu.KernSuccess {
+			return 1
+		}
+		switch msg.ID {
+		case MsgConfigSet:
+			if k, v, ok := strings.Cut(string(msg.Body), "="); ok {
+				store[k] = v
+			}
+		case MsgConfigGet:
+			if msg.ReplyName != xnu.PortNull {
+				lc.MachSend(msg.ReplyName, &xnu.Message{
+					ID:   MsgConfigReply,
+					Body: []byte(store[string(msg.Body)]),
+				}, -1)
+			}
+		}
+	}
+}
+
+// notifydMain serves the asynchronous notification center.
+func notifydMain(t *kernel.Thread) uint64 {
+	lc := libsystem.Sys(t)
+	ipc, _ := xnu.FromKernel(t.Kernel())
+	port := lc.MachReplyPort()
+	if err := BootstrapRegister(lc, NotifydName, port); err != nil {
+		return 1
+	}
+	subs := make(map[string][]xnu.PortName)
+	for {
+		msg, kr := lc.MachReceive(port, -1)
+		if kr != xnu.KernSuccess {
+			return 1
+		}
+		switch msg.ID {
+		case MsgNotifyRegister:
+			if len(msg.RightNames) == 1 {
+				name := string(msg.Body)
+				subs[name] = append(subs[name], msg.RightNames[0])
+			}
+		case MsgNotifyPost:
+			name := string(msg.Body)
+			for _, p := range subs[name] {
+				// Best effort, bounded: notifications never block notifyd.
+				_ = ipc
+				lc.MachSend(p, &xnu.Message{ID: MsgNotifyDelivery, Body: []byte(name)}, 0)
+			}
+		}
+	}
+}
+
+// syslogdMain collects log lines.
+func syslogdMain(t *kernel.Thread, buf *SyslogBuffer) uint64 {
+	lc := libsystem.Sys(t)
+	port := lc.MachReplyPort()
+	if err := BootstrapRegister(lc, SyslogdName, port); err != nil {
+		return 1
+	}
+	for {
+		msg, kr := lc.MachReceive(port, -1)
+		if kr != xnu.KernSuccess {
+			return 1
+		}
+		if msg.ID == MsgSyslog {
+			buf.Lines = append(buf.Lines, string(msg.Body))
+		}
+	}
+}

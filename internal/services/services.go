@@ -1,0 +1,204 @@
+// Package services implements the iOS user-space service layer Cider
+// copies onto the device (Section 3, Figure 2): launchd — the bootstrap
+// name server that "starts, stops, and maintains services and apps" — and
+// the Mach IPC daemons it launches: configd (system configuration),
+// notifyd (asynchronous notifications) and syslogd (logging).
+//
+// Everything here is genuine user-space code: the daemons are Mach-O
+// binaries started through posix_spawn, and every interaction rides the
+// duct-taped Mach IPC subsystem through the XNU ABI.
+package services
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/libsystem"
+	"repro/internal/xnu"
+)
+
+// Bootstrap protocol message ids (the simulated MIG surface).
+const (
+	// MsgBootstrapRegister registers a name with a carried send right.
+	MsgBootstrapRegister int32 = 400
+	// MsgBootstrapLookUp asks for a name's send right.
+	MsgBootstrapLookUp int32 = 401
+	// MsgBootstrapOK / MsgBootstrapErr are the reply codes.
+	MsgBootstrapOK  int32 = 402
+	MsgBootstrapErr int32 = 403
+)
+
+// Well-known service names.
+const (
+	// ConfigdName is configd's bootstrap name.
+	ConfigdName = "com.apple.SystemConfiguration.configd"
+	// NotifydName is notifyd's bootstrap name.
+	NotifydName = "com.apple.system.notification_center"
+	// SyslogdName is syslogd's bootstrap name.
+	SyslogdName = "com.apple.system.logger"
+)
+
+// Program keys / binary paths.
+const (
+	LaunchdKey  = "launchd"
+	LaunchdPath = "/sbin/launchd"
+	ConfigdKey  = "configd"
+	ConfigdPath = "/usr/libexec/configd"
+	NotifydKey  = "notifyd"
+	NotifydPath = "/usr/sbin/notifyd"
+	SyslogdKey  = "syslogd"
+	SyslogdPath = "/usr/sbin/syslogd"
+)
+
+// BootstrapRegister publishes a receive right under name with launchd.
+func BootstrapRegister(lc *libsystem.C, name string, recv xnu.PortName) error {
+	ipc, ok := xnu.FromKernel(lc.T.Kernel())
+	if !ok {
+		return fmt.Errorf("services: no Mach IPC")
+	}
+	right, kr := ipc.MakeSendRight(lc.T, recv)
+	if kr != xnu.KernSuccess {
+		return fmt.Errorf("services: make send right: %#x", kr)
+	}
+	reply := lc.MachReplyPort()
+	replyRight, _ := ipc.MakeSendRight(lc.T, reply)
+	kr = lc.MachSend(xnu.BootstrapName, &xnu.Message{
+		ID:     MsgBootstrapRegister,
+		Body:   []byte(name),
+		Rights: []xnu.CarriedRight{*right},
+		Reply:  replyRight,
+	}, -1)
+	if kr != xnu.KernSuccess {
+		return fmt.Errorf("services: register send: %#x", kr)
+	}
+	msg, kr := lc.MachReceive(reply, -1)
+	if kr != xnu.KernSuccess || msg.ID != MsgBootstrapOK {
+		return fmt.Errorf("services: register rejected")
+	}
+	return nil
+}
+
+// BootstrapLookUp resolves name to a send right in the caller's space.
+func BootstrapLookUp(lc *libsystem.C, name string) (xnu.PortName, error) {
+	ipc, ok := xnu.FromKernel(lc.T.Kernel())
+	if !ok {
+		return xnu.PortNull, fmt.Errorf("services: no Mach IPC")
+	}
+	reply := lc.MachReplyPort()
+	replyRight, _ := ipc.MakeSendRight(lc.T, reply)
+	kr := lc.MachSend(xnu.BootstrapName, &xnu.Message{
+		ID:    MsgBootstrapLookUp,
+		Body:  []byte(name),
+		Reply: replyRight,
+	}, -1)
+	if kr != xnu.KernSuccess {
+		return xnu.PortNull, fmt.Errorf("services: lookup send: %#x", kr)
+	}
+	msg, kr := lc.MachReceive(reply, -1)
+	if kr != xnu.KernSuccess {
+		return xnu.PortNull, fmt.Errorf("services: lookup recv: %#x", kr)
+	}
+	if msg.ID != MsgBootstrapOK || len(msg.RightNames) != 1 {
+		return xnu.PortNull, fmt.Errorf("services: unknown name %q", name)
+	}
+	return msg.RightNames[0], nil
+}
+
+// Notifyd protocol message ids.
+const (
+	// MsgNotifyRegister subscribes the carried port to a name.
+	MsgNotifyRegister int32 = 500
+	// MsgNotifyPost fires a notification by name.
+	MsgNotifyPost int32 = 501
+	// MsgNotifyDelivery is the message subscribers receive.
+	MsgNotifyDelivery int32 = 502
+)
+
+// NotifyRegister subscribes recv (a receive right) to notifications named
+// name, via notifyd.
+func NotifyRegister(lc *libsystem.C, notifyd xnu.PortName, name string, recv xnu.PortName) error {
+	ipc, _ := xnu.FromKernel(lc.T.Kernel())
+	right, kr := ipc.MakeSendRight(lc.T, recv)
+	if kr != xnu.KernSuccess {
+		return fmt.Errorf("services: notify register right: %#x", kr)
+	}
+	kr = lc.MachSend(notifyd, &xnu.Message{
+		ID:     MsgNotifyRegister,
+		Body:   []byte(name),
+		Rights: []xnu.CarriedRight{*right},
+	}, -1)
+	if kr != xnu.KernSuccess {
+		return fmt.Errorf("services: notify register: %#x", kr)
+	}
+	return nil
+}
+
+// NotifyPost fires the notification named name (notify_post(3)).
+func NotifyPost(lc *libsystem.C, notifyd xnu.PortName, name string) error {
+	kr := lc.MachSend(notifyd, &xnu.Message{ID: MsgNotifyPost, Body: []byte(name)}, -1)
+	if kr != xnu.KernSuccess {
+		return fmt.Errorf("services: notify post: %#x", kr)
+	}
+	return nil
+}
+
+// Configd protocol message ids.
+const (
+	// MsgConfigGet asks for a key; body "key".
+	MsgConfigGet int32 = 510
+	// MsgConfigSet sets "key=value".
+	MsgConfigSet int32 = 511
+	// MsgConfigReply carries the value (or empty for missing).
+	MsgConfigReply int32 = 512
+)
+
+// ConfigSet stores key=value in configd.
+func ConfigSet(lc *libsystem.C, configd xnu.PortName, key, value string) error {
+	kr := lc.MachSend(configd, &xnu.Message{ID: MsgConfigSet, Body: []byte(key + "=" + value)}, -1)
+	if kr != xnu.KernSuccess {
+		return fmt.Errorf("services: config set: %#x", kr)
+	}
+	return nil
+}
+
+// ConfigGet fetches a key from configd.
+func ConfigGet(lc *libsystem.C, configd xnu.PortName, key string) (string, error) {
+	reply := lc.MachReplyPort()
+	ipc, _ := xnu.FromKernel(lc.T.Kernel())
+	replyRight, _ := ipc.MakeSendRight(lc.T, reply)
+	kr := lc.MachSend(configd, &xnu.Message{ID: MsgConfigGet, Body: []byte(key), Reply: replyRight}, -1)
+	if kr != xnu.KernSuccess {
+		return "", fmt.Errorf("services: config get: %#x", kr)
+	}
+	msg, kr := lc.MachReceive(reply, -1)
+	if kr != xnu.KernSuccess || msg.ID != MsgConfigReply {
+		return "", fmt.Errorf("services: config get reply: %#x", kr)
+	}
+	return string(msg.Body), nil
+}
+
+// MsgSyslog is a log submission; body is the log line.
+const MsgSyslog int32 = 520
+
+// Syslog submits a log line to syslogd.
+func Syslog(lc *libsystem.C, syslogd xnu.PortName, line string) {
+	lc.MachSend(syslogd, &xnu.Message{ID: MsgSyslog, Body: []byte(line)}, -1)
+}
+
+// waitRetry is the pacing for bootstrap lookups during startup races.
+const waitRetry = 2 * time.Millisecond
+
+// WaitForService looks a name up, retrying while launchd's children come
+// up. Returns the send right name.
+func WaitForService(lc *libsystem.C, name string, attempts int) (xnu.PortName, error) {
+	for i := 0; ; i++ {
+		p, err := BootstrapLookUp(lc, name)
+		if err == nil {
+			return p, nil
+		}
+		if i >= attempts {
+			return xnu.PortNull, err
+		}
+		lc.T.Proc().Sleep(waitRetry)
+	}
+}

@@ -1,0 +1,181 @@
+package services_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/prog"
+	"repro/internal/services"
+	"repro/internal/xnu"
+)
+
+// bootWithApp boots Cider services plus one iOS app whose body is fn.
+func bootWithApp(t *testing.T, fn func(lc *libsystem.C)) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.BootServices(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InstallIOSBinary("/Applications/s.app/s", "svc-app", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		// Let launchd and its children come up first.
+		th.Proc().Sleep(80 * time.Millisecond)
+		fn(libsystem.Sys(th))
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Start("/Applications/s.app/s", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBootstrapRegisterAndLookUp(t *testing.T) {
+	var looked xnu.PortName
+	var err error
+	bootWithApp(t, func(lc *libsystem.C) {
+		// The standard daemons must be discoverable.
+		looked, err = services.WaitForService(lc, services.ConfigdName, 50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looked == xnu.PortNull {
+		t.Fatal("lookup returned MACH_PORT_NULL")
+	}
+}
+
+func TestBootstrapUnknownName(t *testing.T) {
+	var err error
+	bootWithApp(t, func(lc *libsystem.C) {
+		_, err = services.BootstrapLookUp(lc, "com.example.ghost")
+	})
+	if err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}
+
+func TestConfigdGetSet(t *testing.T) {
+	var model, custom string
+	var err error
+	bootWithApp(t, func(lc *libsystem.C) {
+		var configd xnu.PortName
+		configd, err = services.WaitForService(lc, services.ConfigdName, 50)
+		if err != nil {
+			return
+		}
+		model, err = services.ConfigGet(lc, configd, "Model")
+		if err != nil {
+			return
+		}
+		if err = services.ConfigSet(lc, configd, "Locale", "en_US"); err != nil {
+			return
+		}
+		custom, err = services.ConfigGet(lc, configd, "Locale")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != "Nexus 7" {
+		t.Fatalf("Model = %q (configd must see the Cider device)", model)
+	}
+	if custom != "en_US" {
+		t.Fatalf("Locale = %q", custom)
+	}
+}
+
+func TestNotifydPubSub(t *testing.T) {
+	var delivered string
+	var err error
+	bootWithApp(t, func(lc *libsystem.C) {
+		var notifyd xnu.PortName
+		notifyd, err = services.WaitForService(lc, services.NotifydName, 50)
+		if err != nil {
+			return
+		}
+		myPort := lc.MachReplyPort()
+		if err = services.NotifyRegister(lc, notifyd, "com.apple.system.timezone", myPort); err != nil {
+			return
+		}
+		if err = services.NotifyPost(lc, notifyd, "com.apple.system.timezone"); err != nil {
+			return
+		}
+		msg, kr := lc.MachReceive(myPort, time.Second)
+		if kr != xnu.KernSuccess {
+			err = errKr(kr)
+			return
+		}
+		if msg.ID == services.MsgNotifyDelivery {
+			delivered = string(msg.Body)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != "com.apple.system.timezone" {
+		t.Fatalf("delivered = %q", delivered)
+	}
+}
+
+func TestSyslogdCollectsLines(t *testing.T) {
+	sys := bootWithApp(t, func(lc *libsystem.C) {
+		syslogd, err := services.WaitForService(lc, services.SyslogdName, 50)
+		if err != nil {
+			return
+		}
+		services.Syslog(lc, syslogd, "app[1]: started")
+		services.Syslog(lc, syslogd, "app[1]: finished")
+		// Give syslogd a turn to drain before the app exits.
+		lc.T.Proc().Sleep(10 * time.Millisecond)
+	})
+	if len(sys.Syslog.Lines) != 2 {
+		t.Fatalf("syslog lines = %v", sys.Syslog.Lines)
+	}
+	if sys.Syslog.Lines[0] != "app[1]: started" {
+		t.Fatalf("lines = %v", sys.Syslog.Lines)
+	}
+}
+
+func TestServicesOnIPad(t *testing.T) {
+	// The same service binaries run natively on the iPad configuration.
+	sys, err := core.NewSystem(core.ConfigIPad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.BootServices(); err != nil {
+		t.Fatal(err)
+	}
+	var model string
+	sys.InstallIOSBinary("/Applications/c.app/c", "capp", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		th.Proc().Sleep(80 * time.Millisecond)
+		lc := libsystem.Sys(th)
+		configd, err := services.WaitForService(lc, services.ConfigdName, 50)
+		if err != nil {
+			return 1
+		}
+		model, _ = services.ConfigGet(lc, configd, "Model")
+		return 0
+	})
+	sys.Start("/Applications/c.app/c", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if model != "iPad mini" {
+		t.Fatalf("Model = %q", model)
+	}
+}
+
+type errKr xnu.KernReturn
+
+func (e errKr) Error() string { return "kern_return" }

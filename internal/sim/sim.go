@@ -1,0 +1,471 @@
+// Package sim implements a deterministic discrete-event simulator whose
+// processes are goroutines scheduled cooperatively, one at a time, in
+// virtual-time order.
+//
+// Every simulated thread in the Cider reproduction — kernel tasks, service
+// daemons, benchmark drivers — is a sim.Proc. Exactly one Proc executes at
+// any moment (the scheduler hands a run token around), so shared simulation
+// state needs no locking, and virtual time advances only through explicit
+// Advance calls. The scheduler always resumes the runnable Proc with the
+// smallest local clock, which models an unlimited-core machine: two Procs
+// that each charge 1ms of compute finish at t=1ms, not t=2ms. CPU-count
+// contention is modelled at the workload layer (see internal/hw), which is
+// sufficient for the latency- and rate-style measurements the paper reports.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State describes where a Proc is in its lifecycle.
+type State int
+
+const (
+	// StateRunnable means the Proc is ready to execute.
+	StateRunnable State = iota
+	// StateRunning means the Proc currently holds the run token.
+	StateRunning
+	// StateSleeping means the Proc is waiting for virtual time to pass.
+	StateSleeping
+	// StateParked means the Proc is blocked until another Proc wakes it.
+	StateParked
+	// StateDone means the Proc's function returned or it called Exit.
+	StateDone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateParked:
+		return "parked"
+	case StateDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Wake tags let a waker tell a parked Proc why it was woken; the kernel uses
+// them to distinguish normal wakeups from signal interruptions.
+const (
+	// WakeNormal is an ordinary wakeup.
+	WakeNormal = 0
+	// WakeInterrupted indicates the sleep/park was cut short (signal).
+	WakeInterrupted = 1
+)
+
+// ErrDeadlock is returned by Run when parked Procs remain but nothing can
+// ever wake them.
+type ErrDeadlock struct {
+	// Parked lists the names of the Procs that were still blocked.
+	Parked []string
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock with %d parked procs: %v", len(e.Parked), e.Parked)
+}
+
+// exitProc is the panic value used to unwind a Proc on Exit.
+type exitProc struct{ p *Proc }
+
+// Proc is a simulated thread of execution. Its methods must only be called
+// from its own goroutine while it holds the run token (i.e. from within the
+// function passed to Spawn), except where noted.
+type Proc struct {
+	sim   *Sim
+	id    int
+	name  string
+	state State
+	now   time.Duration
+	// wakeAt is the wakeup deadline while sleeping.
+	wakeAt time.Duration
+	// wakeTag carries the waker's tag to a parked/sleeping Proc.
+	wakeTag int
+	// parkReason describes what a parked Proc is waiting for (diagnostics).
+	parkReason string
+	// run carries the scheduler's run token to the Proc.
+	run chan struct{}
+	// heapIndex is the Proc's position in the ready/sleep heaps.
+	heapIndex int
+	fn        func(*Proc)
+	// onExit callbacks run (in the Proc's context) after fn returns.
+	onExit []func(*Proc)
+	// daemon marks the Proc as a background service: the simulation ends
+	// when only daemons remain, and a parked daemon is not a deadlock.
+	daemon bool
+}
+
+// SetDaemon marks/unmarks the Proc as a daemon (see Sim.Run).
+func (p *Proc) SetDaemon(on bool) {
+	if p.daemon == on {
+		return
+	}
+	p.daemon = on
+	if p.state != StateDone {
+		if on {
+			p.sim.nonDaemonLive--
+		} else {
+			p.sim.nonDaemonLive++
+		}
+	}
+}
+
+// Daemon reports whether the Proc is a daemon.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// ID returns the Proc's unique id, assigned in spawn order.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// State reports the Proc's lifecycle state. It may be called from any Proc.
+func (p *Proc) State() State { return p.state }
+
+// Now returns the Proc's local virtual clock.
+func (p *Proc) Now() time.Duration { return p.now }
+
+// Sim returns the simulator this Proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Advance charges d of virtual compute time to the Proc. Negative d panics.
+func (p *Proc) Advance(d time.Duration) {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	p.now += d
+	// If another Proc could now run earlier than us, hand over the token so
+	// virtual-time ordering is preserved across Procs.
+	p.sim.maybePreempt(p)
+}
+
+// Yield gives other runnable Procs with a clock at or before ours a chance
+// to run. It never advances time.
+func (p *Proc) Yield() {
+	p.sim.maybePreempt(p)
+}
+
+// Sleep blocks the Proc until at least d of virtual time has passed. It
+// returns the wake tag: WakeNormal when the timer expired, or the tag passed
+// by an interrupting waker.
+func (p *Proc) Sleep(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	p.state = StateSleeping
+	p.wakeAt = p.now + d
+	p.wakeTag = WakeNormal
+	p.sim.sleepers.push(p)
+	p.sim.yieldAndWait(p)
+	return p.wakeTag
+}
+
+// Park blocks the Proc until another Proc calls Wake on it. The reason is
+// reported in deadlock errors and debug dumps. It returns the waker's tag.
+func (p *Proc) Park(reason string) int {
+	p.state = StateParked
+	p.parkReason = reason
+	p.wakeTag = WakeNormal
+	p.sim.parked[p.id] = p
+	p.sim.yieldAndWait(p)
+	return p.wakeTag
+}
+
+// Wake makes a parked or sleeping Proc runnable. The waker's clock is
+// propagated: the woken Proc can never observe a time earlier than the wake.
+// tag is returned from the woken Proc's Park/Sleep. Waking a runnable or
+// done Proc is a no-op and returns false. Must be called by the running
+// Proc (not from outside the simulation).
+func (p *Proc) Wake(target *Proc, tag int) bool {
+	return p.sim.wake(p.now, target, tag)
+}
+
+// Exit terminates the Proc immediately, unwinding its stack.
+func (p *Proc) Exit() {
+	panic(exitProc{p})
+}
+
+// OnExit registers fn to run in the Proc's context when it terminates,
+// whether by return or Exit. Callbacks run in reverse registration order.
+func (p *Proc) OnExit(fn func(*Proc)) {
+	p.onExit = append(p.onExit, fn)
+}
+
+// procHeap orders Procs by (clock, id) for deterministic scheduling.
+type procHeap struct {
+	procs []*Proc
+	// bySleep keys the heap on wakeAt instead of now.
+	bySleep bool
+}
+
+func (h *procHeap) key(p *Proc) time.Duration {
+	if h.bySleep {
+		return p.wakeAt
+	}
+	return p.now
+}
+
+func (h *procHeap) Len() int { return len(h.procs) }
+func (h *procHeap) Less(i, j int) bool {
+	a, b := h.procs[i], h.procs[j]
+	ka, kb := h.key(a), h.key(b)
+	if ka != kb {
+		return ka < kb
+	}
+	return a.id < b.id
+}
+func (h *procHeap) Swap(i, j int) {
+	h.procs[i], h.procs[j] = h.procs[j], h.procs[i]
+	h.procs[i].heapIndex = i
+	h.procs[j].heapIndex = j
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*Proc)
+	p.heapIndex = len(h.procs)
+	h.procs = append(h.procs, p)
+}
+func (h *procHeap) Pop() any {
+	old := h.procs
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	p.heapIndex = -1
+	h.procs = old[:n-1]
+	return p
+}
+
+func (h *procHeap) push(p *Proc) { heap.Push(h, p) }
+func (h *procHeap) pop() *Proc   { return heap.Pop(h).(*Proc) }
+func (h *procHeap) peek() *Proc  { return h.procs[0] }
+func (h *procHeap) remove(p *Proc) {
+	if p.heapIndex >= 0 && p.heapIndex < len(h.procs) && h.procs[p.heapIndex] == p {
+		heap.Remove(h, p.heapIndex)
+	}
+}
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	nextID   int
+	ready    *procHeap
+	sleepers *procHeap
+	parked   map[int]*Proc
+	// yield signals the scheduler that the running Proc gave up the token.
+	yield chan *Proc
+	// current is the Proc holding the run token.
+	current *Proc
+	running bool
+	// live counts Procs that are not done; nonDaemonLive excludes daemons.
+	live          int
+	nonDaemonLive int
+	// trace, when non-nil, receives scheduling events (tests/debugging).
+	trace func(event, proc string, at time.Duration)
+	// panicValue propagates a Proc panic out of Run.
+	panicValue any
+	panicProc  string
+}
+
+// New creates an empty simulator.
+func New() *Sim {
+	return &Sim{
+		ready:    &procHeap{},
+		sleepers: &procHeap{bySleep: true},
+		parked:   make(map[int]*Proc),
+		yield:    make(chan *Proc),
+	}
+}
+
+// SetTrace installs a scheduling-event callback (for tests). Pass nil to
+// disable.
+func (s *Sim) SetTrace(fn func(event, proc string, at time.Duration)) { s.trace = fn }
+
+func (s *Sim) emit(event string, p *Proc) {
+	if s.trace != nil {
+		s.trace(event, p.name, p.now)
+	}
+}
+
+// Spawn creates a new Proc running fn. When called before Run, the Proc
+// starts at time zero; when called from inside a running Proc, the child
+// inherits the parent's clock. The child's goroutine starts lazily on first
+// schedule.
+func (s *Sim) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		sim:       s,
+		id:        s.nextID,
+		name:      name,
+		state:     StateRunnable,
+		run:       make(chan struct{}),
+		heapIndex: -1,
+		fn:        fn,
+	}
+	s.nextID++
+	s.live++
+	s.nonDaemonLive++
+	if s.current != nil {
+		p.now = s.current.now
+	}
+	go s.procMain(p)
+	s.ready.push(p)
+	s.emit("spawn", p)
+	return p
+}
+
+// procMain is each Proc's goroutine body: wait for the token, run fn, then
+// unwind through exit handling.
+func (s *Sim) procMain(p *Proc) {
+	<-p.run
+	defer func() {
+		r := recover()
+		if r != nil {
+			if e, ok := r.(exitProc); !ok || e.p != p {
+				// Real panic: record and unwind the whole simulation.
+				if s.panicValue == nil {
+					s.panicValue = r
+					s.panicProc = p.name
+				}
+			}
+		}
+		for i := len(p.onExit) - 1; i >= 0; i-- {
+			p.onExit[i](p)
+		}
+		p.state = StateDone
+		s.live--
+		if !p.daemon {
+			s.nonDaemonLive--
+		}
+		s.emit("exit", p)
+		s.yield <- p
+	}()
+	p.fn(p)
+}
+
+// yieldAndWait releases the token to the scheduler and blocks until this
+// Proc is scheduled again.
+func (s *Sim) yieldAndWait(p *Proc) {
+	s.emit("block", p)
+	s.yield <- p
+	<-p.run
+	p.state = StateRunning
+	s.emit("resume", p)
+}
+
+// maybePreempt hands the token over if another Proc could run at an earlier
+// or equal clock. The current Proc stays runnable.
+func (s *Sim) maybePreempt(p *Proc) {
+	earlier := false
+	if s.ready.Len() > 0 && s.ready.peek().now <= p.now {
+		earlier = true
+	}
+	if s.sleepers.Len() > 0 && s.sleepers.peek().wakeAt <= p.now {
+		earlier = true
+	}
+	if !earlier {
+		return
+	}
+	p.state = StateRunnable
+	s.ready.push(p)
+	s.yieldAndWait(p)
+}
+
+// wake transitions target out of parked/sleeping. Shared by Proc.Wake and
+// external wakes.
+func (s *Sim) wake(at time.Duration, target *Proc, tag int) bool {
+	switch target.state {
+	case StateParked:
+		delete(s.parked, target.id)
+	case StateSleeping:
+		s.sleepers.remove(target)
+	default:
+		return false
+	}
+	if target.now < at {
+		target.now = at
+	}
+	target.wakeTag = tag
+	target.parkReason = ""
+	target.state = StateRunnable
+	s.ready.push(target)
+	s.emit("wake", target)
+	return true
+}
+
+// next picks the Proc to run: the earliest of ready and sleep heaps.
+func (s *Sim) next() *Proc {
+	var pick *Proc
+	fromSleep := false
+	if s.ready.Len() > 0 {
+		pick = s.ready.peek()
+	}
+	if s.sleepers.Len() > 0 {
+		sl := s.sleepers.peek()
+		if pick == nil || sl.wakeAt < pick.now || (sl.wakeAt == pick.now && sl.id < pick.id) {
+			pick = sl
+			fromSleep = true
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	if fromSleep {
+		s.sleepers.pop()
+		pick.now = pick.wakeAt
+		pick.wakeTag = WakeNormal
+	} else {
+		s.ready.pop()
+	}
+	return pick
+}
+
+// Run executes the simulation until every Proc is done, a deadlock is
+// detected, or a Proc panics (in which case Run re-panics with the Proc's
+// panic value).
+func (s *Sim) Run() error {
+	if s.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.nonDaemonLive > 0 {
+		p := s.next()
+		if p == nil {
+			// Everyone left is parked. If any non-daemon is among them,
+			// that is a deadlock; parked daemons just mean the system is
+			// idle.
+			var names []string
+			for _, q := range s.parked {
+				if !q.daemon {
+					names = append(names, fmt.Sprintf("%s(%s)", q.name, q.parkReason))
+				}
+			}
+			if len(names) == 0 {
+				return nil
+			}
+			sort.Strings(names)
+			return &ErrDeadlock{Parked: names}
+		}
+		p.state = StateRunning
+		s.current = p
+		p.run <- struct{}{}
+		<-s.yield
+		s.current = nil
+		if s.panicValue != nil {
+			pv, pp := s.panicValue, s.panicProc
+			s.panicValue = nil
+			panic(fmt.Sprintf("sim: proc %q panicked: %v", pp, pv))
+		}
+	}
+	return nil
+}
+
+// Current returns the Proc holding the run token, or nil between turns.
+func (s *Sim) Current() *Proc { return s.current }
+
+// Live reports the number of Procs that have not finished.
+func (s *Sim) Live() int { return s.live }

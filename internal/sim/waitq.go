@@ -1,0 +1,88 @@
+package sim
+
+import "time"
+
+// WaitQueue is a FIFO queue of parked Procs, the building block for kernel
+// sleep/wakeup (pipes, sockets, Mach ports, futex-style sync).
+type WaitQueue struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewWaitQueue creates a wait queue with a diagnostic name.
+func NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{name: name}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *WaitQueue) Name() string { return q.name }
+
+// Len reports the number of parked waiters.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait parks p on the queue until woken. It returns the waker's tag
+// (WakeNormal or WakeInterrupted).
+func (q *WaitQueue) Wait(p *Proc) int {
+	q.waiters = append(q.waiters, p)
+	tag := p.Park("waitq:" + q.name)
+	// On wakeup we may have been removed by the waker; if we were
+	// interrupted from outside the queue, remove ourselves.
+	q.remove(p)
+	return tag
+}
+
+// WaitTimeout parks p until woken or until d elapses. It returns the wake
+// tag and whether the wait timed out.
+func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) (tag int, timedOut bool) {
+	q.waiters = append(q.waiters, p)
+	tag = p.Sleep(d)
+	stillQueued := q.remove(p)
+	// If we are still on the queue after Sleep returned WakeNormal, the
+	// timer fired before any waker found us.
+	return tag, stillQueued && tag == WakeNormal
+}
+
+// Enqueue registers p as a waiter without parking; used with Dequeue to
+// wait on several queues at once (select/poll). The caller parks itself
+// after enqueuing on every queue and dequeues from all of them on wakeup.
+func (q *WaitQueue) Enqueue(p *Proc) {
+	q.waiters = append(q.waiters, p)
+}
+
+// Dequeue removes p from the waiter list, reporting whether it was present.
+func (q *WaitQueue) Dequeue(p *Proc) bool {
+	return q.remove(p)
+}
+
+// remove deletes p from the waiter list, reporting whether it was present.
+func (q *WaitQueue) remove(p *Proc) bool {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WakeOne wakes the longest-waiting Proc, returning it, or nil if the queue
+// was empty. waker must be the running Proc.
+func (q *WaitQueue) WakeOne(waker *Proc, tag int) *Proc {
+	for len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if waker.Wake(p, tag) {
+			return p
+		}
+	}
+	return nil
+}
+
+// WakeAll wakes every parked waiter, returning how many were woken.
+func (q *WaitQueue) WakeAll(waker *Proc, tag int) int {
+	n := 0
+	for q.WakeOne(waker, tag) != nil {
+		n++
+	}
+	return n
+}

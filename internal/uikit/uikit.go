@@ -1,0 +1,121 @@
+// Package uikit is a minimal simulated UIKit runtime: the application
+// main-loop glue an iOS app's framework stack provides. It wires together
+// the pieces Cider supplies — the event socket CiderPress passes down, the
+// Mach event port, the eventpump bridge thread, the I/O Kit display query,
+// and the diplomatic GL bindings — so app code can be written as a
+// delegate with event/gesture/frame callbacks.
+package uikit
+
+import (
+	"strconv"
+
+	"repro/internal/graphics"
+	"repro/internal/input"
+	"repro/internal/iokit"
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/xnu"
+)
+
+// Delegate receives app callbacks.
+type Delegate struct {
+	// OnLaunch runs once before the event loop, with GL bound.
+	OnLaunch func(app *App)
+	// OnEvent receives every raw HID event.
+	OnEvent func(app *App, e input.HIDEvent)
+	// OnGesture receives recognized gestures.
+	OnGesture func(app *App, g input.Gesture)
+}
+
+// App is the running application context.
+type App struct {
+	// T is the main thread.
+	T *kernel.Thread
+	// GL is the bound graphics interface (diplomatic on Cider).
+	GL *graphics.GL
+	// Ctx is the app's EAGL context handle.
+	Ctx uint64
+	// Width and Height are the display dimensions from I/O Kit.
+	Width, Height int
+	// EventPort is the app's Mach event port.
+	EventPort xnu.PortName
+	// Frames counts presented frames.
+	Frames int
+}
+
+// Present renders one frame boundary (presentRenderbuffer).
+func (a *App) Present() {
+	a.GL.Call("_EAGLContextPresentRenderbuffer", a.Ctx)
+	a.Frames++
+}
+
+// Main is the simulated UIApplicationMain: discover the display through
+// I/O Kit, set up GL via EAGL, create the event port, start the eventpump
+// on the CiderPress socket, and run the event loop until a stop lifecycle
+// event arrives. Returns the app exit status.
+func Main(t *kernel.Thread, d Delegate) uint64 {
+	lc := libsystem.Sys(t)
+
+	// Display discovery through the I/O Kit MIG surface, as iOS graphics
+	// libraries locate the framebuffer class (Section 5.1): match the
+	// AppleM2CLCD driver class, then call its get-display-size method.
+	w, h := 0, 0
+	if entry, n := lc.IOServiceGetMatchingService("AppleM2CLCD"); n > 0 {
+		if r0, r1, errno := lc.IOConnectCallMethod(entry, iokit.SelGetDisplaySize); errno == kernel.OK {
+			w, h = int(r0), int(r1)
+		}
+	}
+	if w == 0 {
+		w, h = t.Kernel().Device().Display.Width, t.Kernel().Device().Display.Height
+	}
+
+	gl, err := graphics.BindIOSGL(t)
+	if err != nil {
+		return 1
+	}
+	app := &App{T: t, GL: gl, Width: w, Height: h}
+	app.Ctx = gl.Call("_EAGLContextCreate")
+	gl.Call("_EAGLContextSetCurrent", app.Ctx)
+	gl.Call("_EAGLRenderbufferStorageFromDrawable", app.Ctx, uint64(w), uint64(h))
+	gl.Call("_glViewport", 0, 0, uint64(w), uint64(h))
+
+	// Event port + eventpump, if CiderPress handed us a socket.
+	app.EventPort = lc.MachReplyPort()
+	if fd, ok := eventFD(t.Task().Argv()); ok {
+		input.StartEventPump(t, fd, app.EventPort, w, h)
+	}
+
+	if d.OnLaunch != nil {
+		d.OnLaunch(app)
+	}
+	if fd, ok := eventFD(t.Task().Argv()); ok {
+		_ = fd
+		input.EventLoop(t, app.EventPort,
+			func(e input.HIDEvent) {
+				if d.OnEvent != nil {
+					d.OnEvent(app, e)
+				}
+			},
+			func(g input.Gesture) {
+				if d.OnGesture != nil {
+					d.OnGesture(app, g)
+				}
+			})
+	}
+	gl.Call("_EAGLContextDestroy", app.Ctx)
+	return 0
+}
+
+// eventFD extracts the CiderPress event descriptor from argv.
+func eventFD(argv []string) (int, bool) {
+	for i := 0; i+1 < len(argv); i++ {
+		if argv[i] == "-ciderpress-eventfd" {
+			fd, err := strconv.Atoi(argv[i+1])
+			if err != nil {
+				return 0, false
+			}
+			return fd, true
+		}
+	}
+	return 0, false
+}

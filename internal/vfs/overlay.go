@@ -1,0 +1,162 @@
+package vfs
+
+// Overlay is the union filesystem Cider uses to present the iOS hierarchy
+// over the Android filesystem (Section 3): lookups hit the upper (iOS)
+// layer first and fall back to the lower (Android) layer; all modifications
+// go to the upper layer, copying files up first when needed. Directory
+// listings union both layers, with upper entries shadowing lower ones.
+type Overlay struct {
+	upper *FS
+	lower *FS
+}
+
+// NewOverlay builds an overlay of upper on top of lower.
+func NewOverlay(upper, lower *FS) *Overlay {
+	return &Overlay{upper: upper, lower: lower}
+}
+
+// Upper returns the writable top layer.
+func (o *Overlay) Upper() *FS { return o.upper }
+
+// Lower returns the read-mostly bottom layer.
+func (o *Overlay) Lower() *FS { return o.lower }
+
+// Lookup resolves p in the upper layer, then the lower.
+func (o *Overlay) Lookup(p string) (*Node, error) {
+	if n, err := o.upper.Lookup(p); err == nil {
+		return n, nil
+	}
+	return o.lower.Lookup(p)
+}
+
+// copyUp ensures p's parents exist in the upper layer.
+func (o *Overlay) copyUp(p string) error {
+	dir, _ := Split(p)
+	if _, err := o.lower.Lookup(dir); err == nil {
+		return o.upper.MkdirAll(dir)
+	}
+	return nil
+}
+
+// Create makes a new file in the upper layer.
+func (o *Overlay) Create(p string) (*Node, error) {
+	if _, err := o.Lookup(p); err == nil {
+		return nil, &ErrExists{Path: Clean(p)}
+	}
+	if err := o.copyUp(p); err != nil {
+		return nil, err
+	}
+	return o.upper.Create(p)
+}
+
+// Mkdir creates a directory in the upper layer.
+func (o *Overlay) Mkdir(p string) error {
+	if _, err := o.Lookup(p); err == nil {
+		return &ErrExists{Path: Clean(p)}
+	}
+	if err := o.copyUp(p); err != nil {
+		return err
+	}
+	return o.upper.Mkdir(p)
+}
+
+// MkdirAll creates a directory chain in the upper layer.
+func (o *Overlay) MkdirAll(p string) error {
+	return o.upper.MkdirAll(p)
+}
+
+// Symlink creates a symlink in the upper layer.
+func (o *Overlay) Symlink(target, p string) error {
+	if err := o.copyUp(p); err != nil {
+		return err
+	}
+	return o.upper.Symlink(target, p)
+}
+
+// Mknod creates a device node in the upper layer.
+func (o *Overlay) Mknod(p string, dev Device) error {
+	if err := o.copyUp(p); err != nil {
+		return err
+	}
+	return o.upper.Mknod(p, dev)
+}
+
+// Remove unlinks from whichever layer holds p; removing a lower-layer file
+// is rejected (the simulation does not need whiteouts — Cider never deletes
+// Android system files through the overlay).
+func (o *Overlay) Remove(p string) error {
+	if _, err := o.upper.Lstat(p); err == nil {
+		return o.upper.Remove(p)
+	}
+	if _, err := o.lower.Lookup(p); err == nil {
+		return &ErrExists{Path: Clean(p) + " (lower layer is read-only)"}
+	}
+	return &ErrNotFound{Path: Clean(p)}
+}
+
+// ReadDir unions the listings of both layers; upper entries shadow lower
+// entries of the same name.
+func (o *Overlay) ReadDir(p string) ([]*Node, error) {
+	up, upErr := o.upper.ReadDir(p)
+	low, lowErr := o.lower.ReadDir(p)
+	if upErr != nil && lowErr != nil {
+		return nil, upErr
+	}
+	seen := map[string]bool{}
+	var out []*Node
+	for _, n := range up {
+		seen[n.Name()] = true
+		out = append(out, n)
+	}
+	for _, n := range low {
+		if !seen[n.Name()] {
+			out = append(out, n)
+		}
+	}
+	sortNodes(out)
+	return out, nil
+}
+
+// Rename operates within the upper layer, copying the source up from the
+// lower layer first if necessary.
+func (o *Overlay) Rename(oldp, newp string) error {
+	if _, err := o.upper.Lstat(oldp); err != nil {
+		// Copy the lower file up, then rename within upper.
+		data, rerr := o.lower.ReadFile(oldp)
+		if rerr != nil {
+			return rerr
+		}
+		if err := o.upper.WriteFile(oldp, data); err != nil {
+			return err
+		}
+	}
+	if err := o.copyUp(newp); err != nil {
+		return err
+	}
+	return o.upper.Rename(oldp, newp)
+}
+
+// WriteFile writes to the upper layer.
+func (o *Overlay) WriteFile(p string, data []byte) error {
+	return o.upper.WriteFile(p, data)
+}
+
+// ReadFile reads from the union.
+func (o *Overlay) ReadFile(p string) ([]byte, error) {
+	n, err := o.Lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.IsDir() {
+		return nil, &ErrIsDir{Path: Clean(p)}
+	}
+	return append([]byte(nil), n.Data()...), nil
+}
+
+func sortNodes(ns []*Node) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].Name() < ns[j-1].Name(); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
