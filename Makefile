@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkFig -benchtime=1x .
+
+# verify is the tier-1 gate: everything must build, vet clean, and pass
+# the full test suite under the race detector.
+verify: build vet race

@@ -21,7 +21,54 @@ import (
 	"repro/internal/lmbench"
 	"repro/internal/passmark"
 	"repro/internal/prog"
+	"repro/internal/trace"
 )
+
+// TestTraceZeroCost asserts the observability layer's core invariant:
+// attaching a trace session must not change any virtual-time result. The
+// full Fig. 5 battery runs untraced and traced; every latency must be
+// bit-identical. (The untraced run is the disabled-sink case the
+// BenchmarkFig5* numbers rely on.)
+func TestTraceZeroCost(t *testing.T) {
+	var sessions []*trace.Session
+	run := func(traced bool) *lmbench.Report {
+		t.Helper()
+		if traced {
+			lmbench.OnSystem = func(sys *core.System) {
+				sessions = append(sessions, sys.EnableTrace())
+			}
+			defer func() { lmbench.OnSystem = nil }()
+		}
+		rep, err := lmbench.RunFigure5()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := run(false)
+	traced := run(true)
+	for test, byCfg := range plain.Latency {
+		for cfg, want := range byCfg {
+			if got := traced.Latency[test][cfg]; got != want {
+				t.Errorf("%s/%s: traced latency %v != untraced %v", test, cfg, got, want)
+			}
+			if plain.Failed[test][cfg] != traced.Failed[test][cfg] {
+				t.Errorf("%s/%s: traced failure state differs", test, cfg)
+			}
+		}
+	}
+	// The invariance check is only meaningful if the traced run actually
+	// collected data: one session per configuration, each with syscall
+	// histograms populated.
+	if len(sessions) != len(lmbench.Configurations()) {
+		t.Fatalf("traced run attached %d sessions, want %d", len(sessions), len(lmbench.Configurations()))
+	}
+	for _, s := range sessions {
+		if len(s.Summarize(false).Syscalls) == 0 {
+			t.Errorf("session %q recorded no syscalls", s.Label)
+		}
+	}
+}
 
 // reportFig5 runs an lmbench group and reports each test's normalized
 // latencies as benchmark metrics.

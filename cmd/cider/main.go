@@ -4,6 +4,15 @@
 // Android Launcher through CiderPress, receiving multi-touch input through
 // the eventpump, rendering via diplomatic OpenGL ES, and talking to the
 // copied iOS service daemons over duct-taped Mach IPC.
+//
+// Usage:
+//
+//	cider [--trace]        run the side-by-side demo; with --trace, attach
+//	                       a ktrace session and dump it after the run
+//	cider stats [--json]   run the Fig. 5 syscall battery under tracing on
+//	                       the android / cider-android / cider-ios
+//	                       configurations and print per-syscall histograms
+//	                       plus the null-syscall overhead decomposition
 package main
 
 import (
@@ -15,23 +24,45 @@ import (
 	"repro/internal/input"
 	"repro/internal/kernel"
 	"repro/internal/libsystem"
+	"repro/internal/lmbench"
 	"repro/internal/prog"
 	"repro/internal/services"
+	"repro/internal/trace"
 	"repro/internal/uikit"
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	args := os.Args[1:]
+	switch {
+	case len(args) > 0 && args[0] == "stats":
+		err = runStats(hasFlag(args[1:], "--json"))
+	default:
+		err = runDemo(hasFlag(args, "--trace"))
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cider: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func hasFlag(args []string, flag string) bool {
+	for _, a := range args {
+		if a == flag {
+			return true
+		}
+	}
+	return false
+}
+
+func runDemo(traced bool) error {
 	fmt.Println("== booting Cider on a simulated Nexus 7 (Android 4.2) ==")
 	sys, err := core.NewSystem(core.ConfigCider)
 	if err != nil {
 		return err
+	}
+	if traced {
+		sys.EnableTrace()
 	}
 	fmt.Printf("  kernel: %s  device: %s\n", sys.Kernel.Profile(), sys.Kernel.Device().Name)
 	fmt.Printf("  iOS base image: %d dylibs\n", len(core.IOSDylibs()))
@@ -125,6 +156,107 @@ func run() error {
 	fmt.Println("  syslog:")
 	for _, line := range sys.Syslog.Lines {
 		fmt.Printf("    %s\n", line)
+	}
+	if sys.Trace.Enabled() {
+		fmt.Println("\n== ktrace ==")
+		fmt.Print(sys.Trace.Text())
+	}
+	return nil
+}
+
+// statsConfigs are the configurations whose syscall behaviour `cider
+// stats` decomposes: the vanilla baseline plus both Cider personas
+// (Fig. 5's 8.5% and 40% null-syscall columns).
+func statsConfigs() []lmbench.Configuration {
+	var out []lmbench.Configuration
+	for _, conf := range lmbench.Configurations() {
+		if conf.Name == lmbench.ConfigIPad {
+			continue // real hardware in the paper; no trace hooks to compare
+		}
+		out = append(out, conf)
+	}
+	return out
+}
+
+// syscallTests filters the Fig. 5 battery down to the syscall group.
+func syscallTests() []lmbench.Test {
+	var out []lmbench.Test
+	for _, t := range lmbench.AllTests() {
+		if t.Group == "syscall" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func runStats(asJSON bool) error {
+	type run struct {
+		conf    lmbench.Configuration
+		session *trace.Session
+		null    time.Duration // null-syscall latency for the decomposition
+	}
+	runs := make([]run, 0, 3)
+
+	for _, conf := range statsConfigs() {
+		var session *trace.Session
+		lmbench.OnSystem = func(sys *core.System) {
+			session = sys.EnableTrace()
+			session.Label = conf.Name
+		}
+		results, err := lmbench.Run(conf, syscallTests())
+		lmbench.OnSystem = nil
+		if err != nil {
+			return fmt.Errorf("%s: %w", conf.Name, err)
+		}
+		r := run{conf: conf, session: session}
+		for _, res := range results {
+			if res.Test == "null syscall" && !res.Failed {
+				r.null = res.Latency
+			}
+		}
+		runs = append(runs, r)
+	}
+
+	if asJSON {
+		fmt.Println("[")
+		for i, r := range runs {
+			out, err := r.session.JSON(false)
+			if err != nil {
+				return err
+			}
+			sep := ","
+			if i == len(runs)-1 {
+				sep = ""
+			}
+			fmt.Printf("%s%s\n", out, sep)
+		}
+		fmt.Println("]")
+		return nil
+	}
+
+	for _, r := range runs {
+		fmt.Printf("==== %s ====\n", r.conf.Name)
+		fmt.Print(r.session.Text())
+		fmt.Println()
+	}
+
+	// The Fig. 5 decomposition: null-syscall overhead relative to vanilla
+	// Android — the paper reports ~8.5% for the Android persona (one extra
+	// persona check) and ~40% for the iOS persona (persona check + XNU
+	// syscall translation + errno conversion).
+	base := runs[0].null
+	fmt.Println("==== null-syscall decomposition (Fig. 5) ====")
+	for _, r := range runs {
+		if r.null == 0 {
+			fmt.Printf("  %-14s failed\n", r.conf.Name)
+			continue
+		}
+		if base == 0 {
+			base = r.null
+		}
+		overhead := 100 * (float64(r.null)/float64(base) - 1)
+		fmt.Printf("  %-14s %8v  (+%.1f%% vs %s)\n",
+			r.conf.Name, r.null, overhead, runs[0].conf.Name)
 	}
 	return nil
 }

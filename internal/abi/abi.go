@@ -19,6 +19,7 @@ import (
 	"repro/internal/iokit"
 	"repro/internal/kernel"
 	"repro/internal/persona"
+	"repro/internal/trace"
 	"repro/internal/xnu"
 )
 
@@ -194,12 +195,18 @@ func installXNU(k *kernel.Kernel, native bool) *kernel.SyscallTable {
 	// canonical (Linux) value before invoking the Linux implementation.
 	wrap(XNUKill, kernel.SysKill, "kill", func(t *kernel.Thread, a *kernel.SyscallArgs) {
 		a.I[1] = uint64(kernel.SignalFromXNU(int(a.I[1])))
+		if tr := t.Kernel().Tracer(); tr != nil {
+			tr.Count(trace.CounterSignalXNUSend, 1)
+		}
 	})
 	// sigaction: same renumbering for the signal being configured. The
 	// handler itself receives XNU numbers at delivery time (the kernel's
 	// signal layer translates based on the thread persona).
 	wrap(XNUSigaction, kernel.SysRtSigaction, "sigaction", func(t *kernel.Thread, a *kernel.SyscallArgs) {
 		a.I[0] = uint64(kernel.SignalFromXNU(int(a.I[0])))
+		if tr := t.Kernel().Tracer(); tr != nil {
+			tr.Count(trace.CounterSignalXNUSend, 1)
+		}
 	})
 
 	// posix_spawn: built from the Linux fork (clone) and exec

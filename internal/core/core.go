@@ -35,6 +35,7 @@ import (
 	"repro/internal/prog"
 	"repro/internal/services"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/xnu"
 )
@@ -73,6 +74,9 @@ type Options struct {
 	// bug (Section 6.3); nil means the configuration default (buggy on
 	// Cider, correct on the iPad). The BenchmarkAblationFenceFix knob.
 	FixFences *bool
+	// Trace attaches a trace.Session at boot (equivalent to calling
+	// EnableTrace on the returned System).
+	Trace bool
 	// ExtendedDevices implements the Section 6.4 sketch on Cider: GPS via
 	// an I/O Kit driver plus diplomatic functions, and camera support by
 	// replacing the AVFoundation entry points with diplomats into the
@@ -126,8 +130,24 @@ type System struct {
 	// GPS and Camera are the device's sensors (§6.4).
 	GPS    *devices.GPS
 	Camera *devices.Camera
+	// Trace is the system's observability session, nil until EnableTrace.
+	Trace *trace.Session
 	// opts holds the assembly options for later stages.
 	opts Options
+}
+
+// EnableTrace attaches a trace session to the system: the sim feeds it
+// scheduler events, the kernel feeds it syscall records and signal
+// events, and the library layers (diplomat, dyld, abi) find it through
+// Kernel.Tracer. Idempotent; returns the session. Tracing never charges
+// virtual time, so enabling it does not change measured latencies.
+func (s *System) EnableTrace() *trace.Session {
+	if s.Trace == nil {
+		s.Trace = trace.NewSession(s.Config.String())
+		s.Sim.SetSink(s.Trace)
+		s.Kernel.SetTracer(s.Trace)
+	}
+	return s.Trace
 }
 
 // GfxStack bundles one device's graphics objects.
@@ -276,6 +296,9 @@ func NewSystem(cfg Config, opts ...Options) (*System, error) {
 	}
 	if err := sys.assembleDevices(); err != nil {
 		return nil, err
+	}
+	if o.Trace {
+		sys.EnableTrace()
 	}
 	return sys, nil
 }

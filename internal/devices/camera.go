@@ -62,9 +62,9 @@ func (f *cameraFile) Read(t *kernel.Thread, buf []byte) (int, kernel.Errno) {
 func (f *cameraFile) Write(*kernel.Thread, []byte) (int, kernel.Errno) {
 	return 0, kernel.EINVAL
 }
-func (f *cameraFile) Close(*kernel.Thread) kernel.Errno { return kernel.OK }
-func (f *cameraFile) Poll() kernel.PollMask             { return kernel.PollIn }
-func (f *cameraFile) PollQueue() *sim.WaitQueue         { return nil }
+func (f *cameraFile) Close(*kernel.Thread) kernel.Errno           { return kernel.OK }
+func (f *cameraFile) Poll() kernel.PollMask                       { return kernel.PollIn }
+func (f *cameraFile) PollQueues(kernel.PollMask) []*sim.WaitQueue { return nil }
 func (f *cameraFile) Ioctl(t *kernel.Thread, req, arg uint64) (uint64, kernel.Errno) {
 	if req == CamIoctlCapture {
 		f.dev.frames++

@@ -100,9 +100,9 @@ func (f *gpsFile) Read(t *kernel.Thread, buf []byte) (int, kernel.Errno) {
 func (f *gpsFile) Write(t *kernel.Thread, buf []byte) (int, kernel.Errno) {
 	return 0, kernel.EINVAL
 }
-func (f *gpsFile) Close(*kernel.Thread) kernel.Errno { return kernel.OK }
-func (f *gpsFile) Poll() kernel.PollMask             { return kernel.PollIn }
-func (f *gpsFile) PollQueue() *sim.WaitQueue         { return nil }
+func (f *gpsFile) Close(*kernel.Thread) kernel.Errno           { return kernel.OK }
+func (f *gpsFile) Poll() kernel.PollMask                       { return kernel.PollIn }
+func (f *gpsFile) PollQueues(kernel.PollMask) []*sim.WaitQueue { return nil }
 
 func (f *gpsFile) Ioctl(t *kernel.Thread, req, arg uint64) (uint64, kernel.Errno) {
 	if req == GPSIoctlGetFix {

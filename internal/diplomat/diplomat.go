@@ -30,6 +30,7 @@ import (
 	"repro/internal/macho"
 	"repro/internal/persona"
 	"repro/internal/prog"
+	"repro/internal/trace"
 )
 
 // Engine performs persona arbitration for diplomatic calls on one kernel.
@@ -78,6 +79,9 @@ func (e *Engine) Wrap(domesticKey string) prog.Func {
 				return ^uint64(0)
 			}
 			cached = fn
+			if tr := e.k.Tracer(); tr != nil {
+				tr.Count(trace.CounterDiplomatResolves, 1)
+			}
 		}
 		// Step 2: save the arguments on the stack.
 		t.Charge(e.saveCost)
@@ -106,6 +110,9 @@ func (e *Engine) Wrap(domesticKey string) prog.Func {
 		// Step 9: restore the result and return.
 		t.Charge(e.saveCost)
 		e.calls++
+		if tr := e.k.Tracer(); tr != nil {
+			tr.Count(trace.CounterDiplomatCalls, 1)
+		}
 		return ret
 	}
 }
@@ -127,6 +134,9 @@ func (e *Engine) Batch(t *kernel.Thread, fn func()) {
 	t.Syscall(kernel.SysSetPersona, &kernel.SyscallArgs{I: [6]uint64{uint64(from)}})
 	t.Charge(e.errnoCost + e.saveCost)
 	e.calls++
+	if tr := e.k.Tracer(); tr != nil {
+		tr.Count(trace.CounterDiplomatCalls, 1)
+	}
 }
 
 // Spec describes one generated diplomat.

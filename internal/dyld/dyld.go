@@ -27,6 +27,7 @@ import (
 	"repro/internal/macho"
 	"repro/internal/mem"
 	"repro/internal/prog"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -238,6 +239,10 @@ func loadAll(t *kernel.Thread, cs costs, images *Images, roots []string) error {
 			t.Charge(cs.bindSym)
 			img.Exports[sym.Name] = prog.SymbolKey(path, sym.Name)
 		}
+		if tr := k.Tracer(); tr != nil {
+			tr.Count(trace.CounterDyldBinds, uint64(len(img.Exports)))
+			tr.Count(trace.CounterDyldImages, 1)
+		}
 		images.list = append(images.list, img)
 		images.byPath[path] = img
 		// Run the image initializer and register its teardown hooks: one
@@ -278,6 +283,10 @@ func attachSharedCache(t *kernel.Thread, cs costs, images *Images) bool {
 	r, merr := t.Task().Mem().Map(0, manifest.TotalBytes, mem.ProtRead|mem.ProtExec, "dyld_shared_cache", false)
 	if merr != nil {
 		return false
+	}
+	if tr := k.Tracer(); tr != nil {
+		tr.Count(trace.CounterDyldCacheAttach, 1)
+		tr.Count(trace.CounterDyldImages, uint64(len(manifest.Images)))
 	}
 	r.Submap = true // nested map: fork never copies these PTEs
 	st := libsystem.ForTask(t.Task())

@@ -11,13 +11,17 @@ import (
 type Device struct {
 	queue []byte
 	wait  *sim.WaitQueue
+	// waitQs is wait as a reusable slice for PollQueues.
+	waitQs []*sim.WaitQueue
 	// injected counts events for diagnostics.
 	injected uint64
 }
 
 // NewDevice creates the input device.
 func NewDevice() *Device {
-	return &Device{wait: sim.NewWaitQueue("input0")}
+	d := &Device{wait: sim.NewWaitQueue("input0")}
+	d.waitQs = []*sim.WaitQueue{d.wait}
+	return d
 }
 
 // DevName implements kernel.Device.
@@ -77,7 +81,7 @@ func (f *deviceFile) Poll() kernel.PollMask {
 	return kernel.PollOut
 }
 
-func (f *deviceFile) PollQueue() *sim.WaitQueue { return f.dev.wait }
+func (f *deviceFile) PollQueues(kernel.PollMask) []*sim.WaitQueue { return f.dev.waitQs }
 
 func (f *deviceFile) Ioctl(*kernel.Thread, uint64, uint64) (uint64, kernel.Errno) {
 	return 0, kernel.ENOTTY

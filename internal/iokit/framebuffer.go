@@ -70,9 +70,9 @@ func (f *fbFile) Write(t *kernel.Thread, buf []byte) (int, kernel.Errno) {
 	return n, kernel.OK
 }
 
-func (f *fbFile) Close(*kernel.Thread) kernel.Errno { return kernel.OK }
-func (f *fbFile) Poll() kernel.PollMask             { return kernel.PollIn | kernel.PollOut }
-func (f *fbFile) PollQueue() *sim.WaitQueue         { return nil }
+func (f *fbFile) Close(*kernel.Thread) kernel.Errno           { return kernel.OK }
+func (f *fbFile) Poll() kernel.PollMask                       { return kernel.PollIn | kernel.PollOut }
+func (f *fbFile) PollQueues(kernel.PollMask) []*sim.WaitQueue { return nil }
 
 func (f *fbFile) Ioctl(t *kernel.Thread, req, arg uint64) (uint64, kernel.Errno) {
 	switch req {

@@ -28,9 +28,12 @@ type File interface {
 	Close(t *Thread) Errno
 	// Poll reports current readiness.
 	Poll() PollMask
-	// PollQueue returns the wait queue broadcast on readiness changes, or
-	// nil for always-ready files.
-	PollQueue() *sim.WaitQueue
+	// PollQueues returns the wait queues broadcast when readiness could
+	// change for the given interest set (PollIn, PollOut, or both), or nil
+	// for always-ready files. Files with direction-split buffering (UNIX
+	// sockets) return different queues for read and write interest; a
+	// selector must enqueue on every returned queue.
+	PollQueues(interest PollMask) []*sim.WaitQueue
 	// Ioctl performs a device-specific operation.
 	Ioctl(t *Thread, req, arg uint64) (uint64, Errno)
 }
@@ -172,9 +175,9 @@ func (f *fsFile) Write(t *Thread, buf []byte) (int, Errno) {
 	return len(buf), OK
 }
 
-func (f *fsFile) Close(*Thread) Errno       { return OK }
-func (f *fsFile) Poll() PollMask            { return PollIn | PollOut }
-func (f *fsFile) PollQueue() *sim.WaitQueue { return nil }
+func (f *fsFile) Close(*Thread) Errno                  { return OK }
+func (f *fsFile) Poll() PollMask                       { return PollIn | PollOut }
+func (f *fsFile) PollQueues(PollMask) []*sim.WaitQueue { return nil }
 func (f *fsFile) Ioctl(*Thread, uint64, uint64) (uint64, Errno) {
 	return 0, ENOTTY
 }
@@ -186,9 +189,9 @@ func (nullFile) Read(*Thread, []byte) (int, Errno) { return 0, OK }
 func (nullFile) Write(t *Thread, b []byte) (int, Errno) {
 	return len(b), OK
 }
-func (nullFile) Close(*Thread) Errno       { return OK }
-func (nullFile) Poll() PollMask            { return PollIn | PollOut }
-func (nullFile) PollQueue() *sim.WaitQueue { return nil }
+func (nullFile) Close(*Thread) Errno                  { return OK }
+func (nullFile) Poll() PollMask                       { return PollIn | PollOut }
+func (nullFile) PollQueues(PollMask) []*sim.WaitQueue { return nil }
 func (nullFile) Ioctl(*Thread, uint64, uint64) (uint64, Errno) {
 	return 0, ENOTTY
 }
@@ -205,7 +208,7 @@ func (zeroFile) Read(t *Thread, b []byte) (int, Errno) {
 func (zeroFile) Write(t *Thread, b []byte) (int, Errno) { return len(b), OK }
 func (zeroFile) Close(*Thread) Errno                    { return OK }
 func (zeroFile) Poll() PollMask                         { return PollIn | PollOut }
-func (zeroFile) PollQueue() *sim.WaitQueue              { return nil }
+func (zeroFile) PollQueues(PollMask) []*sim.WaitQueue   { return nil }
 func (zeroFile) Ioctl(*Thread, uint64, uint64) (uint64, Errno) {
 	return 0, ENOTTY
 }

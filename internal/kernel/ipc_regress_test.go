@@ -1,0 +1,135 @@
+package kernel
+
+// Regression tests for three IPC wakeup/return-value bugs:
+//
+//   1. sockEnd published only its receive queue to select, so a selector
+//      waiting for writability was never woken when the peer drained the
+//      socket (TestSelectWritableSocket).
+//   2. A queue wake landing at or after select's deadline was reported as
+//      a timeout with an empty result, dropping a ready descriptor
+//      (TestSelectWakeAtDeadline).
+//   3. A pipe write interrupted (or hitting EPIPE) after a partial
+//      transfer returned the partial count *and* an error; POSIX requires
+//      the partial count as success (TestPipeWriteInterruptedPartial).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+// TestSelectWritableSocket: a thread select()ing for writability on a
+// full AF_UNIX socket must wake when the peer drains it. Before the fix,
+// sockEnd.PollQueues returned only the receive queue, the reader's wakeup
+// was broadcast on the send buffer's queue nobody waited on, and the
+// selector parked forever (sim.ErrDeadlock).
+func TestSelectWritableSocket(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	var res *SelectResult
+	var woke time.Duration
+	e.install(t, "/bin/selw", "selw", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		sp := th.Syscall(SysSocketpair, nil)
+		a, b := sp.R0, sp.R1
+		// Fill a's send direction to capacity: a is no longer writable.
+		th.Syscall(SysWrite, &SyscallArgs{I: [6]uint64{a}, Buf: make([]byte, pipeCapacity)})
+		th.SpawnThread("drain", func(wt *Thread) {
+			wt.Charge(time.Millisecond)
+			buf := make([]byte, 4096)
+			wt.Syscall(SysRead, &SyscallArgs{I: [6]uint64{b}, Buf: buf})
+		})
+		ret := th.Syscall(SysSelect, &SyscallArgs{Select: &SelectRequest{
+			WriteFDs: []int{int(a)}, Timeout: -1,
+		}})
+		res = ret.Select
+		woke = th.Now()
+		return 0
+	})
+	e.run(t, "/bin/selw", nil)
+	if res == nil || len(res.WriteReady) != 1 || res.WriteReady[0] != 0 {
+		t.Fatalf("WriteReady = %+v, want socket fd 0", res)
+	}
+	if woke < time.Millisecond {
+		t.Fatalf("select returned at %v, before the peer drained", woke)
+	}
+}
+
+// TestSelectWakeAtDeadline: a writer wakes the selector at exactly the
+// timeout deadline. The wake tag is WakeNormal and now >= deadline, which
+// is indistinguishable from timer expiry — before the fix select declared
+// a timeout and returned an empty set, dropping the ready descriptor.
+// Zero kernel costs pin every event to an exact virtual instant. The main
+// thread must be the writer: at a tied instant the scheduler resumes the
+// lower-id runnable proc before firing an equal-deadline sleeper, so the
+// write lands before the selector's timer.
+func TestSelectWakeAtDeadline(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	*e.k.Costs() = Costs{}
+	const timeout = 10 * time.Millisecond
+	var res *SelectResult
+	var errno Errno
+	e.install(t, "/bin/seldl", "seldl", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		p := th.Syscall(SysPipe, nil)
+		rfd, wfd := p.R0, p.R1
+		join := sim.NewWaitQueue("join")
+		th.SpawnThread("selector", func(wt *Thread) {
+			res, errno = wt.selectInternal(&SelectRequest{
+				ReadFDs: []int{int(rfd)}, Timeout: timeout,
+			})
+			join.WakeAll(wt.Proc(), sim.WakeNormal)
+		})
+		th.Charge(timeout) // the selector runs (and parks) during this charge
+		th.Syscall(SysWrite, &SyscallArgs{I: [6]uint64{wfd}, Buf: []byte("x")})
+		join.Wait(th.Proc())
+		return 0
+	})
+	e.run(t, "/bin/seldl", nil)
+	if errno != OK {
+		t.Fatalf("select errno = %v", errno)
+	}
+	if res == nil || len(res.ReadReady) != 1 {
+		t.Fatalf("select at deadline dropped the ready fd: %+v", res)
+	}
+}
+
+// TestPipeWriteInterruptedPartial: a signal interrupting a blocked pipe
+// write that has already transferred bytes must yield the partial count
+// as success, not (count, EINTR) — POSIX write(2) semantics. The handler
+// still runs on syscall exit.
+func TestPipeWriteInterruptedPartial(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	var ret SyscallRet
+	handled := false
+	e.install(t, "/bin/wintr", "wintr", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		th.Syscall(SysRtSigaction, &SyscallArgs{
+			I:   [6]uint64{SIGUSR1},
+			Act: &SigAction{Handler: func(*Thread, int) { handled = true }},
+		})
+		p := th.Syscall(SysPipe, nil)
+		pid := th.Syscall(SysGetpid, nil).R0
+		th.SpawnThread("killer", func(wt *Thread) {
+			wt.Charge(time.Millisecond)
+			wt.Syscall(SysKill, &SyscallArgs{I: [6]uint64{pid, SIGUSR1}})
+		})
+		// Twice the pipe capacity: the first half fills the buffer, then
+		// the writer blocks with total == pipeCapacity transferred.
+		ret = th.Syscall(SysWrite, &SyscallArgs{
+			I: [6]uint64{p.R1}, Buf: make([]byte, 2*pipeCapacity),
+		})
+		return 0
+	})
+	e.run(t, "/bin/wintr", nil)
+	if ret.Errno != OK {
+		t.Fatalf("interrupted partial write: errno = %v, want OK (POSIX partial count)", ret.Errno)
+	}
+	if ret.R0 != pipeCapacity {
+		t.Fatalf("partial write returned %d, want %d", ret.R0, pipeCapacity)
+	}
+	if !handled {
+		t.Fatal("SIGUSR1 handler did not run on syscall exit")
+	}
+}

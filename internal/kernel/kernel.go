@@ -17,6 +17,7 @@ import (
 	"repro/internal/persona"
 	"repro/internal/prog"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -272,6 +273,11 @@ type Kernel struct {
 	// extensions holds duct-taped subsystem state (Mach IPC tables, psynch
 	// state, I/O Kit registry) keyed by subsystem name.
 	extensions map[string]any
+
+	// tracer, when non-nil, receives syscall records, signal events and
+	// library-layer counters. Trace hooks never charge virtual time, so
+	// attaching a tracer cannot change measured latencies.
+	tracer *trace.Session
 }
 
 // New boots a kernel on the given simulator.
@@ -328,6 +334,14 @@ func (k *Kernel) Registry() *prog.Registry { return k.registry }
 
 // Costs returns the kernel cost table (mutable for ablation benches).
 func (k *Kernel) Costs() *Costs { return k.costs }
+
+// SetTracer attaches (or, with nil, detaches) a trace session.
+func (k *Kernel) SetTracer(tr *trace.Session) { k.tracer = tr }
+
+// Tracer returns the attached trace session, or nil when tracing is off.
+// Library layers (diplomat, dyld, abi) read it dynamically so they need
+// no wiring of their own.
+func (k *Kernel) Tracer() *trace.Session { return k.tracer }
 
 // PersonaAware reports whether the kernel tracks per-thread personas
 // (Cider only).

@@ -11,12 +11,16 @@ type pipeBuffer struct {
 	writers int
 	// queue is broadcast whenever readability/writability changes.
 	queue *sim.WaitQueue
+	// queues is the queue as a reusable one-element slice for PollQueues.
+	queues []*sim.WaitQueue
 }
 
 const pipeCapacity = 65536 // Linux default pipe buffer
 
 func newPipeBuffer(name string) *pipeBuffer {
-	return &pipeBuffer{cap: pipeCapacity, queue: sim.NewWaitQueue(name)}
+	pb := &pipeBuffer{cap: pipeCapacity, queue: sim.NewWaitQueue(name)}
+	pb.queues = []*sim.WaitQueue{pb.queue}
+	return pb
 }
 
 func (pb *pipeBuffer) readable() bool { return len(pb.data) > 0 || pb.writers == 0 }
@@ -45,12 +49,22 @@ func (pb *pipeBuffer) write(t *Thread, buf []byte) (int, Errno) {
 	total := 0
 	for len(buf) > 0 {
 		for len(pb.data) >= pb.cap {
+			// POSIX write(2): once any bytes have transferred, the call
+			// reports the partial count as success; EPIPE/EINTR (and the
+			// SIGPIPE that accompanies EPIPE) are raised only by a
+			// subsequent write that transfers nothing.
 			if pb.readers == 0 {
+				if total > 0 {
+					return total, OK
+				}
 				t.k.postSignal(t.task, sigPIPE)
-				return total, EPIPE
+				return 0, EPIPE
 			}
 			if tag := pb.queue.Wait(t.proc); tag == sim.WakeInterrupted {
-				return total, EINTR
+				if total > 0 {
+					return total, OK
+				}
+				return 0, EINTR
 			}
 		}
 		n := pb.cap - len(pb.data)
@@ -74,6 +88,11 @@ type pipeEnd struct {
 	unix bool
 }
 
+// hopCost charges the one-way IPC latency. It is charged on the read
+// side only, when data actually arrives: lmbench's lat_pipe measures a
+// full round trip and its per-hop figure already includes both the
+// writer's copy-in and the reader's wakeup, so charging the writer too
+// would double-count the calibrated hop.
 func (pe *pipeEnd) hopCost(t *Thread) {
 	if pe.unix {
 		t.charge(t.k.costs.UnixHop)
@@ -126,7 +145,7 @@ func (pe *pipeEnd) Poll() PollMask {
 	return m
 }
 
-func (pe *pipeEnd) PollQueue() *sim.WaitQueue { return pe.buf.queue }
+func (pe *pipeEnd) PollQueues(PollMask) []*sim.WaitQueue { return pe.buf.queues }
 
 func (pe *pipeEnd) Ioctl(*Thread, uint64, uint64) (uint64, Errno) {
 	return 0, ENOTTY
@@ -156,6 +175,21 @@ type sockEnd struct {
 	k    *Kernel
 	recv *pipeBuffer
 	send *pipeBuffer
+	// recvQ/sendQ/bothQ are cached PollQueues results: readability (and
+	// hangup) is signalled on the recv buffer's queue, writability on the
+	// send buffer's.
+	recvQ []*sim.WaitQueue
+	sendQ []*sim.WaitQueue
+	bothQ []*sim.WaitQueue
+}
+
+func newSockEnd(k *Kernel, recv, send *pipeBuffer) *sockEnd {
+	return &sockEnd{
+		k: k, recv: recv, send: send,
+		recvQ: []*sim.WaitQueue{recv.queue},
+		sendQ: []*sim.WaitQueue{send.queue},
+		bothQ: []*sim.WaitQueue{recv.queue, send.queue},
+	}
 }
 
 func (se *sockEnd) Read(t *Thread, buf []byte) (int, Errno) {
@@ -194,7 +228,21 @@ func (se *sockEnd) Poll() PollMask {
 	return m
 }
 
-func (se *sockEnd) PollQueue() *sim.WaitQueue { return se.recv.queue }
+// PollQueues picks queues by interest. The recv and send directions of a
+// socket live in different buffers, so a write-selector must wait on the
+// send buffer's queue — a reader draining the peer broadcasts there. (An
+// earlier version returned only the recv queue, leaving write-selectors
+// unwakeable; see TestSelectWritableSocket.) Read-interest selectors
+// still wait only on the recv queue, so they see no extra wakeups.
+func (se *sockEnd) PollQueues(interest PollMask) []*sim.WaitQueue {
+	switch {
+	case interest&PollOut == 0:
+		return se.recvQ
+	case interest&(PollIn|PollHup) == 0:
+		return se.sendQ
+	}
+	return se.bothQ
+}
 
 func (se *sockEnd) Ioctl(*Thread, uint64, uint64) (uint64, Errno) {
 	return 0, ENOTTY
@@ -206,8 +254,8 @@ func (t *Thread) socketpairInternal() (int, int, Errno) {
 	ba := newPipeBuffer("unix-b2a")
 	ab.readers, ab.writers = 1, 1
 	ba.readers, ba.writers = 1, 1
-	a := &sockEnd{k: t.k, recv: ba, send: ab}
-	b := &sockEnd{k: t.k, recv: ab, send: ba}
+	a := newSockEnd(t.k, ba, ab)
+	b := newSockEnd(t.k, ab, ba)
 	afd, errno := t.task.fds.Alloc(a)
 	if errno != OK {
 		return -1, -1, errno
@@ -228,8 +276,8 @@ func InstallSocketPair(t1 *Thread, t2 *Thread) (fd1, fd2 int, errno Errno) {
 	ba := newPipeBuffer("unix-b2a")
 	ab.readers, ab.writers = 1, 1
 	ba.readers, ba.writers = 1, 1
-	a := &sockEnd{k: t1.k, recv: ba, send: ab}
-	b := &sockEnd{k: t2.k, recv: ab, send: ba}
+	a := newSockEnd(t1.k, ba, ab)
+	b := newSockEnd(t2.k, ab, ba)
 	fd1, errno = t1.task.fds.Alloc(a)
 	if errno != OK {
 		return -1, -1, errno

@@ -41,26 +41,7 @@ func (t *Thread) selectInternal(req *SelectRequest) (*SelectResult, Errno) {
 	}
 	for {
 		t.charge(k.costs.SelectBase + time.Duration(nfds)*k.costs.SelectPerFD)
-		res := &SelectResult{}
-		var queues []*sim.WaitQueue
-		bad := false
-		scan := func(fds []int, want PollMask, out *[]int) {
-			for _, fd := range fds {
-				f, errno := t.task.fds.Get(fd)
-				if errno != OK {
-					bad = true
-					return
-				}
-				if f.Poll()&(want|PollHup) != 0 {
-					*out = append(*out, fd)
-				}
-				if q := f.PollQueue(); q != nil {
-					queues = append(queues, q)
-				}
-			}
-		}
-		scan(req.ReadFDs, PollIn, &res.ReadReady)
-		scan(req.WriteFDs, PollOut, &res.WriteReady)
+		res, queues, bad := t.scanSelect(req, true)
 		if bad {
 			return nil, EBADF
 		}
@@ -93,7 +74,46 @@ func (t *Thread) selectInternal(req *SelectRequest) (*SelectResult, Errno) {
 			return nil, EINTR
 		}
 		if timedOut {
-			return &SelectResult{}, OK
+			// A queue wake can race the deadline: a WakeNormal arriving at
+			// or after the deadline instant looks identical to timer expiry,
+			// but an fd may have become ready. Rescan once so that ready fd
+			// is reported instead of dropped. The rescan is deliberately
+			// uncharged — a true timeout must cost exactly what it did
+			// before this fix (benchmark virtual times are bit-identical),
+			// and the racing waker's readiness check rides on the scan cost
+			// already charged this iteration.
+			res, _, bad = t.scanSelect(req, false)
+			if bad {
+				return nil, EBADF
+			}
+			return res, OK
 		}
 	}
+}
+
+// scanSelect performs one readiness pass over the request's descriptor
+// sets. When collectQueues is set it also gathers the wait queues to
+// block on, asking each file only for the queues matching the interest
+// it was polled with (read-interest must not enqueue on write-side
+// queues, and vice versa). bad reports a dangling descriptor.
+func (t *Thread) scanSelect(req *SelectRequest, collectQueues bool) (res *SelectResult, queues []*sim.WaitQueue, bad bool) {
+	res = &SelectResult{}
+	scan := func(fds []int, want PollMask, out *[]int) {
+		for _, fd := range fds {
+			f, errno := t.task.fds.Get(fd)
+			if errno != OK {
+				bad = true
+				return
+			}
+			if f.Poll()&(want|PollHup) != 0 {
+				*out = append(*out, fd)
+			}
+			if collectQueues {
+				queues = append(queues, f.PollQueues(want)...)
+			}
+		}
+	}
+	scan(req.ReadFDs, PollIn, &res.ReadReady)
+	scan(req.WriteFDs, PollOut, &res.WriteReady)
+	return res, queues, bad
 }

@@ -3,6 +3,7 @@ package kernel
 import (
 	"repro/internal/persona"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Canonical (Linux/ARM) signal numbers. The ABI layer translates between
@@ -108,6 +109,9 @@ func (k *Kernel) postSignal(target *Task, sig int) {
 		}
 	}
 	th.sigPending = append(th.sigPending, sig)
+	if tr := k.tracer; tr != nil {
+		tr.Count(trace.CounterSignalPosted, 1)
+	}
 	// Interrupt a thread blocked in an interruptible sleep.
 	if th.inSyscall && th.proc.State() == sim.StateParked {
 		if cur := k.sim.Current(); cur != nil {
@@ -158,19 +162,34 @@ func (t *Thread) deliverSignal(sig int) {
 		case sigCHLD, sigCONT:
 			return
 		default:
+			if tr := k.tracer; tr != nil {
+				tr.Count(trace.CounterSignalDelivered, 1)
+				tr.Signal(t.proc.Name(), t.proc.ID(), t.Persona.Current(), sig,
+					"default:terminate", t.proc.Now())
+			}
 			t.exitTask(128 + sig)
 		}
 		return
 	}
 	t.charge(k.costs.SignalDeliverBase)
 	delivered := sig
+	translated := false
 	if t.Persona.Current() == persona.IOS {
 		if k.PersonaAware() {
 			// Translate to the XNU number and copy the larger XNU
 			// sigframe the iOS handler expects (the 25% lat_sig overhead).
 			t.charge(k.costs.SignalXNUTranslate + k.costs.SignalXNUFrame)
+			translated = true
 		}
 		delivered = SignalToXNU(sig)
+	}
+	if tr := k.tracer; tr != nil {
+		tr.Count(trace.CounterSignalDelivered, 1)
+		if translated {
+			tr.Count(trace.CounterSignalXNUDeliver, 1)
+		}
+		tr.Signal(t.proc.Name(), t.proc.ID(), t.Persona.Current(), delivered,
+			"handler", t.proc.Now())
 	}
 	act.Handler(t, delivered)
 }

@@ -129,6 +129,25 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 	if a == nil {
 		a = &SyscallArgs{}
 	}
+	// Trace bookkeeping observes virtual time but never charges it. The
+	// persona and name are captured at entry: set_persona switches the
+	// thread's persona mid-call, and attribution belongs to the table that
+	// served the trap. exit/execve unwind the Proc instead of returning, so
+	// they leave an enter record with no matching exit — as real ktrace does.
+	tr := k.tracer
+	var trStart time.Duration
+	var trPersona persona.Kind
+	var trName string
+	if tr != nil {
+		trStart = t.proc.Now()
+		trPersona = t.Persona.Current()
+		if tb := k.tables[trPersona]; tb != nil {
+			trName = tb.NameOf(num)
+		} else {
+			trName = fmt.Sprintf("sys_%d", num)
+		}
+		tr.SyscallEnter(t.proc.Name(), t.proc.ID(), trPersona, num, trName, trStart)
+	}
 	t.charge(k.costs.SyscallEntry)
 	if k.PersonaAware() {
 		// "Extra persona checking and handling code run on every syscall
@@ -140,6 +159,10 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 		// No ABI provisioned for this persona on this kernel (e.g. an iOS
 		// binary trapping into vanilla Linux).
 		t.charge(k.costs.SyscallExit)
+		if tr != nil {
+			tr.SyscallExit(t.proc.Name(), t.proc.ID(), trPersona, num, trName,
+				int(ENOSYS), trStart, t.proc.Now())
+		}
 		return SyscallRet{R0: ^uint64(0), Errno: ENOSYS}
 	}
 	if table.EntryExtra > 0 {
@@ -167,7 +190,14 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 		}
 		t.Persona.CurrentTLS().Errno = e
 	}
+	// Signal delivery happens on the syscall return path, so its cost is
+	// part of the trap the histogram attributes it to (lmbench's lat_sig
+	// measures exactly this: kill + delivery in one round trip).
 	t.checkSignals()
+	if tr != nil {
+		tr.SyscallExit(t.proc.Name(), t.proc.ID(), trPersona, num, trName,
+			int(ret.Errno), trStart, t.proc.Now())
+	}
 	return ret
 }
 

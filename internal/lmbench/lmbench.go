@@ -228,12 +228,21 @@ func Configurations() []Configuration {
 	}
 }
 
+// OnSystem, when non-nil, is invoked with each configuration's freshly
+// booted System before any benchmark process starts. Tests and the CLI
+// use it to attach a trace session to the run; it must not advance
+// virtual time.
+var OnSystem func(*core.System)
+
 // Run executes the given tests in one configuration, returning a result
 // per test.
 func Run(conf Configuration, tests []Test) ([]Result, error) {
 	sys, err := core.NewSystem(conf.System)
 	if err != nil {
 		return nil, err
+	}
+	if OnSystem != nil {
+		OnSystem(sys)
 	}
 	// Install the hello-world payloads the process-creation tests exec.
 	if sys.AndroidFS != nil {

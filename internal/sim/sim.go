@@ -72,6 +72,54 @@ func (e *ErrDeadlock) Error() string {
 	return fmt.Sprintf("sim: deadlock with %d parked procs: %v", len(e.Parked), e.Parked)
 }
 
+// SchedEvent identifies one scheduler event delivered to a Sink.
+type SchedEvent int
+
+const (
+	// SchedSpawn fires when a Proc is created.
+	SchedSpawn SchedEvent = iota
+	// SchedBlock fires when a Proc gives up the run token (park, sleep, or
+	// preemption); the event detail carries the park reason.
+	SchedBlock
+	// SchedResume fires when a blocked Proc is scheduled again.
+	SchedResume
+	// SchedWake fires when a parked or sleeping Proc is made runnable by
+	// another Proc; the detail is "interrupted" for signal-style wakes.
+	SchedWake
+	// SchedExit fires when a Proc terminates.
+	SchedExit
+	// NumSchedEvents bounds the event kinds (sizing arrays).
+	NumSchedEvents
+)
+
+func (e SchedEvent) String() string {
+	switch e {
+	case SchedSpawn:
+		return "spawn"
+	case SchedBlock:
+		return "block"
+	case SchedResume:
+		return "resume"
+	case SchedWake:
+		return "wake"
+	case SchedExit:
+		return "exit"
+	}
+	return fmt.Sprintf("sched(%d)", int(e))
+}
+
+// Sink receives scheduler events. It replaces the old single trace
+// callback: a Sink implementation (internal/trace owns the canonical one)
+// can feed ring buffers, per-proc accounting, or test assertions. Sinks
+// must never re-enter the simulator (no Spawn/Wake/Advance); they observe
+// virtual time, they do not create it.
+type Sink interface {
+	// SchedEvent reports one event. detail carries the park reason on
+	// block events and "interrupted" on interrupting wakes; it is empty
+	// otherwise.
+	SchedEvent(ev SchedEvent, proc string, id int, at time.Duration, detail string)
+}
+
 // exitProc is the panic value used to unwind a Proc on Exit.
 type exitProc struct{ p *Proc }
 
@@ -264,8 +312,8 @@ type Sim struct {
 	// live counts Procs that are not done; nonDaemonLive excludes daemons.
 	live          int
 	nonDaemonLive int
-	// trace, when non-nil, receives scheduling events (tests/debugging).
-	trace func(event, proc string, at time.Duration)
+	// sink, when non-nil, receives scheduling events (see Sink).
+	sink Sink
 	// panicValue propagates a Proc panic out of Run.
 	panicValue any
 	panicProc  string
@@ -281,14 +329,27 @@ func New() *Sim {
 	}
 }
 
-// SetTrace installs a scheduling-event callback (for tests). Pass nil to
-// disable.
-func (s *Sim) SetTrace(fn func(event, proc string, at time.Duration)) { s.trace = fn }
+// SetSink installs a scheduler-event sink. Pass nil to disable. The nil
+// check is the entire disabled-path cost: no event is materialized unless
+// a sink is attached, and sinks never advance virtual time, so attaching
+// one cannot change simulation results.
+func (s *Sim) SetSink(sink Sink) { s.sink = sink }
 
-func (s *Sim) emit(event string, p *Proc) {
-	if s.trace != nil {
-		s.trace(event, p.name, p.now)
+func (s *Sim) emit(ev SchedEvent, p *Proc, detail string) {
+	if s.sink != nil {
+		s.sink.SchedEvent(ev, p.name, p.id, p.now, detail)
 	}
+}
+
+// blockDetail names what the Proc is blocking on for SchedBlock events.
+func blockDetail(p *Proc) string {
+	switch p.state {
+	case StateParked:
+		return p.parkReason
+	case StateSleeping:
+		return "sleep"
+	}
+	return ""
 }
 
 // Spawn creates a new Proc running fn. When called before Run, the Proc
@@ -313,7 +374,7 @@ func (s *Sim) Spawn(name string, fn func(*Proc)) *Proc {
 	}
 	go s.procMain(p)
 	s.ready.push(p)
-	s.emit("spawn", p)
+	s.emit(SchedSpawn, p, "")
 	return p
 }
 
@@ -340,7 +401,7 @@ func (s *Sim) procMain(p *Proc) {
 		if !p.daemon {
 			s.nonDaemonLive--
 		}
-		s.emit("exit", p)
+		s.emit(SchedExit, p, "")
 		s.yield <- p
 	}()
 	p.fn(p)
@@ -349,11 +410,11 @@ func (s *Sim) procMain(p *Proc) {
 // yieldAndWait releases the token to the scheduler and blocks until this
 // Proc is scheduled again.
 func (s *Sim) yieldAndWait(p *Proc) {
-	s.emit("block", p)
+	s.emit(SchedBlock, p, blockDetail(p))
 	s.yield <- p
 	<-p.run
 	p.state = StateRunning
-	s.emit("resume", p)
+	s.emit(SchedResume, p, "")
 }
 
 // maybePreempt hands the token over if another Proc could run at an earlier
@@ -392,7 +453,11 @@ func (s *Sim) wake(at time.Duration, target *Proc, tag int) bool {
 	target.parkReason = ""
 	target.state = StateRunnable
 	s.ready.push(target)
-	s.emit("wake", target)
+	detail := ""
+	if tag != WakeNormal {
+		detail = "interrupted"
+	}
+	s.emit(SchedWake, target, detail)
 	return true
 }
 

@@ -1,0 +1,292 @@
+// Package trace is the simulator's observability layer: a ktrace-style
+// bounded ring buffer of events plus per-syscall virtual-latency
+// histograms and named counters. It exists so the Fig. 5/6 overheads can
+// be decomposed from a run — which persona paid how many cycles in which
+// syscall — rather than asserted from the cost tables.
+//
+// The layer is always compiled in and zero-cost when disabled: producers
+// (sim scheduler, kernel syscall dispatch, signal delivery, diplomat,
+// dyld) hold a *Session pointer and skip all work on nil. A Session never
+// charges virtual time; attaching one cannot change simulation results,
+// and bench_test.go asserts exactly that.
+package trace
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/persona"
+	"repro/internal/sim"
+)
+
+// Counter names used across the stack. Producers pass these to Count;
+// exporters sort them lexically, so dotted prefixes group related
+// counters in the output.
+const (
+	// CounterDiplomatCalls counts diplomatic function invocations
+	// (the full 9-step persona arbitration in internal/diplomat).
+	CounterDiplomatCalls = "diplomat.calls"
+	// CounterDiplomatResolves counts domestic-symbol resolutions inside
+	// diplomat calls (arbitration step 4).
+	CounterDiplomatResolves = "diplomat.resolves"
+	// CounterSignalPosted counts signals queued on a task.
+	CounterSignalPosted = "signal.posted"
+	// CounterSignalDelivered counts signals actually delivered to a
+	// handler or default disposition.
+	CounterSignalDelivered = "signal.delivered"
+	// CounterSignalXNUDeliver counts deliveries that crossed the
+	// Linux-to-XNU signal-number translation (iOS persona receivers).
+	CounterSignalXNUDeliver = "signal.xnu_deliver_translated"
+	// CounterSignalXNUSend counts send-side XNU-to-Linux signal-number
+	// translations (XNU kill/sigaction entering the shim).
+	CounterSignalXNUSend = "signal.xnu_send_translated"
+	// CounterDyldBinds counts dyld symbol bindings performed at load.
+	CounterDyldBinds = "dyld.binds"
+	// CounterDyldImages counts Mach-O images initialized by dyld.
+	CounterDyldImages = "dyld.images"
+	// CounterDyldCacheAttach counts shared-cache attachments.
+	CounterDyldCacheAttach = "dyld.cache_attach"
+)
+
+// EventKind classifies ring-buffer entries.
+type EventKind int
+
+const (
+	// EvSched is a scheduler event forwarded from sim (spawn/block/…).
+	EvSched EventKind = iota
+	// EvSyscallEnter marks a thread entering syscall dispatch.
+	EvSyscallEnter
+	// EvSyscallExit marks syscall completion; Errno holds the result.
+	EvSyscallExit
+	// EvSignal marks a signal delivery.
+	EvSignal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSched:
+		return "sched"
+	case EvSyscallEnter:
+		return "sysenter"
+	case EvSyscallExit:
+		return "sysexit"
+	case EvSignal:
+		return "signal"
+	}
+	return "event?"
+}
+
+// Event is one ring-buffer record. Fields beyond Seq/At/Kind/Proc are
+// populated per kind: Sched for EvSched; Persona/Sysno/Name/Errno for
+// syscall records; Sysno carries the signal number for EvSignal.
+type Event struct {
+	Seq     uint64         `json:"seq"`
+	At      time.Duration  `json:"at_ns"`
+	Kind    EventKind      `json:"kind"`
+	Proc    string         `json:"proc"`
+	ProcID  int            `json:"proc_id"`
+	Sched   sim.SchedEvent `json:"sched,omitempty"`
+	Persona persona.Kind   `json:"persona,omitempty"`
+	Sysno   int            `json:"sysno,omitempty"`
+	Name    string         `json:"name,omitempty"`
+	Errno   int            `json:"errno,omitempty"`
+	Detail  string         `json:"detail,omitempty"`
+}
+
+// HistBuckets is the number of log2 latency buckets per histogram;
+// bucket i counts latencies in [2^(i-1), 2^i) ns, bucket 0 counts 0–1ns,
+// and the last bucket absorbs everything larger.
+const HistBuckets = 40
+
+// Histogram accumulates virtual latencies in log2 buckets.
+type Histogram struct {
+	Count   uint64              `json:"count"`
+	Sum     time.Duration       `json:"sum_ns"`
+	Min     time.Duration       `json:"min_ns"`
+	Max     time.Duration       `json:"max_ns"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// Observe adds one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.Count == 0 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Count++
+	h.Sum += d
+	b := bits.Len64(uint64(d))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.Buckets[b]++
+}
+
+// Mean returns the average latency, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// SyscallKey identifies one histogram: the paper's overheads differ by
+// which persona's table served the trap, so (persona, syscall) is the
+// unit of attribution.
+type SyscallKey struct {
+	Persona persona.Kind `json:"persona"`
+	Sysno   int          `json:"sysno"`
+}
+
+// SyscallStats is the per-(persona, syscall) accumulator.
+type SyscallStats struct {
+	Key    SyscallKey `json:"key"`
+	Name   string     `json:"name"`
+	Hist   Histogram  `json:"hist"`
+	Errors uint64     `json:"errors"`
+}
+
+// DefaultRingSize bounds the event ring unless overridden.
+const DefaultRingSize = 4096
+
+// Session is one configuration's trace state. It implements sim.Sink and
+// is fed by the kernel's dispatch/signal paths and by library-layer
+// counters. All methods are single-threaded by construction: the sim
+// runs exactly one Proc at a time.
+type Session struct {
+	// Label names the traced configuration (e.g. "cider-ios").
+	Label string
+
+	ring    []Event
+	next    int
+	full    bool
+	seq     uint64
+	sched   [sim.NumSchedEvents]uint64
+	sys     map[SyscallKey]*SyscallStats
+	counter map[string]uint64
+}
+
+// NewSession creates an enabled session with the default ring size.
+func NewSession(label string) *Session {
+	return &Session{
+		Label:   label,
+		ring:    make([]Event, 0, DefaultRingSize),
+		sys:     make(map[SyscallKey]*SyscallStats),
+		counter: make(map[string]uint64),
+	}
+}
+
+// SetRingCapacity resizes the (empty or non-empty) event ring; existing
+// events are dropped. n <= 0 disables event recording but keeps
+// histograms and counters.
+func (s *Session) SetRingCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.ring = make([]Event, 0, n)
+	s.next = 0
+	s.full = false
+}
+
+// Enabled reports whether the session collects anything. A nil Session
+// is the disabled state producers test for.
+func (s *Session) Enabled() bool { return s != nil }
+
+func (s *Session) record(e Event) {
+	s.seq++
+	e.Seq = s.seq
+	if cap(s.ring) == 0 {
+		return
+	}
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, e)
+		return
+	}
+	// Ring is full: overwrite oldest.
+	s.full = true
+	s.ring[s.next] = e
+	s.next++
+	if s.next == cap(s.ring) {
+		s.next = 0
+	}
+}
+
+// SchedEvent implements sim.Sink.
+func (s *Session) SchedEvent(ev sim.SchedEvent, proc string, id int, at time.Duration, detail string) {
+	if ev >= 0 && ev < sim.NumSchedEvents {
+		s.sched[ev]++
+	}
+	s.record(Event{At: at, Kind: EvSched, Proc: proc, ProcID: id, Sched: ev, Detail: detail})
+}
+
+// SyscallEnter records a thread entering syscall dispatch.
+func (s *Session) SyscallEnter(proc string, id int, p persona.Kind, num int, name string, at time.Duration) {
+	s.record(Event{At: at, Kind: EvSyscallEnter, Proc: proc, ProcID: id, Persona: p, Sysno: num, Name: name})
+}
+
+// SyscallExit records syscall completion and feeds the (persona, syscall)
+// latency histogram with end-start. errno is the raw errno value (0 = OK).
+func (s *Session) SyscallExit(proc string, id int, p persona.Kind, num int, name string, errno int, start, end time.Duration) {
+	key := SyscallKey{Persona: p, Sysno: num}
+	st := s.sys[key]
+	if st == nil {
+		st = &SyscallStats{Key: key, Name: name}
+		s.sys[key] = st
+	}
+	st.Hist.Observe(end - start)
+	if errno != 0 {
+		st.Errors++
+	}
+	s.record(Event{At: end, Kind: EvSyscallExit, Proc: proc, ProcID: id, Persona: p, Sysno: num, Name: name, Errno: errno})
+}
+
+// Signal records a signal delivery event (Sysno carries the signal
+// number as seen by the receiving persona).
+func (s *Session) Signal(proc string, id int, p persona.Kind, sig int, detail string, at time.Duration) {
+	s.record(Event{At: at, Kind: EvSignal, Proc: proc, ProcID: id, Persona: p, Sysno: sig, Detail: detail})
+}
+
+// Count adds n to a named counter.
+func (s *Session) Count(name string, n uint64) { s.counter[name] += n }
+
+// Counter reads a named counter (0 if never counted).
+func (s *Session) Counter(name string) uint64 { return s.counter[name] }
+
+// SchedCount reads one scheduler-event counter.
+func (s *Session) SchedCount(ev sim.SchedEvent) uint64 {
+	if ev < 0 || ev >= sim.NumSchedEvents {
+		return 0
+	}
+	return s.sched[ev]
+}
+
+// Dropped reports how many events were evicted from the ring.
+func (s *Session) Dropped() uint64 {
+	if !s.full {
+		return 0
+	}
+	return s.seq - uint64(cap(s.ring))
+}
+
+// Events returns the retained events oldest-first.
+func (s *Session) Events() []Event {
+	if !s.full {
+		out := make([]Event, len(s.ring))
+		copy(out, s.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// SyscallStat returns the accumulator for one (persona, syscall), or nil.
+func (s *Session) SyscallStat(p persona.Kind, num int) *SyscallStats {
+	return s.sys[SyscallKey{Persona: p, Sysno: num}]
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/persona"
+	"repro/internal/sim"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// bits.Len64 bucketing: 0 → bucket 0, 1 → 1, 2..3 → 2, 4..7 → 3, ...
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+	}
+	for _, c := range cases {
+		if h.Buckets[c.bucket] == 0 {
+			t.Errorf("observe(%d): bucket %d empty", c.d, c.bucket)
+		}
+	}
+	if h.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count, len(cases))
+	}
+	if h.Min != 0 || h.Max != 1024 {
+		t.Fatalf("min/max = %v/%v, want 0/1024", h.Min, h.Max)
+	}
+	// Negative samples clamp to 0 rather than corrupting Sum.
+	h.Observe(-5)
+	if h.Min != 0 || h.Buckets[0] != 2 {
+		t.Fatal("negative sample must clamp to bucket 0")
+	}
+	// Oversized samples land in the last bucket.
+	h.Observe(time.Duration(1) << 62)
+	if h.Buckets[HistBuckets-1] != 1 {
+		t.Fatal("huge sample must land in the last bucket")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean must be 0")
+	}
+	h.Observe(100)
+	h.Observe(300)
+	if h.Mean() != 200 {
+		t.Fatalf("mean = %v, want 200", h.Mean())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	s := NewSession("ring")
+	s.SetRingCapacity(4)
+	for i := 0; i < 10; i++ {
+		s.SchedEvent(sim.SchedSpawn, "p", i, time.Duration(i), "")
+	}
+	if got := s.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := s.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest-first: seq 7,8,9,10 (seq starts at 1).
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if s.SchedCount(sim.SchedSpawn) != 10 {
+		t.Fatal("sched counter must survive ring eviction")
+	}
+}
+
+func TestRingDisabledKeepsStats(t *testing.T) {
+	s := NewSession("noring")
+	s.SetRingCapacity(0)
+	s.SyscallExit("p", 1, persona.Android, 64, "getppid", 0, 0, 500)
+	if len(s.Events()) != 0 {
+		t.Fatal("ring disabled but events retained")
+	}
+	st := s.SyscallStat(persona.Android, 64)
+	if st == nil || st.Hist.Count != 1 || st.Hist.Sum != 500 {
+		t.Fatalf("histogram lost with ring disabled: %+v", st)
+	}
+}
+
+func TestSyscallStatsAndErrors(t *testing.T) {
+	s := NewSession("sys")
+	s.SyscallExit("p", 1, persona.IOS, 39, "getppid", 0, 100, 300)
+	s.SyscallExit("p", 1, persona.IOS, 39, "getppid", 2, 300, 700)
+	s.SyscallExit("p", 1, persona.Android, 64, "getppid", 0, 0, 150)
+	st := s.SyscallStat(persona.IOS, 39)
+	if st == nil {
+		t.Fatal("no iOS getppid accumulator")
+	}
+	if st.Hist.Count != 2 || st.Hist.Sum != 600 || st.Errors != 1 {
+		t.Fatalf("iOS getppid: count=%d sum=%v errors=%d", st.Hist.Count, st.Hist.Sum, st.Errors)
+	}
+	// Same syscall number under a different persona is a distinct key.
+	if s.SyscallStat(persona.Android, 39) != nil {
+		t.Fatal("persona must partition syscall stats")
+	}
+}
+
+func TestSortedExportDeterministic(t *testing.T) {
+	s := NewSession("sorted")
+	s.SyscallExit("p", 1, persona.IOS, 4, "write", 0, 0, 1)
+	s.SyscallExit("p", 1, persona.Android, 64, "getppid", 0, 0, 1)
+	s.SyscallExit("p", 1, persona.Android, 3, "read", 0, 0, 1)
+	s.SyscallExit("p", 1, persona.IOS, 3, "read", 0, 0, 1)
+	sum := s.Summarize(false)
+	wantOrder := []SyscallKey{
+		{persona.Android, 3}, {persona.Android, 64},
+		{persona.IOS, 3}, {persona.IOS, 4},
+	}
+	if len(sum.Syscalls) != len(wantOrder) {
+		t.Fatalf("exported %d syscalls, want %d", len(sum.Syscalls), len(wantOrder))
+	}
+	for i, st := range sum.Syscalls {
+		if st.Key != wantOrder[i] {
+			t.Fatalf("export[%d] = %+v, want %+v", i, st.Key, wantOrder[i])
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := NewSession("ctr")
+	s.Count(CounterDiplomatCalls, 2)
+	s.Count(CounterDiplomatCalls, 3)
+	if s.Counter(CounterDiplomatCalls) != 5 {
+		t.Fatalf("counter = %d, want 5", s.Counter(CounterDiplomatCalls))
+	}
+	if s.Counter("never.touched") != 0 {
+		t.Fatal("unknown counter must read 0")
+	}
+}
+
+func TestNilSessionDisabled(t *testing.T) {
+	var s *Session
+	if s.Enabled() {
+		t.Fatal("nil session must report disabled")
+	}
+	if NewSession("x").Enabled() != true {
+		t.Fatal("fresh session must report enabled")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := NewSession("json")
+	s.SchedEvent(sim.SchedSpawn, "p", 1, 0, "")
+	s.SyscallExit("p", 1, persona.Android, 64, "getppid", 0, 0, 500)
+	s.Count(CounterDyldBinds, 7)
+	out, err := s.JSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(out, &sum); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if sum.Label != "json" || sum.Counters[CounterDyldBinds] != 7 || len(sum.Events) != 2 {
+		t.Fatalf("round-tripped summary wrong: %+v", sum)
+	}
+}
+
+func TestTextIncludesSections(t *testing.T) {
+	s := NewSession("txt")
+	s.SchedEvent(sim.SchedSpawn, "p", 1, 0, "")
+	s.SyscallExit("p", 1, persona.IOS, 39, "getppid", 0, 0, 574)
+	s.Count(CounterSignalDelivered, 1)
+	out := s.Text()
+	for _, want := range []string{`trace session "txt"`, "spawn=1", "signal.delivered", "getppid", "ios"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, out)
+		}
+	}
+}
