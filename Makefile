@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet lint race bench verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs ciderlint, the simulator-invariant suite (wallclock,
+# chargecheck, waketag, tracepure — see DESIGN.md "Simulation invariants").
+lint:
+	$(GO) run ./cmd/ciderlint ./...
 
 test:
 	$(GO) test ./...
@@ -17,6 +22,6 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkFig -benchtime=1x .
 
-# verify is the tier-1 gate: everything must build, vet clean, and pass
-# the full test suite under the race detector.
-verify: build vet race
+# verify is the tier-1 gate: everything must build, vet clean, pass
+# ciderlint, and pass the full test suite under the race detector.
+verify: build vet lint race

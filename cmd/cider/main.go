@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/lmbench"
 	"repro/internal/prog"
 	"repro/internal/services"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/uikit"
 )
@@ -140,6 +142,12 @@ func runDemo(traced bool) error {
 	}
 
 	if err := sys.Run(); err != nil {
+		// On deadlock, dump the wait-graph snapshot: which procs were
+		// parked, on what, and at which virtual time.
+		var dl *sim.ErrDeadlock
+		if errors.As(err, &dl) {
+			fmt.Fprint(os.Stderr, dl.Report())
+		}
 		return err
 	}
 

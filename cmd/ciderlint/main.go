@@ -1,0 +1,42 @@
+// Command ciderlint runs the simulator-invariant analysis suite over the
+// module: wallclock, chargecheck, waketag, and tracepure (see
+// internal/analysis and the "Simulation invariants" section of DESIGN.md).
+//
+// Usage:
+//
+//	ciderlint [-C dir] [patterns...]
+//
+// Patterns default to ./... . Exit status is 1 if any finding survives
+// //lint:allow suppression, 2 on load/internal errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to analyze")
+	flag.Parse()
+
+	prog, err := analysis.Load(analysis.LoadConfig{Dir: *dir}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciderlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciderlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ciderlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Determinism regression: the whole point of the virtual-time methodology
+// is that a run is a pure function of its configuration. Running the
+// Fig. 5 lmbench battery twice in the same process must produce
+// bit-identical latencies and bit-identical trace event streams. Any
+// divergence means wall-clock time, map-iteration order, or ambient
+// randomness leaked into the simulation (the ciderlint wallclock analyzer
+// guards the static side of this same invariant).
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lmbench"
+	"repro/internal/trace"
+)
+
+func TestFigure5Deterministic(t *testing.T) {
+	run := func() (*lmbench.Report, []*trace.Session) {
+		t.Helper()
+		var sessions []*trace.Session
+		lmbench.OnSystem = func(sys *core.System) {
+			sessions = append(sessions, sys.EnableTrace())
+		}
+		defer func() { lmbench.OnSystem = nil }()
+		rep, err := lmbench.RunFigure5()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, sessions
+	}
+	rep1, sess1 := run()
+	rep2, sess2 := run()
+
+	// Bit-identical latencies and failure states, in both directions.
+	for test, byCfg := range rep1.Latency {
+		for cfg, want := range byCfg {
+			if got := rep2.Latency[test][cfg]; got != want {
+				t.Errorf("%s/%s: second run latency %v != first run %v", test, cfg, got, want)
+			}
+			if rep1.Failed[test][cfg] != rep2.Failed[test][cfg] {
+				t.Errorf("%s/%s: failure state differs between runs", test, cfg)
+			}
+		}
+	}
+	if len(rep1.Latency) != len(rep2.Latency) {
+		t.Errorf("runs measured %d vs %d tests", len(rep1.Latency), len(rep2.Latency))
+	}
+
+	// Bit-identical trace event streams, configuration by configuration.
+	if len(sess1) != len(sess2) || len(sess1) != len(lmbench.Configurations()) {
+		t.Fatalf("sessions: %d vs %d, want %d each", len(sess1), len(sess2), len(lmbench.Configurations()))
+	}
+	for i := range sess1 {
+		a, b := sess1[i], sess2[i]
+		if a.Label != b.Label {
+			t.Fatalf("session %d label %q vs %q", i, a.Label, b.Label)
+		}
+		ea, eb := a.Events(), b.Events()
+		if len(ea) != len(eb) {
+			t.Errorf("%s: %d events vs %d", a.Label, len(ea), len(eb))
+			continue
+		}
+		diffs := 0
+		for j := range ea {
+			if ea[j] != eb[j] {
+				if diffs == 0 {
+					t.Errorf("%s: event %d diverged:\n  first:  %+v\n  second: %+v", a.Label, j, ea[j], eb[j])
+				}
+				diffs++
+			}
+		}
+		if diffs > 1 {
+			t.Errorf("%s: %d events diverged in total", a.Label, diffs)
+		}
+	}
+}

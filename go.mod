@@ -1,3 +1,12 @@
 module repro
 
 go 1.22
+
+// Dependency policy: none. The build environment has no module proxy, so
+// the dependency set is pinned in the strongest possible sense — it is
+// empty, fixed entirely by the Go toolchain version above. In particular,
+// ciderlint (internal/analysis + cmd/ciderlint) is written against a
+// small in-repo mirror of the golang.org/x/tools go/analysis API instead
+// of requiring x/tools; in a network-enabled fork, swap the shim for a
+// pinned `require golang.org/x/tools vX.Y.Z` and port the analyzers by
+// changing imports (the Analyzer/Pass surface matches deliberately).

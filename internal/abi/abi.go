@@ -265,6 +265,7 @@ func installXNU(k *kernel.Kernel, native bool) *kernel.SyscallTable {
 	})
 	tb.Register(TaskSelfTrap, "task_self", func(t *kernel.Thread, a *kernel.SyscallArgs) kernel.SyscallRet {
 		// The task self port name is modeled as pid-tagged.
+		//lint:allow chargecheck task_self returns a cached name, modeled at trap entry/exit cost only
 		return kernel.SyscallRet{R0: uint64(0x900 + t.Task().PID())}
 	})
 	tb.Register(SemaphoreWaitTrap, "semaphore_wait", func(t *kernel.Thread, a *kernel.SyscallArgs) kernel.SyscallRet {

@@ -1,0 +1,370 @@
+// Package analysis is ciderlint's analyzer framework: a small, dependency-free
+// mirror of golang.org/x/tools/go/analysis, built on the standard library's
+// go/ast + go/types only. The container this repo builds in has no module
+// proxy access, so the x/tools dependency is replaced by this shim; the
+// Analyzer/Pass surface is kept deliberately API-shaped so the suite can be
+// ported to the real go/analysis driver by swapping imports.
+//
+// The suite mechanizes the simulator's core invariants (see DESIGN.md,
+// "Simulation invariants"):
+//
+//	wallclock   — no wall-clock or ambient-randomness leaks into simulation
+//	              packages; virtual time advances only through sim.Proc.
+//	chargecheck — every syscall handler and diplomat/dyld hop accrues modeled
+//	              cost on every return path.
+//	waketag     — the wake tag returned by Park/Sleep/Wait must be consumed,
+//	              so WakeInterrupted is never silently dropped.
+//	tracepure   — code reachable from trace sink callbacks never re-enters
+//	              the simulator (the zero-cost-when-disabled guarantee).
+//
+// Deliberate exceptions are annotated in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: an allow without a justification is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check for a single package, reporting findings
+	// through the Pass.
+	Run func(*Pass) error
+}
+
+// A Package is one type-checked package of the loaded program.
+type Package struct {
+	// Path is the import path ("repro/internal/sim").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+	// Lint marks packages selected by the load patterns (dependencies
+	// pulled in for type information only are loaded with Lint=false and
+	// produce no diagnostics).
+	Lint bool
+}
+
+// A Program is the full set of loaded packages plus shared indices, so
+// analyzers can resolve calls across package boundaries (chargecheck's
+// may-charge fixpoint and tracepure's reachability both need whole-program
+// call resolution).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // sorted by Path
+
+	byPath map[string]*Package
+	// funcDecls maps a function/method object to its syntax and owning
+	// package, for whole-program body lookups.
+	funcDecls map[*types.Func]*FuncSource
+	// facts caches whole-program computations keyed by analyzer.
+	facts map[string]any
+}
+
+// FuncSource is a function's declaration site.
+type FuncSource struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// PackageByPath returns the loaded package with the given import path.
+func (p *Program) PackageByPath(path string) *Package { return p.byPath[path] }
+
+// FuncBody returns the declaration of fn if it was loaded, or nil for
+// functions outside the program (standard library, interface methods,
+// function-typed values).
+func (p *Program) FuncBody(fn *types.Func) *FuncSource {
+	if fn == nil {
+		return nil
+	}
+	return p.funcDecls[fn]
+}
+
+// Fact returns the whole-program fact under key, computing and caching it
+// on first use. Analyzers use this to build global indices exactly once
+// even though Run is invoked per package.
+func (p *Program) Fact(key string, build func() any) any {
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
+}
+
+// buildIndices populates the cross-package lookup tables.
+func (p *Program) buildIndices() {
+	p.byPath = make(map[string]*Package, len(p.Packages))
+	p.funcDecls = make(map[*types.Func]*FuncSource)
+	p.facts = make(map[string]any)
+	for _, pkg := range p.Packages {
+		p.byPath[pkg.Path] = pkg
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcDecls[obj] = &FuncSource{Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Unparen strips parentheses from an expression.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// Callee resolves the static callee of call within pkg: a declared function,
+// a method (concrete or interface), or nil for builtins, conversions, and
+// calls through function-typed values.
+func Callee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Fn).
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsRealCall reports whether call invokes code: it is neither a type
+// conversion nor a builtin (len, append, make, ...).
+func IsRealCall(pkg *Package, call *ast.CallExpr) bool {
+	fun := Unparen(call.Fun)
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return false
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			return false
+		}
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if _, ok := pkg.Info.Uses[sel.Sel].(*types.Builtin); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RecvPkgName returns the name of the package declaring fn's receiver type,
+// or "" if fn is not a method. Methods on pointer receivers resolve to the
+// element type's package.
+func RecvPkgName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if p := fn.Pkg(); p != nil {
+		return p.Name()
+	}
+	return ""
+}
+
+// RecvTypeName returns the named type of fn's receiver ("SyscallTable"),
+// or "" if fn is not a method on a named type.
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// directive is one parsed //lint:allow annotation.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// DirectivePrefix is the comment marker the driver understands.
+const DirectivePrefix = "//lint:allow"
+
+// parseDirectives extracts //lint:allow directives from a package's files.
+// Malformed directives (missing analyzer or reason, unknown analyzer name)
+// are reported as diagnostics in their own right.
+func parseDirectives(prog *Program, pkg *Package, known map[string]bool, diags *[]Diagnostic) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, DirectivePrefix))
+				// Allow fixtures to append a "// want" expectation to the
+				// directive itself (analysistest convention).
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ciderlint",
+						Message:  "malformed directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				if !known[name] {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ciderlint",
+						Message:  fmt.Sprintf("directive names unknown analyzer %q", name),
+					})
+					continue
+				}
+				out = append(out, directive{
+					file: pos.Filename, line: pos.Line,
+					analyzer: name, reason: reason, pos: pos,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over every Lint-selected package of the
+// program, applies //lint:allow suppression, and returns the surviving
+// diagnostics sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !pkg.Lint {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	// Directive suppression: an allow on the flagged line, or on the line
+	// directly above it, silences that analyzer there.
+	var dirs []directive
+	for _, pkg := range prog.Packages {
+		if !pkg.Lint {
+			continue
+		}
+		dirs = append(dirs, parseDirectives(prog, pkg, known, &diags)...)
+	}
+	allowed := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		allowed[fmt.Sprintf("%s:%d:%s", d.file, d.line, d.analyzer)] = true
+		allowed[fmt.Sprintf("%s:%d:%s", d.file, d.line+1, d.analyzer)] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// All returns the full ciderlint suite.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, ChargeCheck, WakeTag, TracePure}
+}

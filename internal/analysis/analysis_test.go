@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Wallclock}, "wallclock/...")
+}
+
+func TestChargeCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.ChargeCheck}, "chargecheck/...")
+}
+
+func TestWakeTag(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.WakeTag}, "waketag/...")
+}
+
+func TestTracePure(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.TracePure}, "tracepure/...")
+}
+
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.All(), "directives/...")
+}
+
+// TestTreeIsClean runs the full suite over the real module, pinning the
+// repository to zero findings: a regression that reintroduces a wall-clock
+// read, an uncharged handler path, a discarded wake tag, or an impure
+// trace sink fails this test (and `make lint`).
+func TestTreeIsClean(t *testing.T) {
+	prog, err := analysis.Load(analysis.LoadConfig{Dir: "../.."}, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(prog, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %s", d)
+	}
+}

@@ -1,0 +1,93 @@
+// Package analysistest runs ciderlint analyzers over fixture trees and
+// checks their diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest for this repo's
+// dependency-free driver.
+//
+// Fixtures live under <testdata>/src/<fixture>/..., where each directory is
+// a package whose import path is its path relative to src (so a fixture can
+// provide stand-in "sim", "kernel", and "trace" packages). Expected
+// findings are annotated in the fixture source as
+//
+//	expr // want `regex`
+//
+// The backquoted regular expression is matched against the diagnostic as
+// "analyzer: message", so a want can also pin which analyzer fires. Every
+// diagnostic must match a want on its exact line, and every want must be
+// matched by at least one diagnostic.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads the fixture packages selected by patterns, runs the analyzers
+// (including //lint:allow suppression), and reports any mismatch between
+// the diagnostics and the // want annotations as test errors.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	prog, err := analysis.Load(analysis.LoadConfig{Dir: src}, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		if !pkg.Lint {
+			continue
+		}
+		for _, f := range pkg.Files {
+			name := prog.Fset.Position(f.Pos()).Filename
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+					}
+					wants = append(wants, &want{file: name, line: i + 1, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

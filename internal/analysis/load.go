@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir is the root to load from: a module root (go.mod present) or a
+	// fixture tree whose subdirectories are import paths (analysistest).
+	Dir string
+	// Module overrides the module path. Empty means: read it from
+	// Dir/go.mod, or, when no go.mod exists, treat import paths as
+	// directories relative to Dir (the fixture layout).
+	Module string
+}
+
+// Load parses and type-checks the packages under cfg.Dir selected by
+// patterns ("./...", "./internal/...", "./internal/sim"), plus the
+// in-module dependency closure needed to resolve their types. Standard
+// library imports are type-checked from GOROOT source, so loading works
+// without compiled export data or network access.
+func Load(cfg LoadConfig, patterns ...string) (*Program, error) {
+	root, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	module := cfg.Module
+	if module == "" {
+		module = readModulePath(filepath.Join(root, "go.mod"))
+	}
+
+	dirs, err := goSourceDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected := map[string]bool{}
+	for _, rel := range dirs {
+		for _, pat := range patterns {
+			if matchPattern(pat, rel) {
+				selected[rel] = true
+			}
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v under %s", patterns, root)
+	}
+
+	ld := &loader{
+		root:   root,
+		module: module,
+		fset:   token.NewFileSet(),
+		parsed: map[string]*parsedPkg{},
+	}
+	ld.stdlib = importer.ForCompiler(ld.fset, "source", nil)
+
+	// Parse the selected packages and their in-module dependency closure.
+	var order []string
+	for rel := range selected {
+		order = append(order, rel)
+	}
+	sort.Strings(order)
+	for _, rel := range order {
+		if err := ld.parseClosure(rel); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check in dependency order.
+	prog := &Program{Fset: ld.fset}
+	var rels []string
+	for rel := range ld.parsed {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		if err := ld.check(rel); err != nil {
+			return nil, err
+		}
+	}
+	for _, rel := range rels {
+		pp := ld.parsed[rel]
+		prog.Packages = append(prog.Packages, &Package{
+			Path:  pp.path,
+			Dir:   pp.dir,
+			Files: pp.files,
+			Types: pp.types,
+			Info:  pp.info,
+			Lint:  selected[rel],
+		})
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	prog.buildIndices()
+	return prog, nil
+}
+
+// readModulePath extracts the module path from a go.mod file ("" if the
+// file is missing or malformed).
+func readModulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// goSourceDirs walks root and returns the relative paths (with "." for the
+// root itself) of every directory holding at least one non-test .go file.
+// testdata, vendor, hidden, and underscore-prefixed directories are skipped,
+// matching the go tool's package enumeration.
+func goSourceDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				out = append(out, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// matchPattern reports whether the relative directory rel is selected by a
+// go-style package pattern.
+func matchPattern(pat, rel string) bool {
+	pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	if pat == "..." || pat == "" {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
+	if pat == "." {
+		return rel == "."
+	}
+	return rel == pat
+}
+
+// parsedPkg is a package mid-load.
+type parsedPkg struct {
+	rel   string // directory relative to root
+	dir   string
+	path  string // import path
+	files []*ast.File
+	// imports holds in-module dependencies as relative directories.
+	imports []string
+	types   *types.Package
+	info    *types.Info
+	// checking guards against import cycles.
+	checking bool
+}
+
+type loader struct {
+	root   string
+	module string
+	fset   *token.FileSet
+	stdlib types.Importer
+	parsed map[string]*parsedPkg
+}
+
+// importPath maps a relative directory to its import path.
+func (ld *loader) importPath(rel string) string {
+	if rel == "." {
+		return ld.module
+	}
+	if ld.module == "" {
+		return rel
+	}
+	return ld.module + "/" + rel
+}
+
+// relOfImport maps an import path to an in-module relative directory, or
+// "" when the import is outside the module (standard library).
+func (ld *loader) relOfImport(path string) string {
+	if ld.module != "" {
+		if path == ld.module {
+			return "."
+		}
+		if rest, ok := strings.CutPrefix(path, ld.module+"/"); ok {
+			return rest
+		}
+		return ""
+	}
+	// Fixture mode: an import is in-module iff the directory exists.
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return path
+	}
+	return ""
+}
+
+// parseClosure parses rel and, transitively, its in-module imports.
+func (ld *loader) parseClosure(rel string) error {
+	if _, ok := ld.parsed[rel]; ok {
+		return nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	pp := &parsedPkg{rel: rel, dir: dir, path: ld.importPath(rel)}
+	ld.parsed[rel] = pp
+	seen := map[string]bool{}
+	for _, e := range ents {
+		if !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pp.files = append(pp.files, f)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if dep := ld.relOfImport(path); dep != "" && !seen[dep] {
+				seen[dep] = true
+				pp.imports = append(pp.imports, dep)
+			}
+		}
+	}
+	if len(pp.files) == 0 {
+		return fmt.Errorf("analysis: no Go sources in %s", dir)
+	}
+	sort.Strings(pp.imports)
+	for _, dep := range pp.imports {
+		if err := ld.parseClosure(dep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// check type-checks rel (dependencies first).
+func (ld *loader) check(rel string) error {
+	pp := ld.parsed[rel]
+	if pp.types != nil {
+		return nil
+	}
+	if pp.checking {
+		return fmt.Errorf("analysis: import cycle through %s", pp.path)
+	}
+	pp.checking = true
+	defer func() { pp.checking = false }()
+	for _, dep := range pp.imports {
+		if err := ld.check(dep); err != nil {
+			return err
+		}
+	}
+	pp.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: &progImporter{ld: ld}}
+	tpkg, err := conf.Check(pp.path, ld.fset, pp.files, pp.info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pp.path, err)
+	}
+	pp.types = tpkg
+	return nil
+}
+
+// progImporter resolves in-module imports from the loader and everything
+// else (standard library) from GOROOT source.
+type progImporter struct {
+	ld *loader
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	if rel := pi.ld.relOfImport(path); rel != "" {
+		pp := pi.ld.parsed[rel]
+		if pp == nil || pp.types == nil {
+			return nil, fmt.Errorf("analysis: internal import %s not loaded", path)
+		}
+		return pp.types, nil
+	}
+	return pi.ld.stdlib.Import(path)
+}

@@ -1,0 +1,9 @@
+// Stand-in for the repo's internal/sim package: the virtual-time
+// primitives chargecheck seeds its may-charge fixpoint from.
+package sim
+
+type Proc struct{ now int64 }
+
+func (p *Proc) Advance(d int64)        { p.now += d }
+func (p *Proc) Sleep(d int64) int      { p.Advance(d); return 0 }
+func (p *Proc) Park(reason string) int { return 0 }

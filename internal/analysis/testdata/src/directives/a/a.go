@@ -1,0 +1,32 @@
+// Fixture for the //lint:allow directive machinery itself: suppression on
+// the same line and the line above, mandatory reasons, and unknown
+// analyzer names.
+package a
+
+import "directives/sim"
+
+func SameLine(p *sim.Proc) {
+	p.Sleep(1) //lint:allow waketag fixture: suppressed on the same line
+}
+
+func LineAbove(p *sim.Proc) {
+	//lint:allow waketag fixture: suppressed from the line above
+	p.Sleep(2)
+}
+
+func NotSuppressed(p *sim.Proc) {
+	p.Sleep(3) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+}
+
+// A directive must name an analyzer and give a reason.
+//lint:allow waketag // want `ciderlint: malformed directive`
+
+// ...and the analyzer must exist.
+//lint:allow speling this reason does not save it // want `ciderlint: directive names unknown analyzer "speling"`
+
+// A directive only silences its own analyzer; this one aims at the wrong
+// invariant and the finding survives.
+func WrongAnalyzer(p *sim.Proc) {
+	//lint:allow tracepure not the analyzer that fired
+	p.Sleep(4) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+}

@@ -1,0 +1,6 @@
+// Stand-in sim package for the directive-machinery fixture.
+package sim
+
+type Proc struct{ now int64 }
+
+func (p *Proc) Sleep(d int64) int { p.now += d; return 0 }

@@ -1,0 +1,8 @@
+// Stand-in for the repo's internal/sim package: the simulator entry points
+// a trace sink must never reach.
+package sim
+
+type Proc struct{ now int64 }
+
+func (p *Proc) Advance(d int64)       { p.now += d }
+func (p *Proc) Wake(q *Proc, tag int) {}

@@ -1,0 +1,45 @@
+// Fixture for tracepure: sink callbacks (SchedEvent and the trace
+// package's SyscallEnter/SyscallExit/Signal/Count) and everything they
+// reach must not re-enter the simulator.
+package trace
+
+import "tracepure/sim"
+
+type Session struct {
+	events int
+	proc   *sim.Proc
+}
+
+func (s *Session) SchedEvent(ev int, proc string, id int, at int64, detail string) {
+	s.events++
+	s.proc.Advance(1) // want `tracepure: SchedEvent is reachable from a trace sink callback but re-enters the simulator via Proc\.Advance`
+}
+
+// A sink that only records is pure and allowed.
+func (s *Session) SyscallEnter(name string) {
+	s.record()
+}
+
+// The violation may be buried in a helper reachable from a sink.
+func (s *Session) SyscallExit(name string) {
+	poke(s.proc)
+}
+
+func (s *Session) record() { s.events++ }
+
+func poke(p *sim.Proc) {
+	p.Wake(p, 0) // want `tracepure: poke is reachable from a trace sink callback but re-enters the simulator via Proc\.Wake`
+}
+
+// Not reachable from any sink: driving the simulation from ordinary code
+// is, of course, fine.
+func Drive(p *sim.Proc) {
+	p.Advance(5)
+}
+
+// A replay harness may deliberately reinject wakeups, with a justified
+// allow directive.
+func (s *Session) Signal(sig int) {
+	//lint:allow tracepure replay harness reinjects the recorded wakeup
+	s.proc.Wake(s.proc, 1)
+}

@@ -1,0 +1,37 @@
+// Fixture for waketag: discarding the wake tag of a sim blocking primitive
+// is flagged; consuming or explicitly allowing it is not.
+package a
+
+import "waketag/sim"
+
+func Discards(p *sim.Proc, q *sim.WaitQueue) {
+	p.Sleep(10)    // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+	p.Park("lock") // want `waketag: wake tag of sim\.Proc\.Park discarded`
+	q.Wait(p)      // want `waketag: wake tag of sim\.WaitQueue\.Wait discarded`
+
+	_ = p.Sleep(10) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+
+	_, timedOut := q.WaitTimeout(p, 5) // want `waketag: wake tag of sim\.WaitQueue\.WaitTimeout discarded`
+	_ = timedOut
+
+	go p.Sleep(10)    // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+	defer p.Sleep(10) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+}
+
+func Consumes(p *sim.Proc, q *sim.WaitQueue) bool {
+	if p.Sleep(10) == sim.WakeInterrupted {
+		return false
+	}
+	tag := q.Wait(p)
+	tagT, timedOut := q.WaitTimeout(p, 5)
+	return tag == sim.WakeNormal && tagT == sim.WakeNormal && !timedOut
+}
+
+// An uninterruptible primitive may deliberately ignore the tag, with a
+// justified allow directive.
+func Uninterruptible(p *sim.Proc, q *sim.WaitQueue) {
+	for i := 0; i < 2; i++ {
+		//lint:allow waketag uninterruptible lock: loop re-checks ownership
+		q.Wait(p)
+	}
+}

@@ -1,0 +1,21 @@
+// Stand-in for the repo's internal/sim package: the blocking primitives
+// whose first result is the wake tag.
+package sim
+
+const (
+	WakeNormal      = 0
+	WakeInterrupted = 1
+)
+
+type Proc struct{ now int64 }
+
+func (p *Proc) Sleep(d int64) int      { p.now += d; return WakeNormal }
+func (p *Proc) Park(reason string) int { return WakeNormal }
+func (p *Proc) Wake(q *Proc, tag int)  {}
+
+type WaitQueue struct{}
+
+func (q *WaitQueue) Wait(p *Proc) int { return p.Park("wait") }
+func (q *WaitQueue) WaitTimeout(p *Proc, d int64) (int, bool) {
+	return p.Park("wait-timeout"), false
+}

@@ -1,0 +1,47 @@
+// Fixture: package path contains the segment "kernel", so it is a
+// simulation package and wall-clock/ambient-randomness uses are flagged.
+package kernel
+
+import (
+	"math/rand"
+	"time"
+)
+
+var bootedAt time.Time
+
+func Uptime() time.Duration {
+	return time.Since(bootedAt) // want `wallclock: wall-clock leak: time\.Since`
+}
+
+func Stamp() time.Time {
+	return time.Now() // want `wallclock: wall-clock leak: time\.Now`
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond)   // want `wallclock: wall-clock leak: time\.Sleep`
+	<-time.After(time.Millisecond) // want `wallclock: wall-clock leak: time\.After`
+}
+
+// Stored function values leak the clock just as directly as calls.
+var clock = time.Now // want `wallclock: wall-clock leak: time\.Now`
+
+func Jitter() int {
+	return rand.Intn(10) // want `wallclock: nondeterminism leak: math/rand\.Intn`
+}
+
+// Explicitly seeded generators are deterministic and allowed.
+func SeededJitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Pure time arithmetic (no clock read) is allowed.
+func Budget(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// A reviewed exception is silenced with a justified allow directive.
+func WallDeadline() time.Time {
+	//lint:allow wallclock host watchdog deadline is outside the simulation
+	return time.Now().Add(time.Second)
+}

@@ -1,0 +1,9 @@
+// Fixture: "tools" is not a simulation package, so wall-clock use here is
+// fine (e.g. build tooling, report generators).
+package tools
+
+import "time"
+
+func Timestamp() time.Time {
+	return time.Now()
+}

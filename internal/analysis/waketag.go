@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wakeTagMethods are the sim-package blocking primitives whose first (or
+// only) result is the wake tag. Discarding it drops WakeInterrupted on the
+// floor — exactly the lost-wakeup / swallowed-signal class of bug PR 1
+// fixed by hand in the kernel IPC paths.
+var wakeTagMethods = map[string]bool{
+	"Park": true, "Sleep": true, "Wait": true, "WaitTimeout": true,
+}
+
+// WakeTag requires the int returned by sim.Proc.Park/Sleep and
+// sim.WaitQueue.Wait/WaitTimeout to be consumed.
+var WakeTag = &Analyzer{
+	Name: "waketag",
+	Doc: "the wake tag returned by Park/Sleep/Wait must not be discarded, " +
+		"so WakeInterrupted (signal) wakeups are always handled",
+	Run: runWakeTag,
+}
+
+// isWakeTagCall reports whether call invokes one of the tag-returning sim
+// blocking primitives.
+func isWakeTagCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := Callee(pkg, call)
+	if fn == nil || !wakeTagMethods[fn.Name()] || RecvPkgName(fn) != "sim" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	first, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && first.Kind() == types.Int
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func runWakeTag(pass *Pass) error {
+	report := func(call *ast.CallExpr) {
+		fn := Callee(pass.Pkg, call)
+		pass.Reportf(call.Pos(),
+			"wake tag of sim.%s.%s discarded: WakeInterrupted would be silently dropped",
+			RecvTypeName(fn), fn.Name())
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := Unparen(st.X).(*ast.CallExpr); ok && isWakeTagCall(pass.Pkg, call) {
+					report(call)
+				}
+			case *ast.AssignStmt:
+				// tag, timedOut := q.WaitTimeout(...): the tag is the first
+				// result; assigning it to the blank identifier is a discard
+				// too. Both the 1:1 (a, b := f(), g()) and the multi-value
+				// (a, b := f()) forms are handled.
+				if len(st.Rhs) == 1 && len(st.Lhs) >= 1 {
+					if call, ok := Unparen(st.Rhs[0]).(*ast.CallExpr); ok &&
+						isWakeTagCall(pass.Pkg, call) && isBlank(st.Lhs[0]) {
+						report(call)
+					}
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if i >= len(st.Lhs) {
+						break
+					}
+					if call, ok := Unparen(rhs).(*ast.CallExpr); ok &&
+						isWakeTagCall(pass.Pkg, call) && isBlank(st.Lhs[i]) {
+						report(call)
+					}
+				}
+			case *ast.GoStmt:
+				if isWakeTagCall(pass.Pkg, st.Call) {
+					report(st.Call)
+				}
+			case *ast.DeferStmt:
+				if isWakeTagCall(pass.Pkg, st.Call) {
+					report(st.Call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

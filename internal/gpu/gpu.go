@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 )
 
 // GPU is one simulated graphics engine. The engine runs asynchronously
@@ -99,20 +100,25 @@ func (g *GPU) WaitFence(t *kernel.Thread, f *Fence) {
 	if g.BuggyFences {
 		target = g.busyUntil + 3*g.model.FenceLatency
 	}
-	now := t.Now()
-	if target > now {
-		t.Proc().Sleep(target - now)
-	}
+	waitUntil(t, target)
 	t.Charge(g.model.FenceLatency)
 }
 
 // Finish drains the queue (glFinish).
 func (g *GPU) Finish(t *kernel.Thread) {
-	now := t.Now()
-	if g.busyUntil > now {
-		t.Proc().Sleep(g.busyUntil - now)
-	}
+	waitUntil(t, g.busyUntil)
 	t.Charge(g.model.FenceLatency)
+}
+
+// waitUntil stalls the calling thread until the completion clock reaches
+// target. A signal (WakeInterrupted) must not report the GPU work as
+// retired early, so the wait resumes until the target really is reached.
+func waitUntil(t *kernel.Thread, target time.Duration) {
+	for now := t.Now(); target > now; now = t.Now() {
+		if t.Proc().Sleep(target-now) == sim.WakeInterrupted {
+			continue
+		}
+	}
 }
 
 // Present submits the per-frame overhead (swap/scan-out handoff) and

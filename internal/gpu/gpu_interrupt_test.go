@@ -1,0 +1,71 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Regression test for a wakeup bug found by ciderlint's waketag analyzer:
+// WaitFence/Finish discarded the wake tag of their completion sleep, so a
+// signal arriving mid-wait made the fence appear signaled while the GPU
+// work was still in flight. An interrupted wait must resume until the
+// completion clock really is reached.
+func TestFenceWaitSurvivesInterrupt(t *testing.T) {
+	s := sim.New()
+	reg := prog.NewRegistry()
+	fs := vfs.New()
+	k, err := kernel.New(s, kernel.Config{
+		Profile: kernel.ProfileLinuxVanilla, Device: hw.Nexus7(), Root: fs, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.InstallLinuxTable()
+	k.RegisterBinFmt(&kernel.ELFLoader{})
+
+	var victim *sim.Proc
+	var woke, retire time.Duration
+	reg.MustRegister("gpu-victim", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		victim = th.Proc()
+		g := New(hw.Nexus7().GPU)
+		g.Draw(th, 6_000_000, 0) // ~100ms of GPU work
+		f := g.CreateFence(th)
+		retire = g.BusyUntil()
+		g.WaitFence(th, f)
+		woke = th.Now()
+		return 0
+	})
+	reg.MustRegister("gpu-killer", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		if th.Proc().Sleep(5*time.Millisecond) != sim.WakeNormal {
+			t.Error("killer itself interrupted")
+		}
+		th.Proc().Wake(victim, sim.WakeInterrupted)
+		return 0
+	})
+	for _, n := range []string{"gpu-victim", "gpu-killer"} {
+		bin, err := prog.StaticELF(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("/bin/"+n, bin); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.StartProcess("/bin/"+n, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke < retire {
+		t.Fatalf("fence wait returned at %v, before the GPU work retired at %v", woke, retire)
+	}
+}

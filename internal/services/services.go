@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/libsystem"
+	"repro/internal/sim"
 	"repro/internal/xnu"
 )
 
@@ -199,6 +200,8 @@ func WaitForService(lc *libsystem.C, name string, attempts int) (xnu.PortName, e
 		if i >= attempts {
 			return xnu.PortNull, err
 		}
-		lc.T.Proc().Sleep(waitRetry)
+		if lc.T.Proc().Sleep(waitRetry) == sim.WakeInterrupted {
+			return xnu.PortNull, fmt.Errorf("services: wait for %q interrupted", name)
+		}
 	}
 }

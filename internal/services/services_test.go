@@ -1,6 +1,7 @@
 package services_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/libsystem"
 	"repro/internal/prog"
 	"repro/internal/services"
+	"repro/internal/sim"
 	"repro/internal/xnu"
 )
 
@@ -179,3 +181,57 @@ func TestServicesOnIPad(t *testing.T) {
 type errKr xnu.KernReturn
 
 func (e errKr) Error() string { return "kern_return" }
+
+// Regression test for a wakeup bug found by ciderlint's waketag analyzer:
+// WaitForService discarded the wake tag of its retry sleep, so a signal
+// arriving while an app waited for a service that never registers was
+// swallowed and the app kept polling. An interrupted wait must abort with
+// an error instead.
+func TestWaitForServiceInterrupted(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.BootServices(); err != nil {
+		t.Fatal(err)
+	}
+	var waiter *sim.Proc
+	var waitErr error
+	done := false
+	if err := sys.InstallIOSBinary("/Applications/w.app/w", "wait-app", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		waiter = th.Proc()
+		th.Proc().Sleep(80 * time.Millisecond)
+		_, waitErr = services.WaitForService(libsystem.Sys(th), "com.example.never", 1<<30)
+		done = true
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InstallIOSBinary("/Applications/k.app/k", "kill-app", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		th.Proc().Sleep(120 * time.Millisecond)
+		// Keep interrupting until the waiter gives up: depending on where
+		// the retry loop is, a wakeup can land in a bootstrap Receive
+		// (absorbed as a failed lookup) rather than the retry sleep.
+		for !done {
+			th.Proc().Wake(waiter, sim.WakeInterrupted)
+			th.Proc().Sleep(100 * time.Microsecond)
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Start("/Applications/w.app/w", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Start("/Applications/k.app/k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waitErr == nil || !strings.Contains(waitErr.Error(), "interrupted") {
+		t.Fatalf("waitErr = %v, want interrupted", waitErr)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -64,12 +65,49 @@ const (
 // ErrDeadlock is returned by Run when parked Procs remain but nothing can
 // ever wake them.
 type ErrDeadlock struct {
-	// Parked lists the names of the Procs that were still blocked.
+	// Parked lists the names of the non-daemon Procs that were still
+	// blocked, as "name(reason)" strings.
 	Parked []string
+	// Procs is the full wait snapshot at detection time: every parked
+	// Proc — parked daemons included, since they are often the other end
+	// of the lost wakeup — with its park reason and virtual clock.
+	Procs []ParkedProc
+}
+
+// ParkedProc is one blocked Proc's entry in a deadlock report.
+type ParkedProc struct {
+	// Name is the Proc's diagnostic name.
+	Name string
+	// ID is the Proc's simulator id.
+	ID int
+	// Reason is what the Proc was parked on (the Park reason, typically a
+	// wait-queue name such as "waitq:port:17").
+	Reason string
+	// At is the Proc's virtual clock when it parked.
+	At time.Duration
+	// Daemon marks background services, which do not themselves make the
+	// system deadlocked.
+	Daemon bool
 }
 
 func (e *ErrDeadlock) Error() string {
 	return fmt.Sprintf("sim: deadlock with %d parked procs: %v", len(e.Parked), e.Parked)
+}
+
+// Report formats the wait snapshot as a multi-line diagnostic: one line
+// per parked Proc with its id, name, virtual park time, and wait reason.
+func (e *ErrDeadlock) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock: %d proc(s) parked with no possible waker\n", len(e.Parked))
+	for _, p := range e.Procs {
+		mark := ""
+		if p.Daemon {
+			mark = " [daemon]"
+		}
+		fmt.Fprintf(&b, "  proc %d %q%s parked at %v waiting on %s\n",
+			p.ID, p.Name, mark, p.At, p.Reason)
+	}
+	return b.String()
 }
 
 // SchedEvent identifies one scheduler event delivered to a Sink.
@@ -504,16 +542,22 @@ func (s *Sim) Run() error {
 			// that is a deadlock; parked daemons just mean the system is
 			// idle.
 			var names []string
+			var snapshot []ParkedProc
 			for _, q := range s.parked {
 				if !q.daemon {
 					names = append(names, fmt.Sprintf("%s(%s)", q.name, q.parkReason))
 				}
+				snapshot = append(snapshot, ParkedProc{
+					Name: q.name, ID: q.id, Reason: q.parkReason,
+					At: q.now, Daemon: q.daemon,
+				})
 			}
 			if len(names) == 0 {
 				return nil
 			}
 			sort.Strings(names)
-			return &ErrDeadlock{Parked: names}
+			sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].ID < snapshot[j].ID })
+			return &ErrDeadlock{Parked: names, Procs: snapshot}
 		}
 		p.state = StateRunning
 		s.current = p

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -354,5 +356,55 @@ func TestPingPongLatency(t *testing.T) {
 	want := time.Duration(2*rounds) * hop
 	if final != want {
 		t.Fatalf("final = %v, want %v", final, want)
+	}
+}
+
+func TestDeadlockReport(t *testing.T) {
+	s := New()
+	s.Spawn("app", func(p *Proc) {
+		p.Advance(3 * time.Millisecond)
+		p.Park("waitq:port:5")
+	})
+	s.Spawn("worker", func(p *Proc) {
+		p.Advance(7 * time.Millisecond)
+		p.Park("waitq:sema:2")
+	})
+	s.Spawn("syslogd", func(p *Proc) {
+		p.SetDaemon(true)
+		p.Park("waitq:port:9")
+	})
+	err := s.Run()
+	var dl *ErrDeadlock
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	// Error() keeps its compact shape and excludes parked daemons.
+	if dl.Error() != "sim: deadlock with 2 parked procs: [app(waitq:port:5) worker(waitq:sema:2)]" {
+		t.Fatalf("Error() = %q", dl.Error())
+	}
+	// The snapshot covers every parked proc, daemons included, in id order.
+	if len(dl.Procs) != 3 {
+		t.Fatalf("Procs = %+v, want 3 entries", dl.Procs)
+	}
+	want := []ParkedProc{
+		{Name: "app", ID: 0, Reason: "waitq:port:5", At: 3 * time.Millisecond},
+		{Name: "worker", ID: 1, Reason: "waitq:sema:2", At: 7 * time.Millisecond},
+		{Name: "syslogd", ID: 2, Reason: "waitq:port:9", At: 0, Daemon: true},
+	}
+	for i, w := range want {
+		if dl.Procs[i] != w {
+			t.Fatalf("Procs[%d] = %+v, want %+v", i, dl.Procs[i], w)
+		}
+	}
+	report := dl.Report()
+	for _, line := range []string{
+		"sim: deadlock: 2 proc(s) parked with no possible waker\n",
+		"  proc 0 \"app\" parked at 3ms waiting on waitq:port:5\n",
+		"  proc 1 \"worker\" parked at 7ms waiting on waitq:sema:2\n",
+		"  proc 2 \"syslogd\" [daemon] parked at 0s waiting on waitq:port:9\n",
+	} {
+		if !strings.Contains(report, line) {
+			t.Fatalf("Report() = %q, missing %q", report, line)
+		}
 	}
 }

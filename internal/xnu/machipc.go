@@ -38,6 +38,9 @@ const (
 	MachSendInvalidDest KernReturn = 0x10000003
 	// MachSendTimedOut is MACH_SEND_TIMED_OUT.
 	MachSendTimedOut KernReturn = 0x10000004
+	// MachSendInterrupted is MACH_SEND_INTERRUPTED: a software interrupt
+	// (signal) woke the sender while it was blocked at the queue limit.
+	MachSendInterrupted KernReturn = 0x10000007
 	// MachRcvTooLarge is MACH_RCV_TOO_LARGE.
 	MachRcvTooLarge KernReturn = 0x10004004
 	// MachRcvTimedOut is MACH_RCV_TIMED_OUT.
@@ -392,10 +395,14 @@ func (ipc *IPC) Send(t *kernel.Thread, dest PortName, msg *Message, timeout time
 		if deadline == 0 || (deadline > 0 && t.Now() >= deadline) {
 			return MachSendTimedOut
 		}
+		var tag int
 		if deadline > 0 {
-			p.sendWait.WaitTimeout(t.Proc(), deadline-t.Now())
+			tag, _ = p.sendWait.WaitTimeout(t.Proc(), deadline-t.Now())
 		} else {
-			p.sendWait.Wait(t.Proc())
+			tag = p.sendWait.Wait(t.Proc())
+		}
+		if tag == sim.WakeInterrupted {
+			return MachSendInterrupted
 		}
 	}
 	if p.dead {

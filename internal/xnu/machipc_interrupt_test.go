@@ -1,0 +1,88 @@
+package xnu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Regression test for a wakeup bug found by ciderlint's waketag analyzer:
+// Send discarded the wake tag while blocked at the queue limit, so a
+// software interrupt (signal delivery wakes the proc with
+// sim.WakeInterrupted, as kill(2) does) was silently swallowed — the
+// sender just went back to sleep. mach_msg must instead return
+// MACH_SEND_INTERRUPTED, like the receive half always did.
+func TestSendInterruptedBySignal(t *testing.T) {
+	h := newHarness(t)
+	var kr KernReturn
+	var sender *sim.Proc
+	started := sim.NewWaitQueue("sender-up")
+	up := false
+	h.runProcs(t,
+		func(th *kernel.Thread) {
+			sender = th.Proc()
+			port, _ := h.ipc.PortAllocate(th)
+			for i := 0; i < defaultQLimit; i++ {
+				if kr := h.ipc.Send(th, port, &Message{ID: int32(i)}, 0); kr != KernSuccess {
+					t.Errorf("fill %d: %v", i, kr)
+				}
+			}
+			up = true
+			started.WakeAll(th.Proc(), sim.WakeNormal)
+			// Queue full, no receiver: blocks until the interrupt lands.
+			kr = h.ipc.Send(th, port, &Message{}, -1)
+		},
+		func(th *kernel.Thread) {
+			for !up {
+				started.Wait(th.Proc())
+			}
+			th.Charge(time.Millisecond)
+			th.Proc().Wake(sender, sim.WakeInterrupted)
+		},
+	)
+	if kr != MachSendInterrupted {
+		t.Fatalf("kr = %#x, want MACH_SEND_INTERRUPTED (%#x)", kr, MachSendInterrupted)
+	}
+}
+
+// The same interrupt against a sender blocked with a finite timeout must
+// also surface MACH_SEND_INTERRUPTED (not run the timeout down and report
+// MACH_SEND_TIMED_OUT).
+func TestSendTimeoutInterruptedBySignal(t *testing.T) {
+	h := newHarness(t)
+	var kr KernReturn
+	var at time.Duration
+	var sender *sim.Proc
+	started := sim.NewWaitQueue("sender-up")
+	up := false
+	h.runProcs(t,
+		func(th *kernel.Thread) {
+			sender = th.Proc()
+			port, _ := h.ipc.PortAllocate(th)
+			for i := 0; i < defaultQLimit; i++ {
+				if kr := h.ipc.Send(th, port, &Message{ID: int32(i)}, 0); kr != KernSuccess {
+					t.Errorf("fill %d: %v", i, kr)
+				}
+			}
+			up = true
+			started.WakeAll(th.Proc(), sim.WakeNormal)
+			kr = h.ipc.Send(th, port, &Message{}, time.Second)
+			at = th.Now()
+		},
+		func(th *kernel.Thread) {
+			for !up {
+				started.Wait(th.Proc())
+			}
+			th.Charge(time.Millisecond)
+			th.Proc().Wake(sender, sim.WakeInterrupted)
+		},
+	)
+	if kr != MachSendInterrupted {
+		t.Fatalf("kr = %#x, want MACH_SEND_INTERRUPTED (%#x)", kr, MachSendInterrupted)
+	}
+	if at >= time.Second {
+		t.Fatalf("interrupted send returned at %v, after the full timeout", at)
+	}
+}
