@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench verify
+.PHONY: build test vet lint race bench bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the wall-clock harness (full Fig. 5 + Fig. 6 batteries at
+# jobs=1 and jobs=GOMAXPROCS, best of 3) and writes BENCH_simwall.json.
+# Compare two snapshots with: go run ./cmd/benchdiff OLD.json NEW.json
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkFig -benchtime=1x .
+	$(GO) run ./cmd/simbench -out BENCH_simwall.json
+
+# bench-smoke is the 1-iteration harness run wired into verify: it proves
+# the harness itself still works without the repeated timing passes. The
+# output goes to a scratch file (gitignored) so verify never dirties the
+# committed BENCH_simwall.json snapshot.
+bench-smoke:
+	$(GO) run ./cmd/simbench -iterations 1 -out BENCH_simwall.smoke.json
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# ciderlint, and pass the full test suite under the race detector.
-verify: build vet lint race
+# ciderlint, pass the full test suite under the race detector, and run
+# the bench harness once end to end.
+verify: build vet lint race bench-smoke

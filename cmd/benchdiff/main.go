@@ -1,0 +1,115 @@
+// Command benchdiff compares two BENCH_simwall.json documents written by
+// simbench and fails (exit 1) when wall-clock performance regressed.
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] OLD.json NEW.json
+//
+// The gate applies to the wall-clock metrics — the sequential and
+// parallel battery wall times — because those are what a scheduler or
+// memory-path regression moves. The throughput and microbenchmark rows
+// are printed for context but do not fail the diff: they are derived
+// from the same wall times, and double-gating one regression twice
+// helps nobody. Default threshold: 10%.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// doc mirrors the simbench fields benchdiff reads; unknown fields in
+// newer documents are ignored, so the two tools can evolve separately.
+type doc struct {
+	Schema             int     `json:"schema"`
+	HostCPUs           int     `json:"host_cpus"`
+	BatteryWallNSJobs1 int64   `json:"battery_wall_ns_jobs1"`
+	BatteryWallNSJobsN int64   `json:"battery_wall_ns_jobsn"`
+	ParallelSpeedup    float64 `json:"parallel_speedup"`
+	NSPerSimSyscall    float64 `json:"ns_per_sim_syscall"`
+	SchedEventsPerSec  float64 `json:"sched_events_per_sec"`
+	SwitchNS           float64 `json:"switch_ns"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "max allowed wall-clock regression, percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	gate := func(name string, oldNS, newNS int64) {
+		pct := delta(float64(oldNS), float64(newNS))
+		mark := "ok"
+		if pct > *threshold {
+			mark = fmt.Sprintf("REGRESSION > %.0f%%", *threshold)
+			failed = true
+		}
+		fmt.Printf("  %-24s %12v -> %12v  %+6.1f%%  %s\n",
+			name, time.Duration(oldNS), time.Duration(newNS), pct, mark)
+	}
+	info := func(name, oldV, newV string, pct float64) {
+		fmt.Printf("  %-24s %12s -> %12s  %+6.1f%%  (info)\n", name, oldV, newV, pct)
+	}
+
+	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%, host cpus %d -> %d)\n",
+		flag.Arg(0), flag.Arg(1), *threshold, oldDoc.HostCPUs, newDoc.HostCPUs)
+	gate("battery wall jobs=1", oldDoc.BatteryWallNSJobs1, newDoc.BatteryWallNSJobs1)
+	gate("battery wall jobs=N", oldDoc.BatteryWallNSJobsN, newDoc.BatteryWallNSJobsN)
+	info("ns/sim-syscall",
+		fmt.Sprintf("%.0f", oldDoc.NSPerSimSyscall), fmt.Sprintf("%.0f", newDoc.NSPerSimSyscall),
+		delta(oldDoc.NSPerSimSyscall, newDoc.NSPerSimSyscall))
+	info("sched events/sec",
+		fmt.Sprintf("%.0f", oldDoc.SchedEventsPerSec), fmt.Sprintf("%.0f", newDoc.SchedEventsPerSec),
+		delta(oldDoc.SchedEventsPerSec, newDoc.SchedEventsPerSec))
+	info("switch ns",
+		fmt.Sprintf("%.0f", oldDoc.SwitchNS), fmt.Sprintf("%.0f", newDoc.SwitchNS),
+		delta(oldDoc.SwitchNS, newDoc.SwitchNS))
+	info("parallel speedup",
+		fmt.Sprintf("%.2fx", oldDoc.ParallelSpeedup), fmt.Sprintf("%.2fx", newDoc.ParallelSpeedup),
+		delta(oldDoc.ParallelSpeedup, newDoc.ParallelSpeedup))
+
+	if failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+// delta returns the percent change from oldV to newV (positive = grew).
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return 100 * (newV/oldV - 1)
+}
+
+func load(path string) (*doc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, d.Schema)
+	}
+	return &d, nil
+}

@@ -9,14 +9,20 @@
 //
 //	cider [--trace]        run the side-by-side demo; with --trace, attach
 //	                       a ktrace session and dump it after the run
-//	cider stats [--json]   run the Fig. 5 syscall battery under tracing on
+//	cider stats [--json] [--jobs N]
+//	                       run the Fig. 5 syscall battery under tracing on
 //	                       the android / cider-android / cider-ios
-//	                       configurations and print per-syscall histograms
-//	                       plus the null-syscall overhead decomposition
+//	                       configurations (one host worker per
+//	                       configuration, up to N) and print per-syscall
+//	                       histograms plus the null-syscall overhead
+//	                       decomposition; --json emits one machine-readable
+//	                       document with both
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -27,6 +33,7 @@ import (
 	"repro/internal/libsystem"
 	"repro/internal/lmbench"
 	"repro/internal/prog"
+	"repro/internal/runner"
 	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -38,7 +45,13 @@ func main() {
 	args := os.Args[1:]
 	switch {
 	case len(args) > 0 && args[0] == "stats":
-		err = runStats(hasFlag(args[1:], "--json"))
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit one JSON document instead of text")
+		jobs := fs.Int("jobs", 0, "max parallel host workers (<=0: GOMAXPROCS)")
+		if err := fs.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+		err = runStats(*asJSON, *jobs)
 	default:
 		err = runDemo(hasFlag(args, "--trace"))
 	}
@@ -197,24 +210,28 @@ func syscallTests() []lmbench.Test {
 	return out
 }
 
-func runStats(asJSON bool) error {
+func runStats(asJSON bool, jobs int) error {
 	type run struct {
 		conf    lmbench.Configuration
 		session *trace.Session
 		null    time.Duration // null-syscall latency for the decomposition
 	}
-	runs := make([]run, 0, 3)
+	confs := statsConfigs()
+	tests := syscallTests()
+	runs := make([]run, len(confs))
 
-	for _, conf := range statsConfigs() {
+	// One cell per configuration: each boots its own System with its own
+	// trace session, written only to runs[i], so the parallel run's
+	// histograms are bit-identical to the sequential ones.
+	if _, err := runner.Map(len(confs), jobs, func(i int) (struct{}, error) {
+		conf := confs[i]
 		var session *trace.Session
-		lmbench.OnSystem = func(sys *core.System) {
+		results, err := lmbench.RunWith(conf, tests, func(sys *core.System) {
 			session = sys.EnableTrace()
 			session.Label = conf.Name
-		}
-		results, err := lmbench.Run(conf, syscallTests())
-		lmbench.OnSystem = nil
+		})
 		if err != nil {
-			return fmt.Errorf("%s: %w", conf.Name, err)
+			return struct{}{}, fmt.Errorf("%s: %w", conf.Name, err)
 		}
 		r := run{conf: conf, session: session}
 		for _, res := range results {
@@ -222,24 +239,46 @@ func runStats(asJSON bool) error {
 				r.null = res.Latency
 			}
 		}
-		runs = append(runs, r)
+		runs[i] = r
+		return struct{}{}, nil
+	}); err != nil {
+		return err
 	}
 
+	base := runs[0].null
+
 	if asJSON {
-		fmt.Println("[")
-		for i, r := range runs {
-			out, err := r.session.JSON(false)
-			if err != nil {
-				return err
-			}
-			sep := ","
-			if i == len(runs)-1 {
-				sep = ""
-			}
-			fmt.Printf("%s%s\n", out, sep)
+		// One machine-scrapable document: per-config trace summaries plus
+		// the null-syscall decomposition, so CI and the bench harness can
+		// read counters without parsing text or stitching array elements.
+		type statConfig struct {
+			Config        string `json:"config"`
+			NullSyscallNS int64  `json:"null_syscall_ns"`
+			// NullOverheadPct is the paper's Fig. 5 decomposition: percent
+			// added to the null syscall vs the baseline config (omitted
+			// when either side failed).
+			NullOverheadPct *float64       `json:"null_overhead_pct,omitempty"`
+			Trace           *trace.Summary `json:"trace"`
 		}
-		fmt.Println("]")
-		return nil
+		doc := struct {
+			Baseline string       `json:"baseline"`
+			Configs  []statConfig `json:"configs"`
+		}{Baseline: runs[0].conf.Name}
+		for _, r := range runs {
+			sc := statConfig{
+				Config:        r.conf.Name,
+				NullSyscallNS: r.null.Nanoseconds(),
+				Trace:         r.session.Summarize(false),
+			}
+			if base > 0 && r.null > 0 {
+				pct := 100 * (float64(r.null)/float64(base) - 1)
+				sc.NullOverheadPct = &pct
+			}
+			doc.Configs = append(doc.Configs, sc)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 
 	for _, r := range runs {
@@ -252,7 +291,6 @@ func runStats(asJSON bool) error {
 	// Android — the paper reports ~8.5% for the Android persona (one extra
 	// persona check) and ~40% for the iOS persona (persona check + XNU
 	// syscall translation + errno conversion).
-	base := runs[0].null
 	fmt.Println("==== null-syscall decomposition (Fig. 5) ====")
 	for _, r := range runs {
 		if r.null == 0 {

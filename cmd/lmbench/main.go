@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	lmbench [-group basic|syscall|proc|comm]
+//	lmbench [-group basic|syscall|proc|comm] [-jobs N]
+//
+// The battery's (configuration, test) cells are sharded across up to N
+// host workers (default: GOMAXPROCS); the results are bit-identical for
+// every N, only wall-clock time changes.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 func main() {
 	group := flag.String("group", "", "run only one Fig. 5 group (basic, syscall, proc, comm)")
+	jobs := flag.Int("jobs", 0, "max parallel host workers (<=0: GOMAXPROCS)")
 	flag.Parse()
 
 	tests := lmbench.AllTests()
@@ -35,7 +40,7 @@ func main() {
 		tests = filtered
 	}
 
-	rep, err := lmbench.RunFigure5Tests(tests)
+	rep, err := lmbench.RunFigure5Opts(tests, lmbench.Options{Jobs: *jobs})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
 		os.Exit(1)

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	passmark [-group cpu|storage|memory|2d|3d]
+//	passmark [-group cpu|storage|memory|2d|3d] [-jobs N]
+//
+// Each configuration's battery is one parallel cell, sharded across up to
+// N host workers (default: GOMAXPROCS); results are bit-identical for
+// every N, only wall-clock time changes.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 func main() {
 	group := flag.String("group", "", "run only one Fig. 6 group (cpu, storage, memory, 2d, 3d)")
+	jobs := flag.Int("jobs", 0, "max parallel host workers (<=0: GOMAXPROCS)")
 	flag.Parse()
 
 	tests := passmark.AllTests()
@@ -35,7 +40,7 @@ func main() {
 		tests = filtered
 	}
 
-	rep, err := passmark.RunFigure6Tests(tests)
+	rep, err := passmark.RunFigure6Opts(tests, passmark.Options{Jobs: *jobs})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "passmark: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,229 @@
+// Command simbench is the wall-clock benchmark harness: it measures how
+// fast the host executes the simulation (as opposed to the simulated
+// latencies the figures report, which are identical at any speed) and
+// writes one machine-readable document, BENCH_simwall.json.
+//
+// Usage:
+//
+//	simbench [-iterations K] [-jobs N] [-out FILE]
+//
+// The harness runs the full Fig. 5 lmbench battery and the full Fig. 6
+// PassMark battery at jobs=1 and jobs=N (default GOMAXPROCS), taking the
+// best of K iterations (default 3) for each wall time. A separate traced
+// jobs=1 pass counts simulated syscalls and scheduler events — the counts
+// are deterministic, so dividing the untraced wall time by them yields
+// the harness's headline metrics: host ns per simulated syscall and
+// scheduler events per host second. A ping-pong microbenchmark isolates
+// the per-context-switch cost and allocations of the run-token handoff.
+//
+// Compare two documents with benchdiff, which fails on wall-clock
+// regressions (see cmd/benchdiff).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lmbench"
+	"repro/internal/passmark"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Doc is the BENCH_simwall.json schema. All wall times are host
+// nanoseconds; simulated time never appears here.
+type Doc struct {
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	HostCPUs   int    `json:"host_cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Jobs       int    `json:"jobs"`
+	Iterations int    `json:"iterations"`
+
+	// Battery wall times: full Fig. 5 (88 cells) + Fig. 6 (4 cells),
+	// best-of-K, sequential vs parallel.
+	Fig5WallNSJobs1    int64 `json:"fig5_wall_ns_jobs1"`
+	Fig5WallNSJobsN    int64 `json:"fig5_wall_ns_jobsn"`
+	Fig6WallNSJobs1    int64 `json:"fig6_wall_ns_jobs1"`
+	Fig6WallNSJobsN    int64 `json:"fig6_wall_ns_jobsn"`
+	BatteryWallNSJobs1 int64 `json:"battery_wall_ns_jobs1"`
+	BatteryWallNSJobsN int64 `json:"battery_wall_ns_jobsn"`
+	// ParallelSpeedup is jobs1/jobsN battery wall. Bounded above by
+	// HostCPUs: on a single-core host it cannot exceed ~1.0.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	// Simulator throughput, from the jobs=1 Fig. 5 battery.
+	SimSyscalls       uint64  `json:"sim_syscalls"`
+	NSPerSimSyscall   float64 `json:"ns_per_sim_syscall"`
+	SchedEvents       uint64  `json:"sched_events"`
+	SchedEventsPerSec float64 `json:"sched_events_per_sec"`
+
+	// Context-switch microbenchmark: two Procs bouncing park/wake.
+	SwitchNS          float64 `json:"switch_ns"`
+	SwitchAllocsPerOp int64   `json:"switch_allocs_per_round"`
+}
+
+func main() {
+	iterations := flag.Int("iterations", 3, "wall-time iterations per point (best is kept)")
+	jobs := flag.Int("jobs", 0, "parallel worker count for the jobsN points (<=0: GOMAXPROCS)")
+	out := flag.String("out", "BENCH_simwall.json", "output file")
+	flag.Parse()
+
+	doc, err := measure(*iterations, runner.Jobs(*jobs))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simbench: fig5 %v (jobs=1) / %v (jobs=%d), fig6 %v / %v, speedup %.2fx on %d host cpu(s)\n",
+		time.Duration(doc.Fig5WallNSJobs1), time.Duration(doc.Fig5WallNSJobsN), doc.Jobs,
+		time.Duration(doc.Fig6WallNSJobs1), time.Duration(doc.Fig6WallNSJobsN),
+		doc.ParallelSpeedup, doc.HostCPUs)
+	fmt.Printf("simbench: %.0f ns/sim-syscall, %.0f sched events/sec, switch %.0f ns (%d allocs/round)\n",
+		doc.NSPerSimSyscall, doc.SchedEventsPerSec, doc.SwitchNS, doc.SwitchAllocsPerOp)
+	fmt.Printf("simbench: wrote %s\n", *out)
+}
+
+func measure(iterations, jobs int) (*Doc, error) {
+	doc := &Doc{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Jobs:       jobs,
+		Iterations: iterations,
+	}
+
+	fig5 := func(j int) error {
+		_, err := lmbench.RunFigure5Opts(lmbench.AllTests(), lmbench.Options{Jobs: j})
+		return err
+	}
+	fig6 := func(j int) error {
+		_, err := passmark.RunFigure6Opts(passmark.AllTests(), passmark.Options{Jobs: j})
+		return err
+	}
+
+	var err error
+	if doc.Fig5WallNSJobs1, err = bestWall(iterations, 1, fig5); err != nil {
+		return nil, fmt.Errorf("fig5 jobs=1: %w", err)
+	}
+	if doc.Fig5WallNSJobsN, err = bestWall(iterations, jobs, fig5); err != nil {
+		return nil, fmt.Errorf("fig5 jobs=%d: %w", jobs, err)
+	}
+	if doc.Fig6WallNSJobs1, err = bestWall(iterations, 1, fig6); err != nil {
+		return nil, fmt.Errorf("fig6 jobs=1: %w", err)
+	}
+	if doc.Fig6WallNSJobsN, err = bestWall(iterations, jobs, fig6); err != nil {
+		return nil, fmt.Errorf("fig6 jobs=%d: %w", jobs, err)
+	}
+	doc.BatteryWallNSJobs1 = doc.Fig5WallNSJobs1 + doc.Fig6WallNSJobs1
+	doc.BatteryWallNSJobsN = doc.Fig5WallNSJobsN + doc.Fig6WallNSJobsN
+	if doc.BatteryWallNSJobsN > 0 {
+		doc.ParallelSpeedup = float64(doc.BatteryWallNSJobs1) / float64(doc.BatteryWallNSJobsN)
+	}
+
+	// Traced pass: count simulated syscalls and scheduler events across
+	// the Fig. 5 battery. Event counts are deterministic, so they pair
+	// with the untraced wall times measured above.
+	sessions := make([]*trace.Session, len(lmbench.Cells(lmbench.AllTests())))
+	_, err = lmbench.RunFigure5Opts(lmbench.AllTests(), lmbench.Options{
+		Jobs: jobs,
+		OnSystem: func(cell lmbench.Cell, sys *core.System) {
+			s := sys.EnableTrace()
+			s.SetRingCapacity(1) // stats only; the event ring would dominate
+			sessions[cell.Index] = s
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("traced fig5: %w", err)
+	}
+	for _, s := range sessions {
+		if s == nil {
+			continue
+		}
+		sum := s.Summarize(false)
+		for _, sc := range sum.Syscalls {
+			doc.SimSyscalls += sc.Hist.Count
+		}
+		for _, n := range sum.Sched {
+			doc.SchedEvents += n
+		}
+	}
+	if doc.SimSyscalls > 0 {
+		doc.NSPerSimSyscall = float64(doc.Fig5WallNSJobs1) / float64(doc.SimSyscalls)
+	}
+	if doc.Fig5WallNSJobs1 > 0 {
+		doc.SchedEventsPerSec = float64(doc.SchedEvents) / (float64(doc.Fig5WallNSJobs1) / 1e9)
+	}
+
+	doc.SwitchNS, doc.SwitchAllocsPerOp = switchBench()
+	return doc, nil
+}
+
+// bestWall runs fn(jobs) iterations times and returns the best wall time.
+func bestWall(iterations, jobs int, fn func(jobs int) error) (int64, error) {
+	best := int64(-1)
+	for i := 0; i < iterations; i++ {
+		start := time.Now()
+		if err := fn(jobs); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// switchBench measures one simulated context switch: two Procs bouncing
+// park/wake, each round trip two full run-token handoffs (the same shape
+// as internal/sim's BenchmarkPingPongHandoff). Allocations are per round
+// trip, amortized over the rounds of one sim.
+func switchBench() (nsPerSwitch float64, allocsPerRound int64) {
+	const rounds = 1000
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := sim.New()
+			var pa, pb *sim.Proc
+			pa = s.Spawn("a", func(p *sim.Proc) {
+				for j := 0; j < rounds; j++ {
+					p.Advance(time.Microsecond)
+					p.Wake(pb, sim.WakeNormal)
+					//lint:allow waketag closed benchmark pair: a is only ever woken normally by b
+					p.Park("pong")
+				}
+				p.Wake(pb, sim.WakeInterrupted)
+			})
+			pb = s.Spawn("b", func(p *sim.Proc) {
+				for {
+					if p.Park("ping") == sim.WakeInterrupted {
+						return
+					}
+					p.Advance(time.Microsecond)
+					p.Wake(pa, sim.WakeNormal)
+				}
+			})
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return float64(res.NsPerOp()) / (2 * rounds), res.AllocsPerOp() / rounds
+}

@@ -228,21 +228,25 @@ func Configurations() []Configuration {
 	}
 }
 
-// OnSystem, when non-nil, is invoked with each configuration's freshly
-// booted System before any benchmark process starts. Tests and the CLI
-// use it to attach a trace session to the run; it must not advance
-// virtual time.
-var OnSystem func(*core.System)
-
 // Run executes the given tests in one configuration, returning a result
 // per test.
 func Run(conf Configuration, tests []Test) ([]Result, error) {
+	return RunWith(conf, tests, nil)
+}
+
+// RunWith is Run with a per-run system hook: onSystem, when non-nil, is
+// invoked with the freshly booted System before any benchmark process
+// starts. Tests and the CLI use it to attach a trace session to the run;
+// it must not advance virtual time. The hook replaces the old package
+// global OnSystem, which the parallel engine made a data race — per-run
+// state keeps concurrent batteries (and concurrent tests) independent.
+func RunWith(conf Configuration, tests []Test, onSystem func(*core.System)) ([]Result, error) {
 	sys, err := core.NewSystem(conf.System)
 	if err != nil {
 		return nil, err
 	}
-	if OnSystem != nil {
-		OnSystem(sys)
+	if onSystem != nil {
+		onSystem(sys)
 	}
 	// Install the hello-world payloads the process-creation tests exec.
 	if sys.AndroidFS != nil {

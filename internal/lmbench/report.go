@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // Report aggregates Fig. 5: per-test latencies for every configuration,
@@ -17,30 +20,95 @@ type Report struct {
 	Failed map[string]map[string]bool
 }
 
-// RunFigure5 runs the full battery on all four configurations.
+// Cell identifies one parallel experiment cell: a single (configuration,
+// test) pair run on its own freshly booted System. Index is the cell's
+// canonical position (configurations in paper order, tests in battery
+// order within each configuration) — the merge key that makes parallel
+// output bit-identical to sequential.
+type Cell struct {
+	Index  int
+	Config Configuration
+	Test   Test
+}
+
+// Options configures a battery run.
+type Options struct {
+	// Jobs caps the host workers cells are sharded across; <= 0 means
+	// GOMAXPROCS. Jobs=1 runs cells sequentially on the caller's
+	// goroutine (the reference execution).
+	Jobs int
+	// OnSystem, when non-nil, is invoked with each cell's freshly booted
+	// System before its benchmark process starts — the place to attach a
+	// trace session. With Jobs > 1 it is called concurrently from worker
+	// goroutines, so implementations must either be thread-safe or write
+	// only to state indexed by the cell (e.g. sessions[cell.Index] in a
+	// pre-sized slice). It must not advance virtual time.
+	OnSystem func(Cell, *core.System)
+}
+
+// RunFigure5 runs the full battery on all four configurations across
+// GOMAXPROCS host workers.
 func RunFigure5() (*Report, error) {
 	return RunFigure5Tests(AllTests())
 }
 
-// RunFigure5Tests runs a chosen subset on all four configurations.
+// RunFigure5Tests runs a chosen subset on all four configurations across
+// GOMAXPROCS host workers.
 func RunFigure5Tests(tests []Test) (*Report, error) {
+	return RunFigure5Opts(tests, Options{})
+}
+
+// Cells enumerates the battery's parallel cells in canonical order: one
+// per (configuration, test). lmbench cells can be this fine-grained
+// because every test boots from the same cold-start System state; see
+// passmark, where warm GPU state forces per-configuration cells.
+func Cells(tests []Test) []Cell {
+	confs := Configurations()
+	cells := make([]Cell, 0, len(confs)*len(tests))
+	for _, conf := range confs {
+		for _, t := range tests {
+			cells = append(cells, Cell{Index: len(cells), Config: conf, Test: t})
+		}
+	}
+	return cells
+}
+
+// RunFigure5Opts runs a chosen subset on all four configurations, sharding
+// (configuration, test) cells across opts.Jobs host workers. Each cell is
+// an independent System with its own virtual clock, so the merged report
+// is bit-identical for every Jobs value; only wall-clock time changes. On
+// cell failure every other cell still runs and the error from the lowest-
+// index cell is returned.
+func RunFigure5Opts(tests []Test, opts Options) (*Report, error) {
+	cells := Cells(tests)
+	outs, err := runner.Map(len(cells), opts.Jobs, func(i int) ([]Result, error) {
+		cell := cells[i]
+		var hook func(*core.System)
+		if opts.OnSystem != nil {
+			hook = func(sys *core.System) { opts.OnSystem(cell, sys) }
+		}
+		rs, rerr := RunWith(cell.Config, []Test{cell.Test}, hook)
+		if rerr != nil {
+			return nil, fmt.Errorf("lmbench: %s: %w", cell.Config.Name, rerr)
+		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Tests:   tests,
 		Latency: map[string]map[string]time.Duration{},
 		Failed:  map[string]map[string]bool{},
 	}
-	for _, conf := range Configurations() {
-		results, err := Run(conf, tests)
-		if err != nil {
-			return nil, fmt.Errorf("lmbench: %s: %w", conf.Name, err)
-		}
-		for _, r := range results {
+	for _, rs := range outs {
+		for _, r := range rs {
 			if rep.Latency[r.Test] == nil {
 				rep.Latency[r.Test] = map[string]time.Duration{}
 				rep.Failed[r.Test] = map[string]bool{}
 			}
-			rep.Latency[r.Test][conf.Name] = r.Latency
-			rep.Failed[r.Test][conf.Name] = r.Failed
+			rep.Latency[r.Test][r.Config] = r.Latency
+			rep.Failed[r.Test][r.Config] = r.Failed
 		}
 	}
 	return rep, nil

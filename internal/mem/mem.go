@@ -53,18 +53,40 @@ func (p Prot) String() string {
 
 // Backing is the physical store behind one or more regions. Shared mappings
 // (Mach OOL memory, IOSurfaces, gralloc buffers) alias the same Backing.
+//
+// The store is zero-fill-on-demand: no host memory is allocated until the
+// first byte is actually read or written. Most simulated mappings — the
+// ~90 MB of dylib text dyld maps on every iOS exec above all — are pure
+// accounting (fork charges for their PTEs, nothing loads from them), and
+// eagerly allocating + zeroing them dominated the host-side profile of
+// the Fig. 5 battery.
 type Backing struct {
+	size uint64
+	// data stays nil until materialize; untouched backings read as zeros.
 	data []byte
 	refs int
 }
 
-// NewBacking allocates a zeroed backing store of size bytes.
+// NewBacking creates a zeroed backing store of size bytes. Host memory is
+// not committed until first access.
 func NewBacking(size uint64) *Backing {
-	return &Backing{data: make([]byte, size), refs: 0}
+	return &Backing{size: size}
 }
 
-// Bytes exposes the raw store (used by the GPU and compositor simulators).
-func (b *Backing) Bytes() []byte { return b.data }
+// Size returns the store's length in bytes without materializing it.
+func (b *Backing) Size() uint64 { return b.size }
+
+// materialize commits the host memory on first access.
+func (b *Backing) materialize() []byte {
+	if b.data == nil && b.size > 0 {
+		b.data = make([]byte, b.size)
+	}
+	return b.data
+}
+
+// Bytes exposes the raw store (used by the GPU and compositor simulators),
+// committing it if it was still zero-fill-on-demand.
+func (b *Backing) Bytes() []byte { return b.materialize() }
 
 // Refs reports how many regions currently alias this backing.
 func (b *Backing) Refs() int { return b.refs }
@@ -247,8 +269,8 @@ func (as *AddressSpace) MapBacking(base, size uint64, prot Prot, name string, sh
 	if backing == nil {
 		backing = NewBacking(size)
 		offset = 0
-	} else if offset+size > uint64(len(backing.data)) {
-		return nil, fmt.Errorf("mem: mapping %q exceeds backing (%d+%d > %d)", name, offset, size, len(backing.data))
+	} else if offset+size > backing.size {
+		return nil, fmt.Errorf("mem: mapping %q exceeds backing (%d+%d > %d)", name, offset, size, backing.size)
 	}
 	r := &Region{Base: base, Size: size, Prot: prot, Name: name, Shared: shared, backing: backing, offset: offset}
 	as.insert(r)
@@ -302,7 +324,12 @@ func (as *AddressSpace) access(vaddr uint64, buf []byte, write bool) error {
 		off := r.offset + (vaddr - r.Base)
 		n := copyLen(uint64(len(buf)), r.End()-vaddr)
 		if write {
-			copy(r.backing.data[off:off+n], buf[:n])
+			data := r.backing.materialize()
+			copy(data[off:off+n], buf[:n])
+		} else if r.backing.data == nil {
+			// Untouched zero-fill backing: the read sees zeros without
+			// committing the store.
+			clear(buf[:n])
 		} else {
 			copy(buf[:n], r.backing.data[off:off+n])
 		}
@@ -337,8 +364,12 @@ func (as *AddressSpace) Fork() (*AddressSpace, uint64) {
 		} else {
 			// The simulation copies eagerly rather than COW; the PTE count,
 			// which is what the fork latency model charges for, is the same.
-			nb := NewBacking(uint64(len(r.backing.data)))
-			copy(nb.data, r.backing.data)
+			// An untouched zero-fill parent store stays uncommitted in the
+			// child too — there is nothing to copy.
+			nb := NewBacking(r.backing.size)
+			if r.backing.data != nil {
+				copy(nb.materialize(), r.backing.data)
+			}
 			nr.backing = nb
 		}
 		child.insert(nr)

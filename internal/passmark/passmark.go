@@ -84,9 +84,19 @@ type Result struct {
 
 // Run executes the battery in one configuration.
 func Run(conf Configuration, tests []Test) ([]Result, error) {
+	return RunWith(conf, tests, nil)
+}
+
+// RunWith is Run with a per-run system hook: onSystem, when non-nil, is
+// invoked with the freshly booted System before the app starts — the
+// place to attach a trace session. It must not advance virtual time.
+func RunWith(conf Configuration, tests []Test, onSystem func(*core.System)) ([]Result, error) {
 	sys, err := core.NewSystem(conf.System)
 	if err != nil {
 		return nil, err
+	}
+	if onSystem != nil {
+		onSystem(sys)
 	}
 	var results []Result
 	driver := func(t *kernel.Thread) {

@@ -3,6 +3,9 @@ package passmark
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // Report aggregates Fig. 6: per-test throughput scores for every
@@ -13,30 +16,69 @@ type Report struct {
 	Errors map[string]map[string]error
 }
 
-// RunFigure6 runs the full battery on all four configurations.
+// Cell identifies one parallel experiment cell: a whole configuration's
+// battery on one System. PassMark cells cannot shard per test the way
+// lmbench's do: the 3D scenes measure warm GPU/diplomat state built up by
+// the tests that ran before them in the same app process (a cold-start
+// "simple 3D" run scores measurably differently), so the unit of
+// parallelism is the configuration.
+type Cell struct {
+	Index  int
+	Config Configuration
+}
+
+// Options configures a battery run. See lmbench.Options for the
+// OnSystem thread-safety rule: with Jobs > 1 it runs concurrently.
+type Options struct {
+	// Jobs caps the host workers; <= 0 means GOMAXPROCS.
+	Jobs int
+	// OnSystem, when non-nil, is invoked with each cell's freshly booted
+	// System before the app starts. Must not advance virtual time.
+	OnSystem func(Cell, *core.System)
+}
+
+// RunFigure6 runs the full battery on all four configurations across
+// GOMAXPROCS host workers.
 func RunFigure6() (*Report, error) {
 	return RunFigure6Tests(AllTests())
 }
 
-// RunFigure6Tests runs a chosen subset on all four configurations.
+// RunFigure6Tests runs a chosen subset on all four configurations across
+// GOMAXPROCS host workers.
 func RunFigure6Tests(tests []Test) (*Report, error) {
+	return RunFigure6Opts(tests, Options{})
+}
+
+// RunFigure6Opts runs a chosen subset, sharding one cell per
+// configuration across opts.Jobs host workers. Each cell is an
+// independent System, so the merged report is bit-identical for every
+// Jobs value.
+func RunFigure6Opts(tests []Test, opts Options) (*Report, error) {
+	confs := Configurations()
+	outs, err := runner.Map(len(confs), opts.Jobs, func(i int) ([]Result, error) {
+		cell := Cell{Index: i, Config: confs[i]}
+		var hook func(*core.System)
+		if opts.OnSystem != nil {
+			hook = func(sys *core.System) { opts.OnSystem(cell, sys) }
+		}
+		return RunWith(cell.Config, tests, hook)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Tests:  tests,
 		Score:  map[string]map[string]float64{},
 		Errors: map[string]map[string]error{},
 	}
-	for _, conf := range Configurations() {
-		results, err := Run(conf, tests)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range results {
+	for _, rs := range outs {
+		for _, r := range rs {
 			if rep.Score[r.Test] == nil {
 				rep.Score[r.Test] = map[string]float64{}
 				rep.Errors[r.Test] = map[string]error{}
 			}
-			rep.Score[r.Test][conf.Name] = r.Score
-			rep.Errors[r.Test][conf.Name] = r.Err
+			rep.Score[r.Test][r.Config] = r.Score
+			rep.Errors[r.Test][r.Config] = r.Err
 		}
 	}
 	return rep, nil

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCanonicalOrder(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		got, err := Map(50, jobs, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: result[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+// TestMapLowestIndexError pins deterministic error reporting: whichever
+// worker finishes first, the error from the lowest-index failed cell wins.
+func TestMapLowestIndexError(t *testing.T) {
+	errLow := errors.New("cell 3 failed")
+	for _, jobs := range []int{1, 4} {
+		_, err := Map(20, jobs, func(i int) (int, error) {
+			switch i {
+			case 3:
+				// Make the low-index failure slow so a racy implementation
+				// would report cell 17 instead.
+				if jobs > 1 {
+					time.Sleep(10 * time.Millisecond)
+				}
+				return 0, errLow
+			case 17:
+				return 0, fmt.Errorf("cell 17 failed")
+			}
+			return i, nil
+		})
+		if err != errLow {
+			t.Fatalf("jobs=%d: err = %v, want %v", jobs, err, errLow)
+		}
+	}
+}
+
+// TestMapAllCellsRunDespiteError checks Map collects-and-continues like
+// the sequential report loops it replaces: a failed cell must not stop
+// later cells from running.
+func TestMapAllCellsRunDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(30, 4, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("first cell fails")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 30 {
+		t.Fatalf("ran %d cells, want 30", got)
+	}
+}
+
+// TestMapStealing forces one worker's block to be much slower than the
+// others and checks total wall time reflects stealing: with 4 workers and
+// all the slow cells dealt to worker 0's block, thieves must take them.
+func TestMapStealing(t *testing.T) {
+	const n, jobs = 16, 4
+	const d = 20 * time.Millisecond
+	start := time.Now()
+	_, err := Map(n, jobs, func(i int) (int, error) {
+		if i < 4 {
+			// Worker 0's whole block is slow; without stealing it alone
+			// takes 4*d while the others idle.
+			time.Sleep(d)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 3*d {
+		t.Fatalf("wall %v suggests no stealing (block of 4 slow cells should spread)", el)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want panic to propagate")
+		}
+		if s, ok := r.(string); !ok || s != "cell 2 exploded" {
+			t.Fatalf("recovered %v, want lowest-index panic", r)
+		}
+	}()
+	_, _ = Map(10, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("cell 2 exploded")
+		}
+		if i == 9 {
+			panic("cell 9 exploded")
+		}
+		return i, nil
+	})
+}
+
+func TestJobs(t *testing.T) {
+	if Jobs(0) < 1 {
+		t.Fatal("Jobs(0) must be >= 1")
+	}
+	if Jobs(-3) < 1 {
+		t.Fatal("Jobs(-3) must be >= 1")
+	}
+	if Jobs(7) != 7 {
+		t.Fatal("Jobs(7) must pass through")
+	}
+}

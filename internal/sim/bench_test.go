@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkPingPongHandoff measures the raw cost of one simulated context
+// switch: two Procs bouncing park/wake, so every round trip is two full
+// run-token handoffs. This is the hot path every kernel sleep/wakeup
+// (pipes, Mach IPC, select) pays.
+func BenchmarkPingPongHandoff(b *testing.B) {
+	b.ReportAllocs()
+	const hop = time.Microsecond
+	for i := 0; i < b.N; i++ {
+		s := New()
+		var pa, pb *Proc
+		const rounds = 1000
+		pa = s.Spawn("a", func(p *Proc) {
+			for j := 0; j < rounds; j++ {
+				p.Advance(hop)
+				p.Wake(pb, WakeNormal)
+				p.Park("pong")
+			}
+			p.Wake(pb, WakeInterrupted)
+		})
+		pb = s.Spawn("b", func(p *Proc) {
+			for {
+				if p.Park("ping") == WakeInterrupted {
+					return
+				}
+				p.Advance(hop)
+				p.Wake(pa, WakeNormal)
+			}
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdvanceSoleRunnable measures Advance when the running Proc is
+// the only runnable one — the same-proc fast path a single-threaded
+// benchmark driver hits on every compute charge.
+func BenchmarkAdvanceSoleRunnable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.Spawn("solo", func(p *Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Advance(time.Microsecond)
+			}
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdvanceTwoRunnable measures Advance with a second runnable Proc
+// at an equal-or-later clock: the case where the old scheduler bounced
+// through a full handoff even though the running Proc stayed the min.
+func BenchmarkAdvanceTwoRunnable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.Spawn("lead", func(p *Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Advance(time.Microsecond)
+			}
+		})
+		s.Spawn("tail", func(p *Proc) {
+			p.Advance(100 * time.Millisecond)
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaitQueueChurn measures enqueue/remove churn on one queue with
+// many waiters — the select/poll shape where a Proc enqueues on N queues
+// and every wake removes it from all of them.
+func BenchmarkWaitQueueChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		q := NewWaitQueue("churn")
+		const waiters = 64
+		for w := 0; w < waiters; w++ {
+			s.Spawn("w", func(p *Proc) {
+				q.Wait(p)
+			})
+		}
+		s.Spawn("waker", func(p *Proc) {
+			p.Advance(time.Millisecond)
+			// Wake in reverse-ish order via Dequeue+Wake of the newest
+			// waiter: the worst case for the O(n) slice scan.
+			for q.Len() > 0 {
+				q.WakeOne(p, WakeNormal)
+			}
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -284,7 +283,10 @@ func (p *Proc) OnExit(fn func(*Proc)) {
 	p.onExit = append(p.onExit, fn)
 }
 
-// procHeap orders Procs by (clock, id) for deterministic scheduling.
+// procHeap orders Procs by (clock, id) for deterministic scheduling. It
+// is a hand-rolled binary heap rather than container/heap: push/pop/remove
+// sit on the scheduler's hottest path, and the direct version avoids the
+// interface boxing and indirect Less/Swap calls of the generic one.
 type procHeap struct {
 	procs []*Proc
 	// bySleep keys the heap on wakeAt instead of now.
@@ -299,41 +301,94 @@ func (h *procHeap) key(p *Proc) time.Duration {
 }
 
 func (h *procHeap) Len() int { return len(h.procs) }
-func (h *procHeap) Less(i, j int) bool {
-	a, b := h.procs[i], h.procs[j]
+
+// less orders by (key, id); the id tiebreak makes scheduling deterministic.
+func (h *procHeap) less(a, b *Proc) bool {
 	ka, kb := h.key(a), h.key(b)
 	if ka != kb {
 		return ka < kb
 	}
 	return a.id < b.id
 }
-func (h *procHeap) Swap(i, j int) {
-	h.procs[i], h.procs[j] = h.procs[j], h.procs[i]
-	h.procs[i].heapIndex = i
-	h.procs[j].heapIndex = j
+
+func (h *procHeap) up(i int) {
+	p := h.procs[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		q := h.procs[parent]
+		if !h.less(p, q) {
+			break
+		}
+		h.procs[i] = q
+		q.heapIndex = i
+		i = parent
+	}
+	h.procs[i] = p
+	p.heapIndex = i
 }
-func (h *procHeap) Push(x any) {
-	p := x.(*Proc)
+
+func (h *procHeap) down(i int) {
+	n := len(h.procs)
+	p := h.procs[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(h.procs[r], h.procs[child]) {
+			child = r
+		}
+		q := h.procs[child]
+		if !h.less(q, p) {
+			break
+		}
+		h.procs[i] = q
+		q.heapIndex = i
+		i = child
+	}
+	h.procs[i] = p
+	p.heapIndex = i
+}
+
+func (h *procHeap) push(p *Proc) {
 	p.heapIndex = len(h.procs)
 	h.procs = append(h.procs, p)
+	h.up(p.heapIndex)
 }
-func (h *procHeap) Pop() any {
-	old := h.procs
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
+
+func (h *procHeap) pop() *Proc {
+	p := h.procs[0]
+	n := len(h.procs) - 1
+	last := h.procs[n]
+	h.procs[n] = nil
+	h.procs = h.procs[:n]
+	if n > 0 {
+		h.procs[0] = last
+		last.heapIndex = 0
+		h.down(0)
+	}
 	p.heapIndex = -1
-	h.procs = old[:n-1]
 	return p
 }
 
-func (h *procHeap) push(p *Proc) { heap.Push(h, p) }
-func (h *procHeap) pop() *Proc   { return heap.Pop(h).(*Proc) }
-func (h *procHeap) peek() *Proc  { return h.procs[0] }
+func (h *procHeap) peek() *Proc { return h.procs[0] }
+
 func (h *procHeap) remove(p *Proc) {
-	if p.heapIndex >= 0 && p.heapIndex < len(h.procs) && h.procs[p.heapIndex] == p {
-		heap.Remove(h, p.heapIndex)
+	i := p.heapIndex
+	if i < 0 || i >= len(h.procs) || h.procs[i] != p {
+		return
 	}
+	n := len(h.procs) - 1
+	last := h.procs[n]
+	h.procs[n] = nil
+	h.procs = h.procs[:n]
+	if i < n {
+		h.procs[i] = last
+		last.heapIndex = i
+		h.down(i)
+		h.up(i)
+	}
+	p.heapIndex = -1
 }
 
 // Sim is a discrete-event simulator instance.
@@ -342,8 +397,10 @@ type Sim struct {
 	ready    *procHeap
 	sleepers *procHeap
 	parked   map[int]*Proc
-	// yield signals the scheduler that the running Proc gave up the token.
-	yield chan *Proc
+	// yield returns control to Run when no Proc can take the token
+	// directly (simulation finished, deadlocked, or panicking); ordinary
+	// switches hand the token proc-to-proc without touching it.
+	yield chan struct{}
 	// current is the Proc holding the run token.
 	current *Proc
 	running bool
@@ -363,7 +420,7 @@ func New() *Sim {
 		ready:    &procHeap{},
 		sleepers: &procHeap{bySleep: true},
 		parked:   make(map[int]*Proc),
-		yield:    make(chan *Proc),
+		yield:    make(chan struct{}),
 	}
 }
 
@@ -440,37 +497,89 @@ func (s *Sim) procMain(p *Proc) {
 			s.nonDaemonLive--
 		}
 		s.emit(SchedExit, p, "")
-		s.yield <- p
+		s.handoff()
 	}()
 	p.fn(p)
 }
 
-// yieldAndWait releases the token to the scheduler and blocks until this
-// Proc is scheduled again.
+// yieldAndWait releases the token and blocks until this Proc is scheduled
+// again. The token goes directly to the next schedulable Proc (see
+// handoff), not back through the Run loop.
 func (s *Sim) yieldAndWait(p *Proc) {
 	s.emit(SchedBlock, p, blockDetail(p))
-	s.yield <- p
-	<-p.run
+	if !s.handoffFrom(p) {
+		<-p.run
+	}
 	p.state = StateRunning
 	s.emit(SchedResume, p, "")
+}
+
+// handoff passes the run token from the calling Proc's goroutine straight
+// to the next schedulable Proc: one channel send instead of the old
+// yield-to-scheduler/schedule-from-loop pair, halving the channel
+// operations and host context switches per virtual context switch.
+// Control returns to the Run loop only when the simulation cannot proceed
+// from here — every non-daemon finished, nothing is schedulable
+// (potential deadlock), or a Proc panicked.
+func (s *Sim) handoff() { s.handoffFrom(nil) }
+
+// handoffFrom implements handoff for a blocking Proc. When the next
+// schedulable Proc is the caller itself (a sole Proc sleeping, say — next()
+// pops it straight back out of the sleep heap), sending on its own
+// unbuffered run channel would deadlock; instead it returns true and the
+// caller resumes without any channel operation at all.
+func (s *Sim) handoffFrom(from *Proc) bool {
+	if s.panicValue == nil && s.nonDaemonLive > 0 {
+		if next := s.next(); next != nil {
+			next.state = StateRunning
+			s.current = next
+			if next == from {
+				return true
+			}
+			next.run <- struct{}{}
+			return false
+		}
+	}
+	s.current = nil
+	s.yield <- struct{}{}
+	return false
 }
 
 // maybePreempt hands the token over if another Proc could run at an earlier
 // or equal clock. The current Proc stays runnable.
 func (s *Sim) maybePreempt(p *Proc) {
-	earlier := false
-	if s.ready.Len() > 0 && s.ready.peek().now <= p.now {
-		earlier = true
-	}
-	if s.sleepers.Len() > 0 && s.sleepers.peek().wakeAt <= p.now {
-		earlier = true
-	}
-	if !earlier {
+	// Same-proc fast path: when the running Proc would win the next
+	// scheduling decision anyway — no ready or sleeping Proc has a
+	// strictly earlier clock, or an equal clock with a smaller id — the
+	// old code still bounced the token through a full block/resume pair
+	// just to be handed it back. Skipping the handoff preserves the
+	// execution order exactly (the winner runs either way) and therefore
+	// every virtual-time result; only the redundant self-switch, with its
+	// two goroutine switches, disappears.
+	if s.stillMin(p) {
 		return
 	}
 	p.state = StateRunnable
 	s.ready.push(p)
 	s.yieldAndWait(p)
+}
+
+// stillMin reports whether p beats every ready and sleeping Proc under the
+// scheduler's (clock, id) order — i.e. next() would pick p again.
+func (s *Sim) stillMin(p *Proc) bool {
+	if len(s.ready.procs) > 0 {
+		q := s.ready.procs[0]
+		if q.now < p.now || (q.now == p.now && q.id < p.id) {
+			return false
+		}
+	}
+	if len(s.sleepers.procs) > 0 {
+		q := s.sleepers.procs[0]
+		if q.wakeAt < p.now || (q.wakeAt == p.now && q.id < p.id) {
+			return false
+		}
+	}
+	return true
 }
 
 // wake transitions target out of parked/sleeping. Shared by Proc.Wake and

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWaitQueueFIFOOrder pins the wake order contract: WakeOne always wakes
+// the longest-waiting Proc. This is the regression test for the O(1)
+// linked-list rewrite of the old slice scan.
+func TestWaitQueueFIFOOrder(t *testing.T) {
+	s := New()
+	q := NewWaitQueue("fifo")
+	var order []string
+	const waiters = 8
+	names := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+	for i := 0; i < waiters; i++ {
+		name := names[i]
+		delay := time.Duration(i) * time.Microsecond
+		s.Spawn(name, func(p *Proc) {
+			// Stagger arrival so enqueue order is deterministic.
+			p.Advance(delay)
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.Spawn("waker", func(p *Proc) {
+		p.Advance(time.Millisecond)
+		if q.Len() != waiters {
+			t.Errorf("Len = %d before wakes, want %d", q.Len(), waiters)
+		}
+		for q.Len() > 0 {
+			p.Advance(time.Microsecond)
+			if q.WakeOne(p, WakeNormal) == nil {
+				t.Fatalf("WakeOne returned nil with Len=%d", q.Len())
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+	if len(order) != len(want) {
+		t.Fatalf("woke %d waiters, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWaitQueueMidRemoval verifies that removing a middle waiter (the
+// timeout path) preserves FIFO order among the remaining waiters — the
+// exact shape the old O(n) scan handled and the linked list must too.
+func TestWaitQueueMidRemoval(t *testing.T) {
+	s := New()
+	q := NewWaitQueue("midrm")
+	var order []string
+	for i, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		delay := time.Duration(i) * time.Microsecond
+		s.Spawn(name, func(p *Proc) {
+			p.Advance(delay)
+			if name == "b" || name == "c" {
+				// These time out at 10us, long before the waker runs.
+				tag, timedOut := q.WaitTimeout(p, 10*time.Microsecond)
+				if !timedOut || tag != WakeNormal {
+					t.Errorf("%s: tag=%d timedOut=%v, want timeout", name, tag, timedOut)
+				}
+				return
+			}
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.Spawn("waker", func(p *Proc) {
+		p.Advance(time.Millisecond)
+		if q.Len() != 2 {
+			t.Errorf("Len = %d after timeouts, want 2", q.Len())
+		}
+		for q.WakeOne(p, WakeNormal) != nil {
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "d" {
+		t.Fatalf("wake order = %v, want [a d]", order)
+	}
+}
+
+// TestWaitQueueDuplicateEntries covers a Proc enqueued twice on the same
+// queue — select polling both directions of a socketpair end lands here,
+// because read- and write-side poll registration can share a queue. Len
+// must count both entries, Dequeue must remove the oldest first, and a
+// fully dequeued Proc must not linger.
+func TestWaitQueueDuplicateEntries(t *testing.T) {
+	s := New()
+	q := NewWaitQueue("dup")
+	s.Spawn("selector", func(p *Proc) {
+		q.Enqueue(p)
+		q.Enqueue(p)
+		if q.Len() != 2 {
+			t.Errorf("Len = %d after double enqueue, want 2", q.Len())
+		}
+		if !q.Dequeue(p) {
+			t.Error("first Dequeue returned false")
+		}
+		if q.Len() != 1 {
+			t.Errorf("Len = %d after first dequeue, want 1", q.Len())
+		}
+		if !q.Dequeue(p) {
+			t.Error("second Dequeue returned false")
+		}
+		if q.Dequeue(p) {
+			t.Error("third Dequeue returned true on empty queue")
+		}
+		if q.Len() != 0 {
+			t.Errorf("Len = %d after full dequeue, want 0", q.Len())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitQueueDuplicateWake checks WakeOne against duplicate entries: the
+// first wake consumes the Proc's oldest entry and wakes it; the leftover
+// younger entry is stale and must be skipped (not double-woken) by the
+// next WakeOne, matching the slice implementation's pop-and-retry loop.
+func TestWaitQueueDuplicateWake(t *testing.T) {
+	s := New()
+	q := NewWaitQueue("dupwake")
+	var selWakes, tailWakes int
+	var sel, tail *Proc
+	sel = s.Spawn("selector", func(p *Proc) {
+		q.Enqueue(p)
+		q.Enqueue(p) // duplicate: two poll registrations, one park
+		p.Park("select")
+		selWakes++
+		// Wakeup: dequeue remaining registrations like kernel select does.
+		q.Dequeue(p)
+		q.Dequeue(p)
+	})
+	tail = s.Spawn("tail", func(p *Proc) {
+		p.Advance(time.Microsecond)
+		q.Enqueue(p)
+		p.Park("tail-wait")
+		tailWakes++
+		q.Dequeue(p)
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Advance(time.Millisecond)
+		if got := q.WakeOne(p, WakeNormal); got != sel {
+			t.Errorf("first WakeOne = %v, want selector", got)
+		}
+		// selector's stale duplicate is still queued ahead of tail; the
+		// next wake must skip it (selector is runnable, not wakeable) and
+		// reach tail.
+		if got := q.WakeOne(p, WakeNormal); got != tail {
+			t.Errorf("second WakeOne = %v, want tail", got)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if selWakes != 1 || tailWakes != 1 {
+		t.Fatalf("selWakes=%d tailWakes=%d, want 1 and 1", selWakes, tailWakes)
+	}
+}

@@ -479,7 +479,7 @@ func (ipc *IPC) moveRights(t *kernel.Thread, msg *Message) {
 // address space (vm_map of the OOL pages) — the zero-copy path IOSurface
 // rides on.
 func (ipc *IPC) MapOOL(t *kernel.Thread, backing *mem.Backing, name string) (uint64, KernReturn) {
-	r, err := t.Task().Mem().MapBacking(0, uint64(len(backing.Bytes())), mem.ProtRead|mem.ProtWrite, name, true, backing, 0)
+	r, err := t.Task().Mem().MapBacking(0, backing.Size(), mem.ProtRead|mem.ProtWrite, name, true, backing, 0)
 	if err != nil {
 		return 0, KernNoSpace
 	}
