@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke verify
+.PHONY: build test vet lint race bench bench-smoke soak soak-smoke verify
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,21 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/simbench -iterations 1 -out BENCH_simwall.smoke.json
 
+# soak runs the full fault-schedule matrix over the complete Fig. 5 + 6
+# batteries with cross-jobs determinism verification — the long-form
+# error-path burn-down (see DESIGN.md "Fault model and error-path
+# invariants").
+soak:
+	$(GO) run ./cmd/cider soak -full -verify
+
+# soak-smoke is the 1-schedule version wired into verify: the eintr-storm
+# schedule over the reduced battery, with the jobs=1 vs jobs=N digest
+# comparison, proves injection, leak checking and determinism end to end
+# in a few seconds.
+soak-smoke:
+	$(GO) run ./cmd/cider soak -quick -verify -schedule eintr-storm
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # ciderlint, pass the full test suite under the race detector, and run
-# the bench harness once end to end.
-verify: build vet lint race bench-smoke
+# the bench and soak harnesses once end to end.
+verify: build vet lint race bench-smoke soak-smoke

@@ -17,6 +17,14 @@
 //	                       histograms plus the null-syscall overhead
 //	                       decomposition; --json emits one machine-readable
 //	                       document with both
+//	cider soak [--jobs N] [--quick] [--full] [--schedule NAME] [--verify]
+//	                       run the Fig. 5 battery (plus a dedicated Mach IPC
+//	                       workload; --full adds Fig. 6) under the
+//	                       deterministic fault-schedule matrix and check the
+//	                       error-path invariants: identical digests at any
+//	                       jobs level, leak-free kernels, no deadlocks;
+//	                       --verify re-runs each schedule at jobs=1 and
+//	                       jobs=N and compares digests
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/services"
 	"repro/internal/sim"
+	"repro/internal/soak"
 	"repro/internal/trace"
 	"repro/internal/uikit"
 )
@@ -52,6 +61,17 @@ func main() {
 			os.Exit(2)
 		}
 		err = runStats(*asJSON, *jobs)
+	case len(args) > 0 && args[0] == "soak":
+		fs := flag.NewFlagSet("soak", flag.ExitOnError)
+		jobs := fs.Int("jobs", 0, "max parallel host workers (<=0: GOMAXPROCS)")
+		quick := fs.Bool("quick", false, "reduced lmbench battery (the verify smoke)")
+		full := fs.Bool("full", false, "also run the Fig. 6 PassMark battery")
+		schedule := fs.String("schedule", "", "run a single named schedule (default: whole matrix)")
+		verify := fs.Bool("verify", false, "run each schedule at jobs=1 and jobs=N and compare digests")
+		if err := fs.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+		err = runSoak(*jobs, *quick, *full, *schedule, *verify)
 	default:
 		err = runDemo(hasFlag(args, "--trace"))
 	}
@@ -181,6 +201,67 @@ func runDemo(traced bool) error {
 	if sys.Trace.Enabled() {
 		fmt.Println("\n== ktrace ==")
 		fmt.Print(sys.Trace.Text())
+	}
+	return nil
+}
+
+// runSoak drives the Fig. 5/6 batteries (plus the dedicated Mach IPC
+// workload) under the fault-schedule matrix and reports the three
+// invariants: deterministic digests, leak-free kernels, no deadlocks.
+// Benchmark cells failing under injection is expected and reported as a
+// count, not an error; a finding (leak or deadlock) exits nonzero.
+func runSoak(jobs int, quick, full bool, schedule string, verify bool) error {
+	scheds := soak.Schedules()
+	if schedule != "" {
+		s, ok := soak.ScheduleByName(schedule)
+		if !ok {
+			return fmt.Errorf("soak: unknown schedule %q", schedule)
+		}
+		scheds = []soak.Schedule{s}
+	}
+	opts := soak.Options{Jobs: jobs, Full: full}
+	if quick {
+		opts.Tests = soak.QuickTests()
+	}
+
+	battery := "full lmbench"
+	if quick {
+		battery = "quick (syscall/comm/proc)"
+	}
+	if full {
+		battery += " + passmark"
+	}
+	fmt.Printf("== soak: %d schedule(s), battery: %s ==\n", len(scheds), battery)
+	fmt.Printf("%-14s %-18s %6s %7s %9s  %s\n", "schedule", "digest", "cells", "failed", "injected", "verdict")
+
+	bad := false
+	for _, s := range scheds {
+		r := soak.RunSchedule(s, opts)
+		verdict := "ok"
+		if len(r.Findings) > 0 {
+			verdict = fmt.Sprintf("%d FINDING(S)", len(r.Findings))
+			bad = true
+		}
+		if verify {
+			n := jobs
+			if n <= 1 {
+				n = 4
+			}
+			if err := soak.VerifyDeterminism(s, n, opts); err != nil {
+				verdict += "  NONDETERMINISTIC"
+				bad = true
+			} else {
+				verdict += fmt.Sprintf("  deterministic@jobs=%d", n)
+			}
+		}
+		fmt.Printf("%-14s %016x %6d %7d %9d  %s\n",
+			r.Schedule, r.Digest, r.Cells, r.FailedCells, r.Injected, verdict)
+		for _, f := range r.Findings {
+			fmt.Printf("    finding: %s\n", f)
+		}
+	}
+	if bad {
+		return fmt.Errorf("soak: invariant violations found")
 	}
 	return nil
 }

@@ -36,11 +36,17 @@ const mayChargeKey = "chargecheck.maycharge"
 
 // chargeSeed reports whether fn is a virtual-time primitive: the sim
 // package's Advance/Sleep/Park methods, through which all cost accrual and
-// blocking flows.
+// blocking flows. The fault injector's consult methods are also seeds:
+// their contract is consult-and-apply — a fired rule may mandate a Delay
+// the site charges to the victim — so under the optimistic model an
+// injection site counts as a path that can accrue cost (an injected
+// early-errno return pays its modeled cost via the consult).
 func chargeSeed(fn *types.Func) bool {
 	switch fn.Name() {
 	case "Advance", "Sleep", "Park":
 		return RecvPkgName(fn) == "sim"
+	case "Check", "Syscall", "Interrupt", "MemMap", "VFS":
+		return RecvPkgName(fn) == "fault"
 	}
 	return false
 }

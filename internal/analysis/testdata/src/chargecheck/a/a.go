@@ -2,7 +2,10 @@
 // return path; diplomat/dyld hops must charge somewhere in their body.
 package a
 
-import "chargecheck/kernel"
+import (
+	"chargecheck/fault"
+	"chargecheck/kernel"
+)
 
 // chargeAll charges indirectly; the may-charge fixpoint must see through it.
 func chargeAll(t *kernel.Thread) {
@@ -70,6 +73,28 @@ func Install(tb *kernel.SyscallTable, hooks *kernel.Hooks, cb func()) {
 	tb.Register(9, "getpid", func(t *kernel.Thread) kernel.SyscallRet {
 		//lint:allow chargecheck pid is served from the cached persona, no modeled cost
 		return kernel.SyscallRet{R0: pidOf(t)}
+	})
+
+	// Fault-injection sites are charge seeds: the consult-and-apply
+	// contract means an injected early-errno return has paid its modeled
+	// cost through the consult, so this path is not flagged.
+	in := &fault.Injector{}
+	tb.Register(10, "injected", func(t *kernel.Thread) kernel.SyscallRet {
+		if out, ok := in.Check(1, "a/injected", 0); ok {
+			return kernel.SyscallRet{R0: ^uint64(0), Errno: kernel.Errno(out.Errno)}
+		}
+		t.Charge(1)
+		return kernel.SyscallRet{}
+	})
+
+	// Interrupt (the park-point consult) seeds the same way through the
+	// may-charge fixpoint.
+	tb.Register(11, "interrupted", func(t *kernel.Thread) kernel.SyscallRet {
+		if in.Interrupt(0, "waitq:pipe") {
+			return kernel.SyscallRet{R0: 1, Errno: 4}
+		}
+		t.Charge(1)
+		return kernel.SyscallRet{}
 	})
 
 	hooks.AtExit(func(t *kernel.Thread) {

@@ -1,0 +1,21 @@
+// Stand-in for the repo's internal/fault package: the injector consult
+// methods chargecheck treats as charge seeds (consult-and-apply contract:
+// a fired rule may mandate a Delay the site charges).
+package fault
+
+type Outcome struct {
+	Errno int
+	Delay int64
+}
+
+type Injector struct{ fired uint64 }
+
+func (in *Injector) Check(op int, key string, now int64) (Outcome, bool) {
+	in.fired++
+	return Outcome{}, false
+}
+
+func (in *Injector) Interrupt(now int64, reason string) bool {
+	_, ok := in.Check(1, reason, now)
+	return ok
+}

@@ -1,0 +1,24 @@
+// Fixture: the fault-injection layer runs under the simulator, so "fault"
+// (like "soak") is a simulation package — its decisions must be pure
+// functions of seed and virtual time, never the host clock or ambient
+// randomness.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+func FireAt() time.Time {
+	return time.Now() // want `wallclock: wall-clock leak: time\.Now`
+}
+
+func RollDice() bool {
+	return rand.Intn(2) == 0 // want `wallclock: nondeterminism leak: math/rand\.Intn`
+}
+
+// Seeded decisions are the sanctioned idiom.
+func SeededRoll(seed int64) bool {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(2) == 0
+}

@@ -13,7 +13,8 @@ import (
 // advance only through sim.Proc.Advance/Sleep). The set covers every layer
 // that executes under the simulator, from the scheduler itself up through
 // the kernel, the duct-taped XNU subsystems, libraries, services, the
-// graphics stack, and the benchmark drivers.
+// graphics stack, the benchmark drivers, and the fault-injection/soak
+// layer (whose decisions must be pure functions of seed and virtual time).
 var simPackageNames = map[string]bool{
 	"sim": true, "kernel": true, "xnu": true, "hw": true,
 	"lmbench": true, "passmark": true, "gpu": true, "diplomat": true,
@@ -22,6 +23,7 @@ var simPackageNames = map[string]bool{
 	"bionic": true, "dalvik": true, "core": true, "mem": true,
 	"prog": true, "iokit": true, "abi": true, "persona": true,
 	"vfs": true, "trace": true, "ducttape": true, "ciderpress": true,
+	"fault": true, "soak": true,
 }
 
 // IsSimPackage reports whether an import path denotes a simulation package

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/abi"
 	"repro/internal/bionic"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/diplomat"
 	"repro/internal/ducttape"
 	"repro/internal/dyld"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/graphics"
 	"repro/internal/hw"
@@ -132,6 +134,8 @@ type System struct {
 	Camera *devices.Camera
 	// Trace is the system's observability session, nil until EnableTrace.
 	Trace *trace.Session
+	// Fault is the system's fault injector, nil until EnableFaults.
+	Fault *fault.Injector
 	// opts holds the assembly options for later stages.
 	opts Options
 }
@@ -148,6 +152,69 @@ func (s *System) EnableTrace() *trace.Session {
 		s.Kernel.SetTracer(s.Trace)
 	}
 	return s.Trace
+}
+
+// EnableFaults arms a deterministic fault-injection plan on the system:
+// the kernel consults it at syscall dispatch, blocking waits, and memory
+// mapping; the Mach IPC subsystem reads it dynamically through the
+// kernel; and the system's filesystems route Lookup/Create/Remove
+// through it. Injections are recorded in the trace session when one is
+// attached. Calling again replaces the plan (injector state resets).
+//
+// The injector is per-System state keyed only to the plan's seed and
+// virtual time, so two systems armed with the same plan make identical
+// decisions regardless of host scheduling — the soak harness's
+// jobs=1 vs jobs=N determinism check rests on this.
+func (s *System) EnableFaults(p fault.Plan) *fault.Injector {
+	in := fault.NewInjector(p)
+	in.OnInject = func(op fault.Op, key string, out fault.Outcome, now time.Duration) {
+		if s.Trace == nil {
+			return
+		}
+		proc, id := "", 0
+		if cur := s.Sim.Current(); cur != nil {
+			proc, id = cur.Name(), cur.ID()
+		}
+		s.Trace.Fault(proc, id, op.String(), key, out.Errno, now)
+	}
+	s.Fault = in
+	s.Kernel.EnableFaults(in)
+	hook := s.vfsFaultHook(in)
+	if s.AndroidFS != nil {
+		s.AndroidFS.FaultHook = hook
+	}
+	if s.IOSFS != nil {
+		s.IOSFS.FaultHook = hook
+	}
+	return in
+}
+
+// vfsFaultHook adapts the injector to the vfs.FS fault surface. Faults
+// only fire inside a running process: boot-time image assembly (WriteFile
+// during NewSystem, IPA installs) must never fault, and has no process to
+// charge latency to anyway.
+func (s *System) vfsFaultHook(in *fault.Injector) func(op, path string) error {
+	return func(op, path string) error {
+		p := s.Sim.Current()
+		if p == nil {
+			return nil
+		}
+		out, ok := in.VFS(p.Now(), op, path)
+		if !ok {
+			return nil
+		}
+		if out.Delay > 0 {
+			p.Advance(out.Delay)
+		}
+		switch out.Errno {
+		case 0:
+			return nil // pure latency spike
+		case int(kernel.ENOSPC):
+			return &vfs.ErrNoSpace{Path: path}
+		default:
+			return &vfs.ErrIO{Path: path}
+		}
+	}
 }
 
 // GfxStack bundles one device's graphics objects.

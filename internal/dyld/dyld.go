@@ -209,6 +209,9 @@ func loadAll(t *kernel.Thread, cs costs, images *Images, roots []string) error {
 		}
 		node, err := k.Root().Lookup(path)
 		if err != nil {
+			if tr := k.Tracer(); tr != nil {
+				tr.Count(trace.CounterDyldLoadErrors, 1)
+			}
 			return fmt.Errorf("dyld: library not loaded: %s", path)
 		}
 		// Opening + faulting in the load commands; dyld mmaps rather than
@@ -231,6 +234,9 @@ func loadAll(t *kernel.Thread, cs costs, images *Images, roots []string) error {
 			}
 			t.Charge(k.Costs().SegmentMap)
 			if _, merr := tk.Mem().Map(0, size, mem.ProtRead|mem.ProtExec, path, false); merr != nil {
+				if tr := k.Tracer(); tr != nil {
+					tr.Count(trace.CounterDyldLoadErrors, 1)
+				}
 				return merr
 			}
 		}

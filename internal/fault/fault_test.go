@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// Two injectors over the same plan must make bit-identical decisions for
+// the same operation sequence.
+func TestDeterministicAcrossInjectors(t *testing.T) {
+	plan := Plan{
+		Name: "det",
+		Seed: 42,
+		Rules: []Rule{
+			{Op: OpSyscall, Match: "ios/*", Errno: 4, Every: 3},
+			{Op: OpPark, Match: "waitq:pipe", Every: 5},
+			{Op: OpVFS, Match: "lookup:*", Errno: 5, Every: 7, Delay: time.Microsecond},
+		},
+	}
+	type decision struct {
+		out Outcome
+		ok  bool
+	}
+	run := func() []decision {
+		in := NewInjector(plan)
+		var ds []decision
+		keys := []struct {
+			op  Op
+			key string
+		}{
+			{OpSyscall, "ios/getpid"}, {OpSyscall, "ios/read"}, {OpSyscall, "android/read"},
+			{OpPark, "waitq:pipe"}, {OpPark, "sleep"}, {OpVFS, "lookup:/a"}, {OpVFS, "create:/a"},
+		}
+		for i := 0; i < 200; i++ {
+			k := keys[i%len(keys)]
+			out, ok := in.Check(k.op, k.key, time.Duration(i)*time.Microsecond)
+			ds = append(ds, decision{out, ok})
+		}
+		return ds
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].ok {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("plan never fired; Every-based rules should fire over 200 hits")
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	mk := func(seed uint64) string {
+		in := NewInjector(Plan{Seed: seed, Rules: []Rule{{Op: OpSyscall, Errno: 4, Every: 4}}})
+		s := ""
+		for i := 0; i < 64; i++ {
+			if _, ok := in.Syscall(0, "ios/read"); ok {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		return s
+	}
+	if mk(1) == mk(2) {
+		t.Fatal("different seeds produced identical fire patterns")
+	}
+}
+
+func TestNthFiresExactlyOnce(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{{Op: OpMemMap, Match: "[stack]", Errno: 12, Nth: 3}}})
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if _, ok := in.MemMap(0, "[stack]"); ok {
+			fires = append(fires, i)
+		}
+		// Non-matching keys must not advance the counter.
+		if _, ok := in.MemMap(0, "other"); ok {
+			t.Fatal("non-matching key fired")
+		}
+	}
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Fatalf("Nth=3 fired at %v, want exactly [3]", fires)
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{{Op: OpPark, Match: "sleep", Count: 2}}})
+	n := 0
+	for i := 0; i < 10; i++ {
+		if in.Interrupt(0, "sleep") {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("Count=2 fired %d times", n)
+	}
+}
+
+func TestVirtualTimeWindow(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{{
+		Op: OpSyscall, Errno: 4, After: 10 * time.Millisecond, Until: 20 * time.Millisecond,
+	}}})
+	if _, ok := in.Syscall(5*time.Millisecond, "ios/read"); ok {
+		t.Fatal("fired before After")
+	}
+	if _, ok := in.Syscall(15*time.Millisecond, "ios/read"); !ok {
+		t.Fatal("did not fire inside window")
+	}
+	if _, ok := in.Syscall(25*time.Millisecond, "ios/read"); ok {
+		t.Fatal("fired after Until")
+	}
+}
+
+func TestPrefixAndExactMatch(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{
+		{Op: OpVFS, Match: "lookup:/iOS/*", Errno: 5},
+		{Op: OpSyscall, Match: "android/dup", Errno: 24},
+	}})
+	if _, ok := in.VFS(0, "lookup", "/iOS/usr/lib/x.dylib"); !ok {
+		t.Fatal("prefix rule did not match")
+	}
+	if _, ok := in.VFS(0, "lookup", "/system/bin/sh"); ok {
+		t.Fatal("prefix rule matched outside prefix")
+	}
+	if _, ok := in.Syscall(0, "android/dup"); !ok {
+		t.Fatal("exact rule did not match")
+	}
+	if _, ok := in.Syscall(0, "android/dup2"); ok {
+		t.Fatal("exact rule matched a longer key")
+	}
+}
+
+func TestSuffixMatch(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{
+		{Op: OpSyscall, Match: "*/read", Errno: 4},
+	}})
+	for _, key := range []string{"android/read", "ios/read"} {
+		if _, ok := in.Syscall(0, key); !ok {
+			t.Fatalf("suffix rule did not match %q", key)
+		}
+	}
+	if _, ok := in.Syscall(0, "ios/readlink"); ok {
+		t.Fatal("suffix rule matched beyond the suffix")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{
+		{Op: OpSyscall, Match: "ios/read", Errno: 4},
+		{Op: OpSyscall, Match: "ios/*", Errno: 35},
+	}})
+	out, ok := in.Syscall(0, "ios/read")
+	if !ok || out.Errno != 4 || out.Rule != 0 {
+		t.Fatalf("got %+v ok=%v, want rule 0 errno 4", out, ok)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Check(OpSyscall, "ios/read", 0); ok {
+		t.Fatal("nil injector fired")
+	}
+	if in.Interrupt(0, "sleep") {
+		t.Fatal("nil injector interrupted")
+	}
+	if in.Fired() != 0 {
+		t.Fatal("nil injector reported fires")
+	}
+}
+
+func TestOnInjectObservesFires(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{{Op: OpMachSend, Errno: 1, QLimit: 1, Delay: time.Millisecond}}})
+	var gotOp Op
+	var gotKey string
+	var gotOut Outcome
+	in.OnInject = func(op Op, key string, out Outcome, now time.Duration) {
+		gotOp, gotKey, gotOut = op, key, out
+	}
+	out, ok := in.Check(OpMachSend, "send", 7*time.Millisecond)
+	if !ok {
+		t.Fatal("did not fire")
+	}
+	if gotOp != OpMachSend || gotKey != "send" || gotOut != out {
+		t.Fatalf("OnInject saw (%v,%q,%+v), want (%v,%q,%+v)", gotOp, gotKey, gotOut, OpMachSend, "send", out)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired()=%d, want 1", in.Fired())
+	}
+}

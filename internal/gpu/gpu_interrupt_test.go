@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/prog"
@@ -16,6 +17,11 @@ import (
 // signal arriving mid-wait made the fence appear signaled while the GPU
 // work was still in flight. An interrupted wait must resume until the
 // completion clock really is reached.
+//
+// The interrupt is delivered by the fault layer (OpPark on the fence
+// wait's sleep), not by a dedicated killer process: the injector fires on
+// the victim's own park, which both removes the scaffolding and pins the
+// interrupt to exactly the wait under test.
 func TestFenceWaitSurvivesInterrupt(t *testing.T) {
 	s := sim.New()
 	reg := prog.NewRegistry()
@@ -28,12 +34,14 @@ func TestFenceWaitSurvivesInterrupt(t *testing.T) {
 	}
 	k.InstallLinuxTable()
 	k.RegisterBinFmt(&kernel.ELFLoader{})
+	in := fault.NewInjector(fault.Plan{Name: "fence-eintr", Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpPark, Match: "sleep", Nth: 1},
+	}})
+	k.EnableFaults(in)
 
-	var victim *sim.Proc
 	var woke, retire time.Duration
 	reg.MustRegister("gpu-victim", func(c *prog.Call) uint64 {
 		th := c.Ctx.(*kernel.Thread)
-		victim = th.Proc()
 		g := New(hw.Nexus7().GPU)
 		g.Draw(th, 6_000_000, 0) // ~100ms of GPU work
 		f := g.CreateFence(th)
@@ -42,28 +50,21 @@ func TestFenceWaitSurvivesInterrupt(t *testing.T) {
 		woke = th.Now()
 		return 0
 	})
-	reg.MustRegister("gpu-killer", func(c *prog.Call) uint64 {
-		th := c.Ctx.(*kernel.Thread)
-		if th.Proc().Sleep(5*time.Millisecond) != sim.WakeNormal {
-			t.Error("killer itself interrupted")
-		}
-		th.Proc().Wake(victim, sim.WakeInterrupted)
-		return 0
-	})
-	for _, n := range []string{"gpu-victim", "gpu-killer"} {
-		bin, err := prog.StaticELF(n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := fs.WriteFile("/bin/"+n, bin); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := k.StartProcess("/bin/"+n, nil); err != nil {
-			t.Fatal(err)
-		}
+	bin, err := prog.StaticELF("gpu-victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/bin/gpu-victim", bin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.StartProcess("/bin/gpu-victim", nil); err != nil {
+		t.Fatal(err)
 	}
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("injector fired %d times, want exactly 1 (the fence wait)", in.Fired())
 	}
 	if woke < retire {
 		t.Fatalf("fence wait returned at %v, before the GPU work retired at %v", woke, retire)

@@ -57,9 +57,19 @@ func (l *ELFLoader) Load(t *Thread, path string, data []byte, argv []string) (pr
 	k := t.k
 	// Tag the thread with the domestic persona — the mirror image of the
 	// Mach-O loader's iOS tagging, so an iOS process exec'ing an Android
-	// binary ends up with the right kernel ABI.
+	// binary ends up with the right kernel ABI. As in the Mach-O loader,
+	// every failure past this point must restore the caller's persona and
+	// unmap whatever was mapped so far.
+	prevPersona := t.Persona.Current()
 	if k.PersonaAware() {
 		t.Persona.Switch(persona.Android)
+	}
+	var mapped []uint64
+	rollback := func() {
+		for i := len(mapped) - 1; i >= 0; i-- {
+			t.task.mem.Unmap(mapped[i])
+		}
+		t.Persona.Switch(prevPersona)
 	}
 	// Map the loadable segments.
 	for i, seg := range f.Segments {
@@ -74,19 +84,25 @@ func (l *ELFLoader) Load(t *Thread, path string, data []byte, argv []string) (pr
 		}
 		r, merr := t.task.mem.Map(0, size, prot, fmt.Sprintf("%s[%d]", path, i), false)
 		if merr != nil {
+			rollback()
 			return nil, ENOMEM
 		}
+		mapped = append(mapped, r.Base)
 		if len(seg.Data) > 0 {
 			copy(r.Backing().Bytes(), seg.Data)
 		}
 	}
 	// Map a stack.
-	if _, merr := t.task.mem.Map(0, 1<<20, mem.ProtRead|mem.ProtWrite, "[stack]", false); merr != nil {
+	if r, merr := t.task.mem.Map(0, 1<<20, mem.ProtRead|mem.ProtWrite, "[stack]", false); merr != nil {
+		rollback()
 		return nil, ENOMEM
+	} else {
+		mapped = append(mapped, r.Base)
 	}
 
 	entryKey, perr := textPayload(f)
 	if perr != nil {
+		rollback()
 		return nil, ENOEXEC
 	}
 
@@ -94,10 +110,12 @@ func (l *ELFLoader) Load(t *Thread, path string, data []byte, argv []string) (pr
 		// Dynamic executable: run through the user-space linker, which
 		// loads DT_NEEDED libraries and then calls the program entry.
 		if l.LinkerKey == "" {
+			rollback()
 			return nil, ENOEXEC
 		}
 		linker, ok := k.registry.Lookup(l.LinkerKey)
 		if !ok {
+			rollback()
 			return nil, ENOEXEC
 		}
 		needed := append([]string(nil), f.Needed...)
@@ -114,6 +132,7 @@ func (l *ELFLoader) Load(t *Thread, path string, data []byte, argv []string) (pr
 
 	entry, ok := k.registry.Lookup(entryKey)
 	if !ok {
+		rollback()
 		return nil, ENOEXEC
 	}
 	return entry, OK

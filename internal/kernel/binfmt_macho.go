@@ -59,8 +59,19 @@ func (l *MachOLoader) Load(t *Thread, path string, data []byte, argv []string) (
 	k := t.k
 
 	// "When a Mach-O binary is loaded, the kernel tags the current thread
-	// with an iOS persona" (Section 4.1).
+	// with an iOS persona" (Section 4.1). Every failure past this point
+	// must undo the tag and every mapping made so far: exec's contract is
+	// that a failed load leaves the caller's image untouched, and during
+	// binfmt probing a partial image would corrupt the next loader's view.
+	prevPersona := t.Persona.Current()
 	t.Persona.Switch(persona.IOS)
+	var mapped []uint64
+	rollback := func() {
+		for i := len(mapped) - 1; i >= 0; i-- {
+			t.task.mem.Unmap(mapped[i])
+		}
+		t.Persona.Switch(prevPersona)
+	}
 
 	// Map the segments.
 	var entryKey string
@@ -75,8 +86,10 @@ func (l *MachOLoader) Load(t *Thread, path string, data []byte, argv []string) (
 		}
 		r, merr := t.task.mem.Map(0, size, machoProt(seg.Prot), fmt.Sprintf("%s %s", path, seg.Name), false)
 		if merr != nil {
+			rollback()
 			return nil, ENOMEM
 		}
+		mapped = append(mapped, r.Base)
 		if len(seg.Data) > 0 {
 			copy(r.Backing().Bytes(), seg.Data)
 		}
@@ -87,20 +100,26 @@ func (l *MachOLoader) Load(t *Thread, path string, data []byte, argv []string) (
 		}
 	}
 	if entryKey == "" {
+		rollback()
 		return nil, ENOEXEC
 	}
-	if _, merr := t.task.mem.Map(0, 1<<20, mem.ProtRead|mem.ProtWrite, "[stack]", false); merr != nil {
+	if r, merr := t.task.mem.Map(0, 1<<20, mem.ProtRead|mem.ProtWrite, "[stack]", false); merr != nil {
+		rollback()
 		return nil, ENOMEM
+	} else {
+		mapped = append(mapped, r.Base)
 	}
 
 	// Hand off to dyld, exactly as the XNU Mach-O loader invokes the
 	// dylinker to finish the launch in user space.
 	dyldKey, errno := l.resolveDylinker(t, f.Dylinker)
 	if errno != OK {
+		rollback()
 		return nil, errno
 	}
 	dyldEntry, ok := k.registry.Lookup(dyldKey)
 	if !ok {
+		rollback()
 		return nil, ENOEXEC
 	}
 	needed := append([]string(nil), f.Dylibs...)

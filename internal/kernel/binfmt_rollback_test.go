@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/macho"
+	"repro/internal/persona"
+	"repro/internal/prog"
+)
+
+// imageSnap captures the task-visible state the binfmt contract says a
+// failed Load must leave unchanged.
+type imageSnap struct {
+	persona persona.Kind
+	regions string
+	fds     int
+}
+
+func snapImage(th *Thread) imageSnap {
+	return imageSnap{
+		persona: th.Persona.Current(),
+		regions: th.Task().Mem().Maps(),
+		fds:     th.Task().FDs().Count(),
+	}
+}
+
+// buildMachO returns MachOExecutable bytes for the test app.
+func buildMachO(t *testing.T, key string) []byte {
+	t.Helper()
+	b, err := prog.MachOExecutable(key, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// buildMachOGarbageText returns a well-formed Mach-O whose __TEXT payload
+// is not a program key, so the loader fails with ENOEXEC after it has
+// already mapped segments.
+func buildMachOGarbageText(t *testing.T) []byte {
+	t.Helper()
+	f := &macho.File{
+		CPUType:    macho.CPUTypeARM,
+		CPUSubtype: macho.CPUSubtypeARMV7,
+		FileType:   macho.TypeExecute,
+		Dylinker:   "/usr/lib/dyld",
+		HasEntry:   true,
+		Segments: []*macho.Segment{
+			{Name: "__TEXT", VMAddr: 0x1000, Prot: macho.ProtRead | macho.ProtExecute,
+				Data: []byte("this is not a text payload")},
+			{Name: "__DATA", VMAddr: 0x100000, VMSize: 0x4000,
+				Prot: macho.ProtRead | macho.ProtWrite},
+		},
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMachOLoadFailureRollsBack is the exec-atomicity regression test: a
+// Mach-O Load that fails at any point after the persona switch — ENOMEM
+// injected at each successive Map call, a garbage __TEXT payload, a missing
+// dylinker — must restore the caller's persona and unmap every segment it
+// mapped, leaving persona, mappings, and the fd table exactly as they were.
+func TestMachOLoadFailureRollsBack(t *testing.T) {
+	e := newEnv(t, ProfileCider)
+	machoGood := buildMachO(t, "app-main")
+	machoGarbage := buildMachOGarbageText(t)
+	e.reg.MustRegister("dyld-stub", func(c *prog.Call) uint64 { return 0 })
+
+	cases := []struct {
+		name   string
+		data   []byte
+		loader *MachOLoader
+		rule   *fault.Rule // nil = no injection
+		errno  Errno
+	}{
+		{"enomem-at-text", machoGood, &MachOLoader{DyldFallbackKey: "dyld-stub"},
+			&fault.Rule{Op: fault.OpMemMap, Match: "/iosapp __TEXT", Nth: 1, Errno: int(ENOMEM)}, ENOMEM},
+		{"enomem-at-data", machoGood, &MachOLoader{DyldFallbackKey: "dyld-stub"},
+			&fault.Rule{Op: fault.OpMemMap, Match: "/iosapp __DATA", Nth: 1, Errno: int(ENOMEM)}, ENOMEM},
+		{"enomem-at-stack", machoGood, &MachOLoader{DyldFallbackKey: "dyld-stub"},
+			&fault.Rule{Op: fault.OpMemMap, Match: "[stack]", Nth: 1, Errno: int(ENOMEM)}, ENOMEM},
+		{"garbage-text-enoexec", machoGarbage, &MachOLoader{DyldFallbackKey: "dyld-stub"},
+			nil, ENOEXEC},
+		{"missing-dylinker", machoGood, &MachOLoader{}, nil, ENOENT},
+	}
+
+	var failures []string
+	e.install(t, "/bin/runner", "runner", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		k := th.Kernel()
+		for _, tc := range cases {
+			if tc.rule != nil {
+				k.EnableFaults(fault.NewInjector(fault.Plan{Name: tc.name, Rules: []fault.Rule{*tc.rule}}))
+			} else {
+				k.EnableFaults(nil)
+			}
+			before := snapImage(th)
+			entry, errno := tc.loader.Load(th, "/iosapp", tc.data, nil)
+			k.EnableFaults(nil)
+			if entry != nil || errno != tc.errno {
+				failures = append(failures, fmt.Sprintf("%s: Load returned (entry=%v, %v), want (nil, %v)",
+					tc.name, entry != nil, errno, tc.errno))
+			}
+			after := snapImage(th)
+			if after.persona != before.persona {
+				// Restore so the rest of the test can keep making syscalls.
+				th.Persona.Switch(before.persona)
+				failures = append(failures, fmt.Sprintf("%s: persona leaked: %v -> %v",
+					tc.name, before.persona, after.persona))
+			}
+			if after.regions != before.regions {
+				failures = append(failures, fmt.Sprintf("%s: mappings leaked:\nbefore:\n%safter:\n%s",
+					tc.name, before.regions, after.regions))
+			}
+			if after.fds != before.fds {
+				failures = append(failures, fmt.Sprintf("%s: fd table changed: %d -> %d",
+					tc.name, before.fds, after.fds))
+			}
+		}
+
+		// Control: with no faults the same loader must succeed and switch
+		// the persona — proving the cases above exercised the real path.
+		before := snapImage(th)
+		entry, errno := (&MachOLoader{DyldFallbackKey: "dyld-stub"}).Load(th, "/iosapp", machoGood, nil)
+		after := snapImage(th)
+		if entry == nil || errno != OK {
+			failures = append(failures, fmt.Sprintf("control: clean Load failed: %v", errno))
+		}
+		if after.persona != persona.IOS {
+			failures = append(failures, "control: clean Load did not switch persona to iOS")
+		}
+		th.Persona.Switch(before.persona)
+		return 0
+	})
+	e.run(t, "/bin/runner", nil)
+	for _, f := range failures {
+		t.Error(f)
+	}
+}
+
+// TestELFLoadFailureRollsBack covers the ELF twin: a Cider thread running
+// with the iOS persona execs an ELF binary whose load fails after the
+// loader switched the persona to Android; the persona and address space
+// must be restored.
+func TestELFLoadFailureRollsBack(t *testing.T) {
+	e := newEnv(t, ProfileCider)
+	static, err := prog.StaticELF("elf-main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := prog.DynamicELF("elf-dyn", []string{"libfoo.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.reg.MustRegister("elf-main", func(c *prog.Call) uint64 { return 0 })
+
+	var failures []string
+	e.install(t, "/bin/runner2", "runner2", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		k := th.Kernel()
+		// Simulate an iOS-persona caller exec'ing an Android binary.
+		th.Persona.Switch(persona.IOS)
+		before := snapImage(th)
+
+		// ENOMEM injected at the ELF stack map.
+		k.EnableFaults(fault.NewInjector(fault.Plan{Rules: []fault.Rule{
+			{Op: fault.OpMemMap, Match: "[stack]", Nth: 1, Errno: int(ENOMEM)},
+		}}))
+		entry, errno := (&ELFLoader{}).Load(th, "/elfapp", static, nil)
+		k.EnableFaults(nil)
+		if entry != nil || errno != ENOMEM {
+			failures = append(failures, fmt.Sprintf("enomem: Load returned (entry=%v, %v), want (nil, ENOMEM)", entry != nil, errno))
+		}
+		if got := snapImage(th); got != before {
+			failures = append(failures, fmt.Sprintf("enomem: image changed: %+v -> %+v", before, got))
+		}
+
+		// Dynamic binary with no linker registered: ENOEXEC after mapping.
+		entry, errno = (&ELFLoader{}).Load(th, "/elfapp", dynamic, nil)
+		if entry != nil || errno != ENOEXEC {
+			failures = append(failures, fmt.Sprintf("nolinker: Load returned (entry=%v, %v), want (nil, ENOEXEC)", entry != nil, errno))
+		}
+		if got := snapImage(th); got != before {
+			failures = append(failures, fmt.Sprintf("nolinker: image changed: %+v -> %+v", before, got))
+		}
+
+		th.Persona.Switch(persona.Android)
+		return 0
+	})
+	e.run(t, "/bin/runner2", nil)
+	for _, f := range failures {
+		t.Error(f)
+	}
+}

@@ -83,16 +83,38 @@ func (e Errno) Error() string {
 	return fmt.Sprintf("errno(%d)", int(e))
 }
 
-// linuxToXNUErrno maps canonical (Linux) errno values to their XNU/BSD
-// numbers where they differ (errno.h on each platform). Part of the XNU
-// ABI's return-convention translation (Section 4.1); diplomatic functions
-// apply the inverse when converting domestic TLS errno values back into
-// the foreign TLS area (arbitration step 8, Section 4.3).
+// linuxToXNUErrno pins every declared Errno to its XNU/BSD number
+// (errno.h on each platform; most low numbers coincide, EAGAIN and above
+// drift). Part of the XNU ABI's return-convention translation
+// (Section 4.1); diplomatic functions apply the inverse when converting
+// domestic TLS errno values back into the foreign TLS area (arbitration
+// step 8, Section 4.3). Every Errno declared above must appear here so
+// fault-injected errnos never cross the persona boundary Linux-numbered;
+// TestErrnoRoundTripExhaustive enforces that.
 var linuxToXNUErrno = map[Errno]int{
-	EAGAIN:     35, // BSD EAGAIN
+	EPERM:      1,
+	ENOENT:     2,
+	ESRCH:      3,
+	EINTR:      4,
+	EIO:        5,
+	ENOEXEC:    8,
+	EBADF:      9,
+	ECHILD:     10,
+	EAGAIN:     35, // BSD EAGAIN/EWOULDBLOCK
+	ENOMEM:     12,
+	EACCES:     13,
+	EFAULT:     14,
+	EEXIST:     17,
+	ENOTDIR:    20,
+	EISDIR:     21,
+	EINVAL:     22,
+	EMFILE:     24,
+	ENOTTY:     25,
+	ENOSPC:     28,
+	EPIPE:      32,
 	ENOSYS:     78,
-	ELOOP:      62,
 	ENOTEMPTY:  66,
+	ELOOP:      62,
 	EOPNOTSUPP: 102,
 }
 
@@ -138,6 +160,10 @@ func ErrnoFromVFS(err error) Errno {
 		return ENOTEMPTY
 	case *vfs.ErrLoop:
 		return ELOOP
+	case *vfs.ErrIO:
+		return EIO
+	case *vfs.ErrNoSpace:
+		return ENOSPC
 	}
 	return EIO
 }

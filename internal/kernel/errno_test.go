@@ -1,0 +1,72 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// Every Errno declared in errno.go must be explicitly pinned to a BSD
+// number and survive the round trip through the persona boundary in both
+// directions. Without this, a fault-injected errno whose Linux and BSD
+// numbers differ would reach an iOS-persona thread Linux-numbered.
+func TestErrnoRoundTripExhaustive(t *testing.T) {
+	if len(errnoNames) < 20 {
+		t.Fatalf("errnoNames has only %d entries; declared-errno universe looks truncated", len(errnoNames))
+	}
+	seen := make(map[int]Errno)
+	for e, name := range errnoNames {
+		if e == OK {
+			continue
+		}
+		x, pinned := linuxToXNUErrno[e]
+		if !pinned {
+			t.Errorf("%s (%d) is not pinned in linuxToXNUErrno", name, int(e))
+			continue
+		}
+		if prev, dup := seen[x]; dup {
+			t.Errorf("%s and %s both map to BSD %d", name, errnoNames[prev], x)
+		}
+		seen[x] = e
+		if got := ErrnoToXNU(e); got != x {
+			t.Errorf("ErrnoToXNU(%s) = %d, want %d", name, got, x)
+		}
+		if back := ErrnoFromXNU(ErrnoToXNU(e)); back != e {
+			t.Errorf("%s does not round-trip: ToXNU=%d, FromXNU=%s", name, ErrnoToXNU(e), back)
+		}
+	}
+}
+
+// Spot-check the pairs whose numbers actually differ between Linux and BSD.
+func TestErrnoKnownDivergentPairs(t *testing.T) {
+	cases := []struct {
+		e   Errno
+		bsd int
+	}{
+		{EAGAIN, 35},
+		{ENOSYS, 78},
+		{ELOOP, 62},
+		{ENOTEMPTY, 66},
+		{EOPNOTSUPP, 102},
+		{EINTR, 4},
+		{ENOMEM, 12},
+		{EMFILE, 24},
+	}
+	for _, c := range cases {
+		if got := ErrnoToXNU(c.e); got != c.bsd {
+			t.Errorf("ErrnoToXNU(%s) = %d, want %d", c.e, got, c.bsd)
+		}
+		if got := ErrnoFromXNU(c.bsd); got != c.e {
+			t.Errorf("ErrnoFromXNU(%d) = %s, want %s", c.bsd, got, c.e)
+		}
+	}
+}
+
+func TestErrnoFromVFSFaultErrors(t *testing.T) {
+	if got := ErrnoFromVFS(&vfs.ErrIO{Path: "/x"}); got != EIO {
+		t.Errorf("ErrIO -> %s, want EIO", got)
+	}
+	if got := ErrnoFromVFS(&vfs.ErrNoSpace{Path: "/x"}); got != ENOSPC {
+		t.Errorf("ErrNoSpace -> %s, want ENOSPC", got)
+	}
+}

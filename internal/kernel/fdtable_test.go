@@ -1,0 +1,172 @@
+package kernel
+
+// Refcount tests for the FDTable under dup/fork/close interleavings: the
+// shared open file description must be closed exactly once, exactly when
+// the last descriptor referencing it drops, regardless of which table
+// (parent or forked child) closes last — and a failed dup (EMFILE) must
+// not disturb the count. Part of the error-path burn-down: an off-by-one
+// here either leaks the description (caught by Kernel.LeakCheck) or
+// closes it out from under a live descriptor.
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+// countingFile records Close calls; everything else is trivially ready.
+type countingFile struct {
+	closes int
+}
+
+func (f *countingFile) Read(*Thread, []byte) (int, Errno) { return 0, OK }
+func (f *countingFile) Write(t *Thread, b []byte) (int, Errno) {
+	return len(b), OK
+}
+func (f *countingFile) Close(*Thread) Errno                  { f.closes++; return OK }
+func (f *countingFile) Poll() PollMask                       { return PollIn | PollOut }
+func (f *countingFile) PollQueues(PollMask) []*sim.WaitQueue { return nil }
+func (f *countingFile) Ioctl(*Thread, uint64, uint64) (uint64, Errno) {
+	return 0, ENOTTY
+}
+
+// op is one step of an interleaving: close descriptor fd in table tab
+// (0 = parent, 1 = forked child).
+type fdOp struct {
+	tab int
+	fd  int
+}
+
+func TestFDTableDupForkCloseOrders(t *testing.T) {
+	// Every schedule starts from the same shape: parent allocs the file at
+	// fd 0, dups it to fd 1, then forks. Three descriptors — parent 0,
+	// parent 1, child 0 — share one description (the child's table drops
+	// the dup'd fd 1 first, so each schedule exercises a distinct slot mix).
+	cases := []struct {
+		name  string
+		order []fdOp
+	}{
+		{"parent-first", []fdOp{{0, 0}, {0, 1}, {1, 0}}},
+		{"child-first", []fdOp{{1, 0}, {0, 0}, {0, 1}}},
+		{"interleaved", []fdOp{{0, 1}, {1, 0}, {0, 0}}},
+		{"dup-last", []fdOp{{1, 0}, {0, 0}, {0, 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := &countingFile{}
+			parent := NewFDTable()
+			if fd, errno := parent.Alloc(f); fd != 0 || errno != OK {
+				t.Fatalf("Alloc = %d, %v", fd, errno)
+			}
+			if fd, errno := parent.Dup(0); fd != 1 || errno != OK {
+				t.Fatalf("Dup = %d, %v", fd, errno)
+			}
+			child := parent.Fork()
+			if errno := child.Close(nil, 1); errno != OK {
+				t.Fatalf("child close dup: %v", errno)
+			}
+			tabs := [2]*FDTable{parent, child}
+			for i, op := range tc.order {
+				if errno := tabs[op.tab].Close(nil, op.fd); errno != OK {
+					t.Fatalf("step %d close(tab %d, fd %d): %v", i, op.tab, op.fd, errno)
+				}
+				want := 0
+				if i == len(tc.order)-1 {
+					want = 1
+				}
+				if f.closes != want {
+					t.Fatalf("step %d: closes = %d, want %d (close only on last ref)", i, f.closes, want)
+				}
+			}
+			if parent.Count() != 0 || child.Count() != 0 {
+				t.Fatalf("counts = %d/%d after full close", parent.Count(), child.Count())
+			}
+			// Double close must be EBADF, not a second File.Close.
+			if errno := parent.Close(nil, 0); errno != EBADF {
+				t.Fatalf("double close: %v, want EBADF", errno)
+			}
+			if f.closes != 1 {
+				t.Fatalf("closes = %d after double close", f.closes)
+			}
+		})
+	}
+}
+
+// CloseAll (process exit) on both tables must also close exactly once.
+func TestFDTableForkCloseAll(t *testing.T) {
+	f := &countingFile{}
+	parent := NewFDTable()
+	parent.Alloc(f)
+	parent.Dup(0)
+	child := parent.Fork()
+	parent.CloseAll(nil)
+	if f.closes != 0 {
+		t.Fatalf("closes = %d with child still live", f.closes)
+	}
+	child.CloseAll(nil)
+	if f.closes != 1 {
+		t.Fatalf("closes = %d after both exits", f.closes)
+	}
+}
+
+// A dup or alloc denied with EMFILE at the table limit must leave the
+// refcounts untouched: the eventual closes still release the description
+// exactly once.
+func TestFDTableEMFILEKeepsRefcounts(t *testing.T) {
+	f := &countingFile{}
+	ft := NewFDTable()
+	ft.limit = 2
+	ft.Alloc(f)
+	if fd, errno := ft.Dup(0); fd != 1 || errno != OK {
+		t.Fatalf("Dup = %d, %v", fd, errno)
+	}
+	if _, errno := ft.Dup(0); errno != EMFILE {
+		t.Fatalf("Dup at limit: %v, want EMFILE", errno)
+	}
+	if _, errno := ft.Alloc(&countingFile{}); errno != EMFILE {
+		t.Fatalf("Alloc at limit: %v, want EMFILE", errno)
+	}
+	ft.Close(nil, 0)
+	if f.closes != 0 {
+		t.Fatalf("closes = %d with fd 1 live", f.closes)
+	}
+	ft.Close(nil, 1)
+	if f.closes != 1 {
+		t.Fatalf("closes = %d, want 1 (failed dup must not have bumped refs)", f.closes)
+	}
+}
+
+// End-to-end: an injected EMFILE on the dup syscall surfaces to the
+// caller, and the fds it failed to mint do not leak — the process exits
+// with a clean descriptor table (LeakCheck would flag the kernel, and the
+// pipe's close path runs exactly like the unit schedules above).
+func TestDupInjectedEMFILE(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	e.k.EnableFaults(fault.NewInjector(fault.Plan{Name: "dup-emfile", Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpSyscall, Match: "android/dup", Errno: int(EMFILE), Nth: 2},
+	}}))
+	var first, second, third SyscallRet
+	e.install(t, "/bin/dupstorm", "dupstorm", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		p := th.Syscall(SysPipe, nil)
+		first = th.Syscall(SysDup, &SyscallArgs{I: [6]uint64{p.R0}})
+		second = th.Syscall(SysDup, &SyscallArgs{I: [6]uint64{p.R0}})
+		third = th.Syscall(SysDup, &SyscallArgs{I: [6]uint64{p.R0}})
+		return 0
+	})
+	e.run(t, "/bin/dupstorm", nil)
+	if first.Errno != OK {
+		t.Fatalf("dup 1: %v", first.Errno)
+	}
+	if second.Errno != EMFILE {
+		t.Fatalf("dup 2: %v, want injected EMFILE", second.Errno)
+	}
+	if third.Errno != OK {
+		t.Fatalf("dup 3: %v (injection must be one-shot)", third.Errno)
+	}
+	if err := e.k.LeakCheck(); err != nil {
+		t.Fatalf("leak after EMFILE storm: %v", err)
+	}
+}

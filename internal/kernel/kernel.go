@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/persona"
 	"repro/internal/prog"
@@ -278,6 +279,17 @@ type Kernel struct {
 	// library-layer counters. Trace hooks never charge virtual time, so
 	// attaching a tracer cannot change measured latencies.
 	tracer *trace.Session
+
+	// fault, when non-nil, injects deterministic failures at syscall
+	// dispatch, blocking waits, memory mapping, and (via the extensions)
+	// Mach IPC. See internal/fault and EnableFaults.
+	fault *fault.Injector
+
+	// exitHooks run for the exiting thread of every task exit, after the
+	// task's own resources (fds, mappings) are released but before the
+	// task becomes a zombie. Kernel extensions use them to tear down
+	// per-task state (Mach port spaces).
+	exitHooks []func(*Thread)
 }
 
 // New boots a kernel on the given simulator.
@@ -342,6 +354,59 @@ func (k *Kernel) SetTracer(tr *trace.Session) { k.tracer = tr }
 // Library layers (diplomat, dyld, abi) read it dynamically so they need
 // no wiring of their own.
 func (k *Kernel) Tracer() *trace.Session { return k.tracer }
+
+// EnableFaults attaches (or, with nil, detaches) a fault injector. The
+// injector drives syscall-dispatch errno injection, allocation failure in
+// task address spaces, and blocking-wait interruption via the simulator's
+// interrupt hook; kernel extensions (Mach IPC) read it dynamically.
+func (k *Kernel) EnableFaults(in *fault.Injector) {
+	k.fault = in
+	if in == nil {
+		k.sim.SetInterruptHook(nil)
+		return
+	}
+	k.sim.SetInterruptHook(func(p *sim.Proc, reason string) bool {
+		return in.Interrupt(p.Now(), reason)
+	})
+}
+
+// FaultInjector returns the attached fault injector, or nil.
+func (k *Kernel) FaultInjector() *fault.Injector { return k.fault }
+
+// errMapInjected is the sentinel mem.Map failure the fault layer produces;
+// callers surface it as ENOMEM like any other allocation failure.
+var errMapInjected = fmt.Errorf("mem: injected allocation failure")
+
+// memFaultHook is installed as every task address space's MapHook. It is
+// inert until a fault injector is attached and outside simulated execution
+// (boot-time image assembly must not fault).
+func (k *Kernel) memFaultHook(size uint64, name string) error {
+	in := k.fault
+	if in == nil {
+		return nil
+	}
+	p := k.sim.Current()
+	if p == nil {
+		return nil
+	}
+	out, ok := in.MemMap(p.Now(), name)
+	if !ok {
+		return nil
+	}
+	if out.Delay > 0 {
+		p.Advance(out.Delay)
+	}
+	if out.Errno != 0 {
+		return errMapInjected
+	}
+	return nil
+}
+
+// OnTaskExit registers a hook run for every task exit, after the task's
+// fds and mappings are released but before it turns zombie.
+func (k *Kernel) OnTaskExit(h func(*Thread)) {
+	k.exitHooks = append(k.exitHooks, h)
+}
 
 // PersonaAware reports whether the kernel tracks per-thread personas
 // (Cider only).

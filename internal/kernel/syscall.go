@@ -170,9 +170,27 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 	}
 	h, ok := table.Lookup(num)
 	var ret SyscallRet
-	if !ok {
+	injected := false
+	if in := k.fault; in != nil && ok {
+		// Fault injection happens at dispatch, after entry costs: an
+		// injected errno still pays the full trap cost (plus any modeled
+		// latency spike), exactly like a real early-EINTR return would.
+		key := t.Persona.Current().String() + "/" + table.NameOf(num)
+		if out, fire := in.Syscall(t.proc.Now(), key); fire {
+			if out.Delay > 0 {
+				t.charge(out.Delay)
+			}
+			if out.Errno != 0 {
+				ret = SyscallRet{R0: ^uint64(0), Errno: Errno(out.Errno)}
+				injected = true
+			}
+		}
+	}
+	switch {
+	case injected:
+	case !ok:
 		ret = SyscallRet{R0: ^uint64(0), Errno: ENOSYS}
-	} else {
+	default:
 		t.inSyscall = true
 		ret = h(t, a)
 		t.inSyscall = false

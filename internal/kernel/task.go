@@ -162,6 +162,9 @@ func (k *Kernel) newTask(parent *Task) *Task {
 		sigActions:  make(map[int]*SigAction),
 		userData:    make(map[string]any),
 	}
+	// Route mapping requests through the fault layer (read dynamically, so
+	// enabling faults after boot still covers existing tasks' children).
+	tk.mem.MapHook = k.memFaultHook
 	k.nextPID++
 	k.tasks[tk.pid] = tk
 	if parent != nil {
@@ -363,6 +366,9 @@ func (t *Thread) exitTask(status int) {
 	t.charge(k.costs.ExitBase)
 	tk.fds.CloseAll(t)
 	tk.mem.UnmapAll()
+	for _, h := range k.exitHooks {
+		h(t)
+	}
 	tk.state = taskZombie
 	tk.exitStatus = status
 	// Reparent children to nobody; they self-reap on exit.

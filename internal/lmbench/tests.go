@@ -172,7 +172,12 @@ func forkSh(name, base, sh string, target func(c *ctx) string) Test {
 }
 
 // pingPong measures one-way latency through a pipe or AF_UNIX socket:
-// lmbench's lat_pipe / lat_unix "hot potato" between two processes.
+// lmbench's lat_pipe / lat_unix "hot potato" between two processes. Like
+// the real lat_pipe, every transfer is checked and a failed syscall
+// aborts the measurement: silently dropping one leg of the ping-pong
+// (an injected EINTR or EAGAIN under the soak's fault schedules) would
+// otherwise park both processes forever. On abort the parent still
+// closes its write end so the child sees EOF and exits.
 func pingPong(c *ctx, unix bool) (time.Duration, bool) {
 	const rounds = 32
 	one := []byte{1}
@@ -186,22 +191,35 @@ func pingPong(c *ctx, unix bool) (time.Duration, bool) {
 			cc.Close(a) // drop the inherited far end
 			bb := make([]byte, 1)
 			for {
-				if n, _ := cc.Read(b, bb); n == 0 {
+				n, e := cc.Read(b, bb)
+				if n == 0 {
 					cc.Exit(0)
 				}
-				cc.Write(b, bb)
+				if n < 0 || e != kernel.OK {
+					cc.Exit(1)
+				}
+				if n, e = cc.Write(b, bb); n != 1 || e != kernel.OK {
+					cc.Exit(1)
+				}
 			}
 		})
 		c.lc.Close(b)
+		ok := true
 		start := c.t.Now()
 		for i := 0; i < rounds; i++ {
-			c.lc.Write(a, one)
-			c.lc.Read(a, buf)
+			if n, e := c.lc.Write(a, one); n != 1 || e != kernel.OK {
+				ok = false
+				break
+			}
+			if n, e := c.lc.Read(a, buf); n != 1 || e != kernel.OK {
+				ok = false
+				break
+			}
 		}
 		rtt := (c.t.Now() - start) / rounds
 		c.lc.Close(a)
 		c.lc.Wait(pid)
-		return rtt / 2, true
+		return rtt / 2, ok
 	}
 	// Pipes are unidirectional: one per direction.
 	r1, w1, errno := c.lc.Pipe()
@@ -218,23 +236,36 @@ func pingPong(c *ctx, unix bool) (time.Duration, bool) {
 		cc.Close(r2)
 		b := make([]byte, 1)
 		for {
-			if n, _ := cc.Read(r1, b); n == 0 {
+			n, e := cc.Read(r1, b)
+			if n == 0 {
 				cc.Exit(0)
 			}
-			cc.Write(w2, b)
+			if n < 0 || e != kernel.OK {
+				cc.Exit(1)
+			}
+			if n, e = cc.Write(w2, b); n != 1 || e != kernel.OK {
+				cc.Exit(1)
+			}
 		}
 	})
 	c.lc.Close(r1)
 	c.lc.Close(w2)
+	ok := true
 	start := c.t.Now()
 	for i := 0; i < rounds; i++ {
-		c.lc.Write(w1, one)
-		c.lc.Read(r2, buf)
+		if n, e := c.lc.Write(w1, one); n != 1 || e != kernel.OK {
+			ok = false
+			break
+		}
+		if n, e := c.lc.Read(r2, buf); n != 1 || e != kernel.OK {
+			ok = false
+			break
+		}
 	}
 	rtt := (c.t.Now() - start) / rounds
 	c.lc.Close(w1)
 	c.lc.Wait(pid)
-	return rtt / 2, true
+	return rtt / 2, ok
 }
 
 func selectN(name string, n int) Test {

@@ -150,6 +150,10 @@ type AddressSpace struct {
 	// nextAuto is the next address the allocator hands out for
 	// address-unspecified mappings.
 	nextAuto uint64
+	// MapHook, when non-nil, is consulted before any new mapping is
+	// created; a non-nil error fails the Map like an allocation failure
+	// (fault injection). Fork propagates the hook to children.
+	MapHook func(size uint64, name string) error
 }
 
 // mmapBase is where automatic placement starts (above typical text bases).
@@ -251,6 +255,11 @@ func (as *AddressSpace) Map(base, size uint64, prot Prot, name string, shared bo
 // memory, IOSurface, Mach OOL transfer). backing==nil allocates a fresh
 // store. offset is the region's start within the backing.
 func (as *AddressSpace) MapBacking(base, size uint64, prot Prot, name string, shared bool, backing *Backing, offset uint64) (*Region, error) {
+	if as.MapHook != nil {
+		if err := as.MapHook(size, name); err != nil {
+			return nil, err
+		}
+	}
 	if size == 0 {
 		return nil, fmt.Errorf("mem: zero-size mapping %q", name)
 	}
@@ -353,6 +362,7 @@ func copyLen(want, avail uint64) uint64 {
 func (as *AddressSpace) Fork() (*AddressSpace, uint64) {
 	child := NewAddressSpace()
 	child.nextAuto = as.nextAuto
+	child.MapHook = as.MapHook
 	var ptes uint64
 	for _, r := range as.regions {
 		if !r.Submap {

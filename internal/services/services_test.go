@@ -6,11 +6,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/libsystem"
 	"repro/internal/prog"
 	"repro/internal/services"
-	"repro/internal/sim"
 	"repro/internal/xnu"
 )
 
@@ -187,6 +187,13 @@ func (e errKr) Error() string { return "kern_return" }
 // arriving while an app waited for a service that never registers was
 // swallowed and the app kept polling. An interrupted wait must abort with
 // an error instead.
+//
+// The interrupt comes from the fault layer: an OpPark rule on "sleep"
+// gated to fire only after boot (and after the app's own setup sleep).
+// Depending on where the retry loop is, a fire can land in a bootstrap
+// Receive (absorbed as a failed lookup, per the same burn-down) rather
+// than the retry sleep, so the rule repeats under a small Count cap —
+// no dedicated killer process poking the waiter.
 func TestWaitForServiceInterrupted(t *testing.T) {
 	sys, err := core.NewSystem(core.ConfigCider)
 	if err != nil {
@@ -195,29 +202,14 @@ func TestWaitForServiceInterrupted(t *testing.T) {
 	if _, err := sys.BootServices(); err != nil {
 		t.Fatal(err)
 	}
-	var waiter *sim.Proc
+	in := sys.EnableFaults(fault.Plan{Name: "wait-eintr", Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpPark, Match: "sleep", After: 100 * time.Millisecond, Count: 8},
+	}})
 	var waitErr error
-	done := false
 	if err := sys.InstallIOSBinary("/Applications/w.app/w", "wait-app", nil, func(c *prog.Call) uint64 {
 		th := c.Ctx.(*kernel.Thread)
-		waiter = th.Proc()
 		th.Proc().Sleep(80 * time.Millisecond)
 		_, waitErr = services.WaitForService(libsystem.Sys(th), "com.example.never", 1<<30)
-		done = true
-		return 0
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.InstallIOSBinary("/Applications/k.app/k", "kill-app", nil, func(c *prog.Call) uint64 {
-		th := c.Ctx.(*kernel.Thread)
-		th.Proc().Sleep(120 * time.Millisecond)
-		// Keep interrupting until the waiter gives up: depending on where
-		// the retry loop is, a wakeup can land in a bootstrap Receive
-		// (absorbed as a failed lookup) rather than the retry sleep.
-		for !done {
-			th.Proc().Wake(waiter, sim.WakeInterrupted)
-			th.Proc().Sleep(100 * time.Microsecond)
-		}
 		return 0
 	}); err != nil {
 		t.Fatal(err)
@@ -225,13 +217,13 @@ func TestWaitForServiceInterrupted(t *testing.T) {
 	if _, err := sys.Start("/Applications/w.app/w", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Start("/Applications/k.app/k", nil); err != nil {
-		t.Fatal(err)
-	}
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if waitErr == nil || !strings.Contains(waitErr.Error(), "interrupted") {
 		t.Fatalf("waitErr = %v, want interrupted", waitErr)
+	}
+	if in.Fired() == 0 {
+		t.Fatal("injector never fired")
 	}
 }

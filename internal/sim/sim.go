@@ -244,6 +244,9 @@ func (p *Proc) Sleep(d time.Duration) int {
 	if d < 0 {
 		d = 0
 	}
+	if h := p.sim.interruptHook; h != nil && h(p, "sleep") {
+		return WakeInterrupted
+	}
 	p.state = StateSleeping
 	p.wakeAt = p.now + d
 	p.wakeTag = WakeNormal
@@ -255,6 +258,9 @@ func (p *Proc) Sleep(d time.Duration) int {
 // Park blocks the Proc until another Proc calls Wake on it. The reason is
 // reported in deadlock errors and debug dumps. It returns the waker's tag.
 func (p *Proc) Park(reason string) int {
+	if h := p.sim.interruptHook; h != nil && h(p, reason) {
+		return WakeInterrupted
+	}
 	p.state = StateParked
 	p.parkReason = reason
 	p.wakeTag = WakeNormal
@@ -409,6 +415,10 @@ type Sim struct {
 	nonDaemonLive int
 	// sink, when non-nil, receives scheduling events (see Sink).
 	sink Sink
+	// interruptHook, when non-nil, is consulted at the top of Park and
+	// Sleep; returning true makes the wait return WakeInterrupted
+	// immediately without blocking or advancing time (fault injection).
+	interruptHook func(p *Proc, reason string) bool
 	// panicValue propagates a Proc panic out of Run.
 	panicValue any
 	panicProc  string
@@ -429,6 +439,13 @@ func New() *Sim {
 // a sink is attached, and sinks never advance virtual time, so attaching
 // one cannot change simulation results.
 func (s *Sim) SetSink(sink Sink) { s.sink = sink }
+
+// SetInterruptHook installs (or, with nil, removes) the blocking-wait
+// interrupt hook. The hook runs before a Park or Sleep blocks, with the
+// park reason ("sleep" for Sleep and timed waits); returning true makes
+// the wait return WakeInterrupted without blocking. The hook must be
+// deterministic for simulation results to stay reproducible.
+func (s *Sim) SetInterruptHook(h func(p *Proc, reason string) bool) { s.interruptHook = h }
 
 func (s *Sim) emit(ev SchedEvent, p *Proc, detail string) {
 	if s.sink != nil {

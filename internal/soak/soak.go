@@ -1,0 +1,538 @@
+// Package soak drives the paper's Fig. 5/6 batteries under a matrix of
+// deterministic fault schedules and asserts the three error-path
+// invariants this repo's kernel promises:
+//
+//   - determinism — a (seed, plan) pair produces bit-identical results
+//     and traces at any host parallelism (jobs=1 vs jobs=N),
+//   - no leaks — kernel.LeakCheck passes after every battery, faulted
+//     or clean: failed syscalls, killed processes and dead ports must
+//     release every descriptor, mapping and IPC right,
+//   - no deadlocks — injected EINTR storms, ENOMEM, EIO and Mach queue
+//     pressure may fail benchmark cells, but must never wedge the sim.
+//
+// Benchmark cells failing under injection is expected and acceptable;
+// the soak criteria are about how the kernel fails, not whether the
+// benchmark survives.
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ducttape"
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/lmbench"
+	"repro/internal/passmark"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+	"repro/internal/xnu"
+)
+
+// Schedule is one named fault plan in the soak matrix.
+type Schedule struct {
+	// Name labels the schedule in reports.
+	Name string
+	// Desc says what failure class the schedule exercises.
+	Desc string
+	// Plan is the seeded fault plan armed on every cell's System.
+	Plan fault.Plan
+}
+
+// Schedules is the soak matrix: one clean control plus one schedule per
+// fault class the kernel must survive.
+func Schedules() []Schedule {
+	return []Schedule{
+		{
+			Name: "clean",
+			Desc: "no faults — the leak-check and determinism control",
+			Plan: fault.Plan{Name: "clean", Seed: 1},
+		},
+		{
+			Name: "eintr-storm",
+			Desc: "signal-interrupt pressure on every blocking wait",
+			Plan: fault.Plan{Name: "eintr-storm", Seed: 0x5eed0001, Rules: []fault.Rule{
+				{Op: fault.OpPark, Match: "waitq:pipe", Every: 3},
+				{Op: fault.OpPark, Match: "waitq:unix-*", Every: 4},
+				{Op: fault.OpPark, Match: "select", Every: 3},
+				{Op: fault.OpPark, Match: "sleep", Every: 7},
+				{Op: fault.OpPark, Match: "waitq:wait4", Every: 5},
+			}},
+		},
+		{
+			Name: "errno-storm",
+			Desc: "transient errno injection at syscall dispatch",
+			Plan: fault.Plan{Name: "errno-storm", Seed: 0x5eed0002, Rules: []fault.Rule{
+				{Op: fault.OpSyscall, Match: "*/read", Errno: 4 /* EINTR */, Every: 11},
+				{Op: fault.OpSyscall, Match: "*/write", Errno: 35 /* EAGAIN */, Every: 13},
+				{Op: fault.OpSyscall, Match: "*/dup", Errno: 24 /* EMFILE */, Every: 5},
+				{Op: fault.OpSyscall, Match: "*/open", Errno: 4 /* EINTR */, Every: 9},
+			}},
+		},
+		{
+			Name: "enomem",
+			Desc: "allocation failure at arbitrary mapping sites",
+			Plan: fault.Plan{Name: "enomem", Seed: 0x5eed0003, Rules: []fault.Rule{
+				{Op: fault.OpMemMap, Errno: 12 /* ENOMEM */, Every: 97},
+			}},
+		},
+		{
+			Name: "vfs-eio",
+			Desc: "storage I/O errors, full disk, and latency spikes",
+			Plan: fault.Plan{Name: "vfs-eio", Seed: 0x5eed0004, Rules: []fault.Rule{
+				{Op: fault.OpVFS, Match: "lookup:*", Errno: 5 /* EIO */, Every: 41},
+				{Op: fault.OpVFS, Match: "create:*", Errno: 28 /* ENOSPC */, Every: 17},
+				{Op: fault.OpVFS, Match: "lookup:*", Delay: 3 * time.Millisecond, Every: 29},
+			}},
+		},
+		{
+			Name: "mach-pressure",
+			Desc: "Mach queue overflow and interrupted mach_msg",
+			Plan: fault.Plan{Name: "mach-pressure", Seed: 0x5eed0005, Rules: []fault.Rule{
+				{Op: fault.OpMachSend, QLimit: 1, Every: 3},
+				{Op: fault.OpMachSend, Errno: 1, Every: 19},
+				{Op: fault.OpMachRecv, Errno: 1, Every: 17},
+				{Op: fault.OpPark, Match: "waitq:mach_snd", Every: 5},
+				{Op: fault.OpPark, Match: "waitq:mach_rcv", Every: 7},
+			}},
+		},
+	}
+}
+
+// ScheduleByName finds a schedule in the matrix.
+func ScheduleByName(name string) (Schedule, bool) {
+	for _, s := range Schedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// QuickTests is the reduced battery the verify smoke runs: the syscall
+// and comm groups exercise dispatch, pipes, signals and the fd table,
+// and the proc group exercises fork/exec — the in-simulation mapping
+// sites the enomem schedule needs — at a fraction of the full battery's
+// cost (the basic group is pure arithmetic and injects nothing).
+func QuickTests() []lmbench.Test {
+	var out []lmbench.Test
+	for _, t := range lmbench.AllTests() {
+		switch t.Group {
+		case "syscall", "comm", "proc":
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Options configures a soak run.
+type Options struct {
+	// Jobs is the host parallelism handed to the battery engines;
+	// <= 0 means GOMAXPROCS, 1 is the sequential reference execution.
+	Jobs int
+	// Full also runs the Fig. 6 (PassMark) battery per schedule.
+	Full bool
+	// Tests selects the lmbench subset; nil means the full battery.
+	Tests []lmbench.Test
+}
+
+// Result is one schedule's soak outcome.
+type Result struct {
+	// Schedule names the plan that ran.
+	Schedule string
+	// Digest fingerprints everything deterministic about the run: cell
+	// results, trace event streams, counters, and injection counts.
+	// Equal digests across jobs values is the determinism criterion.
+	Digest uint64
+	// Cells is the number of simulated systems booted.
+	Cells int
+	// FailedCells counts benchmark cells that did not complete —
+	// expected under injection, and part of the digest.
+	FailedCells int
+	// Injected totals fault-rule fires across all cells.
+	Injected uint64
+	// Findings are hard invariant violations: deadlocks and leaks.
+	// Empty findings means the schedule passed.
+	Findings []string
+}
+
+// Err folds findings into an error (nil when the schedule passed).
+func (r *Result) Err() error {
+	if len(r.Findings) == 0 {
+		return nil
+	}
+	return fmt.Errorf("soak: %s: %d finding(s):\n  %s", r.Schedule, len(r.Findings), joinIndent(r.Findings))
+}
+
+func joinIndent(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}
+
+// RunSchedule runs one schedule's battery set and audits the invariants.
+func RunSchedule(s Schedule, opts Options) *Result {
+	tests := opts.Tests
+	if tests == nil {
+		tests = lmbench.AllTests()
+	}
+	res := &Result{Schedule: s.Name}
+	d := newDigest()
+	d.str(s.Name)
+	d.u64(s.Plan.Seed)
+
+	cells := lmbench.Cells(tests)
+	systems := make([]*core.System, len(cells))
+	rep, err := lmbench.RunFigure5Opts(tests, lmbench.Options{
+		Jobs: opts.Jobs,
+		OnSystem: func(c lmbench.Cell, sys *core.System) {
+			sys.EnableTrace()
+			sys.EnableFaults(s.Plan)
+			systems[c.Index] = sys
+		},
+	})
+	res.Cells += len(cells)
+	if err != nil {
+		d.str("lmbench-err:" + err.Error())
+		var dl *sim.ErrDeadlock
+		if errors.As(err, &dl) {
+			res.Findings = append(res.Findings, fmt.Sprintf("lmbench deadlocked under %q: %v", s.Name, err))
+		}
+	} else {
+		for _, t := range tests {
+			d.str(t.Name)
+			for _, conf := range lmbench.Configurations() {
+				d.u64(uint64(rep.Latency[t.Name][conf.Name]))
+				if rep.Failed[t.Name][conf.Name] {
+					d.u64(1)
+					res.FailedCells++
+				} else {
+					d.u64(0)
+				}
+			}
+		}
+	}
+	res.auditCells(d, systems)
+
+	if opts.Full {
+		confs := passmark.Configurations()
+		pmSystems := make([]*core.System, len(confs))
+		pmRep, pmErr := passmark.RunFigure6Opts(passmark.AllTests(), passmark.Options{
+			Jobs: opts.Jobs,
+			OnSystem: func(c passmark.Cell, sys *core.System) {
+				sys.EnableTrace()
+				sys.EnableFaults(s.Plan)
+				pmSystems[c.Index] = sys
+			},
+		})
+		res.Cells += len(confs)
+		if pmErr != nil {
+			d.str("passmark-err:" + pmErr.Error())
+			var dl *sim.ErrDeadlock
+			if errors.As(pmErr, &dl) {
+				res.Findings = append(res.Findings, fmt.Sprintf("passmark deadlocked under %q: %v", s.Name, pmErr))
+			}
+		} else {
+			for _, t := range passmark.AllTests() {
+				d.str(t.Name)
+				for _, conf := range confs {
+					d.u64(uint64(int64(pmRep.Score[t.Name][conf.Name] * 1e6)))
+					if pmRep.Errors[t.Name][conf.Name] != nil {
+						d.u64(1)
+						res.FailedCells++
+					} else {
+						d.u64(0)
+					}
+				}
+			}
+		}
+		res.auditCells(d, pmSystems)
+	}
+
+	res.runMachCell(s, d)
+
+	res.Digest = d.sum()
+	return res
+}
+
+// runMachCell drives a purpose-built Mach IPC workload under the
+// schedule. The Fig. 5/6 batteries never call mach_msg (iOS benchmark
+// syscalls ride the BSD half of the XNU table), so the soak matrix
+// exercises the duct-taped subsystem directly: cross-task messaging
+// under queue pressure, interrupted sends/receives with bounded retry,
+// dead-name notifications, and task-exit teardown of a space still
+// holding live receive rights.
+func (r *Result) runMachCell(s Schedule, d *digest) {
+	sm := sim.New()
+	k, err := kernel.New(sm, kernel.Config{
+		Profile: kernel.ProfileCider, Device: hw.Nexus7(),
+		Root: vfs.New(), Registry: prog.NewRegistry(),
+	})
+	if err != nil {
+		r.Findings = append(r.Findings, fmt.Sprintf("mach cell: boot: %v", err))
+		return
+	}
+	k.InstallLinuxTable()
+	k.RegisterBinFmt(&kernel.ELFLoader{})
+	ipc, err := xnu.InstallIPC(k, ducttape.NewEnv(k))
+	if err != nil {
+		r.Findings = append(r.Findings, fmt.Sprintf("mach cell: ipc: %v", err))
+		return
+	}
+	tr := trace.NewSession("mach-cell")
+	sm.SetSink(tr)
+	k.SetTracer(tr)
+	in := fault.NewInjector(s.Plan)
+	in.OnInject = func(op fault.Op, key string, out fault.Outcome, now time.Duration) {
+		proc, id := "", 0
+		if cur := sm.Current(); cur != nil {
+			proc, id = cur.Name(), cur.ID()
+		}
+		tr.Fault(proc, id, op.String(), key, out.Errno, now)
+	}
+	k.EnableFaults(in)
+
+	const msgs = 48
+	const tick = 100 * time.Microsecond
+	var sent, received, retries, gaveUp uint64
+	var notified bool
+	serverReady := false
+	ready := sim.NewWaitQueue("soak-ready")
+
+	spawn := func(key string, body func(*kernel.Thread)) error {
+		k.Registry().MustRegister(key, func(c *prog.Call) uint64 {
+			body(c.Ctx.(*kernel.Thread))
+			return 0
+		})
+		bin, berr := prog.StaticELF(key)
+		if berr != nil {
+			return berr
+		}
+		if werr := k.Root().(*vfs.FS).WriteFile("/bin/"+key, bin); werr != nil {
+			return werr
+		}
+		_, serr := k.StartProcess("/bin/"+key, nil)
+		return serr
+	}
+
+	err = spawn("soak-mach-server", func(th *kernel.Thread) {
+		port, kr := ipc.PortAllocate(th)
+		if kr != xnu.KernSuccess {
+			return
+		}
+		cr, _ := ipc.MakeSendRight(th, port)
+		ipc.SetBootstrapPort(cr.Port)
+		serverReady = true
+		ready.WakeAll(th.Proc(), sim.WakeNormal)
+		// Bounded receive loop: injected interrupts and timeouts retry,
+		// but the loop always terminates even if the client gives up.
+		for attempts := 0; received < msgs && attempts < msgs*8; attempts++ {
+			msg, rkr := ipc.Receive(th, port, 2*tick)
+			if rkr == xnu.KernSuccess {
+				received++
+				_ = msg
+			} else {
+				retries++
+				th.Charge(tick / 4)
+			}
+		}
+		// Exit without destroying the port: task-exit teardown must reap
+		// the receive right and fail any still-blocked sender.
+	})
+	if err == nil {
+		err = spawn("soak-mach-client", func(th *kernel.Thread) {
+			for !serverReady {
+				// An injected interrupt just re-checks the flag and
+				// re-parks; the loop condition is the real gate.
+				if ready.Wait(th.Proc()) == sim.WakeInterrupted {
+					continue
+				}
+			}
+			for i := 0; i < msgs; i++ {
+				ok := false
+				for attempts := 0; attempts < 8; attempts++ {
+					kr := ipc.Send(th, xnu.BootstrapName,
+						&xnu.Message{ID: int32(i), Body: []byte("soak")}, 2*tick)
+					if kr == xnu.KernSuccess {
+						ok = true
+						break
+					}
+					retries++
+					th.Charge(tick / 4)
+				}
+				if ok {
+					sent++
+				} else {
+					gaveUp++
+				}
+			}
+		})
+	}
+	if err == nil {
+		err = spawn("soak-mach-notify", func(th *kernel.Thread) {
+			watched, kr := ipc.PortAllocate(th)
+			if kr != xnu.KernSuccess {
+				return
+			}
+			notify, kr := ipc.PortAllocate(th)
+			if kr != xnu.KernSuccess {
+				return
+			}
+			if kr = ipc.RequestDeadNameNotification(th, watched, notify); kr != xnu.KernSuccess {
+				return
+			}
+			ipc.PortDestroy(th, watched)
+			for attempts := 0; attempts < 8; attempts++ {
+				msg, rkr := ipc.Receive(th, notify, 2*tick)
+				if rkr == xnu.KernSuccess && msg.ID == xnu.MsgDeadNameNotification {
+					notified = true
+					break
+				}
+				th.Charge(tick / 4)
+			}
+		})
+	}
+	if err != nil {
+		r.Findings = append(r.Findings, fmt.Sprintf("mach cell: spawn: %v", err))
+		return
+	}
+	r.Cells++
+	if rerr := sm.Run(); rerr != nil {
+		d.str("mach-err:" + rerr.Error())
+		var dl *sim.ErrDeadlock
+		if errors.As(rerr, &dl) {
+			r.Findings = append(r.Findings, fmt.Sprintf("mach cell deadlocked under %q: %v", s.Name, rerr))
+		}
+		return
+	}
+	if s.Name == "clean" {
+		// Without faults the workload must complete perfectly; under
+		// injection partial completion is the point.
+		if sent != msgs || received != msgs || !notified {
+			r.Findings = append(r.Findings, fmt.Sprintf(
+				"mach cell: clean run incomplete: sent=%d received=%d notified=%v", sent, received, notified))
+		}
+	}
+	d.str("mach-cell")
+	d.u64(sent)
+	d.u64(received)
+	d.u64(retries)
+	d.u64(gaveUp)
+	if notified {
+		d.u64(1)
+	} else {
+		d.u64(0)
+	}
+	fired := in.Fired()
+	r.Injected += fired
+	d.u64(fired)
+	digestSession(d, tr)
+	if lerr := k.LeakCheck(); lerr != nil {
+		r.Findings = append(r.Findings, fmt.Sprintf("mach cell (%s): %v", s.Name, lerr))
+	}
+}
+
+// auditCells digests each cell's trace and injection state and runs the
+// post-battery leak check.
+func (r *Result) auditCells(d *digest, systems []*core.System) {
+	for i, sys := range systems {
+		d.u64(uint64(i))
+		if sys == nil {
+			d.str("cell-missing")
+			continue
+		}
+		if sys.Fault != nil {
+			fired := sys.Fault.Fired()
+			r.Injected += fired
+			d.u64(fired)
+		}
+		digestSession(d, sys.Trace)
+		if err := sys.Kernel.LeakCheck(); err != nil {
+			r.Findings = append(r.Findings, fmt.Sprintf("cell %d (%s): %v", i, sys.Config, err))
+		}
+	}
+}
+
+// digestSession folds a trace session's event stream and counters into
+// the digest. The event ring is bounded, so this sees the tail of long
+// runs — still a deterministic function of the simulation.
+func digestSession(d *digest, tr *trace.Session) {
+	if tr == nil {
+		d.str("no-trace")
+		return
+	}
+	for _, ev := range tr.Events() {
+		d.u64(ev.Seq)
+		d.u64(uint64(ev.At))
+		d.u64(uint64(ev.Kind))
+		d.str(ev.Proc)
+		d.u64(uint64(ev.ProcID))
+		d.u64(uint64(ev.Sched))
+		d.u64(uint64(ev.Persona))
+		d.u64(uint64(ev.Sysno))
+		d.str(ev.Name)
+		d.u64(uint64(int64(ev.Errno)))
+		d.str(ev.Detail)
+	}
+	for _, c := range tr.Counters() {
+		d.str(c.Name)
+		d.u64(c.Value)
+	}
+}
+
+// Run executes every schedule in the matrix.
+func Run(schedules []Schedule, opts Options) []*Result {
+	out := make([]*Result, 0, len(schedules))
+	for _, s := range schedules {
+		out = append(out, RunSchedule(s, opts))
+	}
+	return out
+}
+
+// VerifyDeterminism runs one schedule sequentially and at jobs host
+// workers and compares digests — the jobs=1 vs jobs=N bit-identity
+// criterion.
+func VerifyDeterminism(s Schedule, jobs int, opts Options) error {
+	seq := opts
+	seq.Jobs = 1
+	par := opts
+	par.Jobs = jobs
+	a := RunSchedule(s, seq)
+	b := RunSchedule(s, par)
+	if a.Digest != b.Digest {
+		return fmt.Errorf("soak: %s: digest diverged: jobs=1 %016x vs jobs=%d %016x", s.Name, a.Digest, jobs, b.Digest)
+	}
+	return nil
+}
+
+// digest is FNV-1a 64, built up incrementally over mixed-type records.
+type digest struct{ h uint64 }
+
+func newDigest() *digest { return &digest{h: 0xcbf29ce484222325} }
+
+func (d *digest) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.h ^= uint64(byte(v >> (8 * i)))
+		d.h *= 0x100000001b3
+	}
+}
+
+func (d *digest) str(s string) {
+	for i := 0; i < len(s); i++ {
+		d.h ^= uint64(s[i])
+		d.h *= 0x100000001b3
+	}
+	d.u64(uint64(len(s)))
+}
+
+func (d *digest) sum() uint64 { return d.h }

@@ -1,0 +1,70 @@
+package soak
+
+import (
+	"testing"
+)
+
+// TestCleanScheduleLeakFree is the control: the quick battery with no
+// faults armed must finish with zero findings — every cell's kernel
+// passes LeakCheck after a clean run.
+func TestCleanScheduleLeakFree(t *testing.T) {
+	s, ok := ScheduleByName("clean")
+	if !ok {
+		t.Fatal("clean schedule missing from matrix")
+	}
+	r := RunSchedule(s, Options{Jobs: 1, Tests: QuickTests()})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Injected != 0 {
+		t.Fatalf("clean schedule injected %d faults", r.Injected)
+	}
+}
+
+// TestFaultSchedulesSurvivable runs every schedule in the matrix on the
+// quick battery: faults must actually fire (except the control) and no
+// schedule may deadlock or leak.
+func TestFaultSchedulesSurvivable(t *testing.T) {
+	for _, s := range Schedules() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			r := RunSchedule(s, Options{Jobs: 1, Tests: QuickTests()})
+			if err := r.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if s.Name != "clean" && r.Injected == 0 {
+				t.Fatalf("schedule %q never fired a fault", s.Name)
+			}
+			t.Logf("%s: digest=%016x cells=%d failed=%d injected=%d",
+				r.Schedule, r.Digest, r.Cells, r.FailedCells, r.Injected)
+		})
+	}
+}
+
+// TestDeterminismAcrossJobs is the acceptance criterion: one schedule,
+// identical digests at jobs=1 and jobs=4. The digest covers cell
+// results, every cell's trace event stream, counters, and injection
+// counts, so host scheduling leaking into the simulation shows up here.
+func TestDeterminismAcrossJobs(t *testing.T) {
+	for _, name := range []string{"eintr-storm", "mach-pressure"} {
+		s, ok := ScheduleByName(name)
+		if !ok {
+			t.Fatalf("schedule %q missing", name)
+		}
+		if err := VerifyDeterminism(s, 4, Options{Tests: QuickTests()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRepeatedRunsBitIdentical re-runs one faulted schedule at the same
+// jobs level and requires the same digest — no host randomness anywhere
+// in the injection or simulation path.
+func TestRepeatedRunsBitIdentical(t *testing.T) {
+	s, _ := ScheduleByName("errno-storm")
+	a := RunSchedule(s, Options{Jobs: 2, Tests: QuickTests()})
+	b := RunSchedule(s, Options{Jobs: 2, Tests: QuickTests()})
+	if a.Digest != b.Digest {
+		t.Fatalf("same schedule, same jobs, different digests: %016x vs %016x", a.Digest, b.Digest)
+	}
+}

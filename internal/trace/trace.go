@@ -13,6 +13,7 @@ package trace
 
 import (
 	"math/bits"
+	"sort"
 	"time"
 
 	"repro/internal/persona"
@@ -46,6 +47,12 @@ const (
 	CounterDyldImages = "dyld.images"
 	// CounterDyldCacheAttach counts shared-cache attachments.
 	CounterDyldCacheAttach = "dyld.cache_attach"
+	// CounterDyldLoadErrors counts dylib load failures (missing or
+	// unreadable libraries — the dyld face of fault injection).
+	CounterDyldLoadErrors = "dyld.load_errors"
+	// CounterFaultInjected counts fault-layer injections of any kind;
+	// per-op counts ride under "fault.<op>" (e.g. "fault.syscall").
+	CounterFaultInjected = "fault.injected"
 )
 
 // EventKind classifies ring-buffer entries.
@@ -60,6 +67,9 @@ const (
 	EvSyscallExit
 	// EvSignal marks a signal delivery.
 	EvSignal
+	// EvFault marks a fault-layer injection; Name holds the injection key,
+	// Detail the op class, Errno the injected error.
+	EvFault
 )
 
 func (k EventKind) String() string {
@@ -72,6 +82,8 @@ func (k EventKind) String() string {
 		return "sysexit"
 	case EvSignal:
 		return "signal"
+	case EvFault:
+		return "fault"
 	}
 	return "event?"
 }
@@ -251,11 +263,37 @@ func (s *Session) Signal(proc string, id int, p persona.Kind, sig int, detail st
 	s.record(Event{At: at, Kind: EvSignal, Proc: proc, ProcID: id, Persona: p, Sysno: sig, Detail: detail})
 }
 
+// Fault records a fault-layer injection: op is the injection-point class
+// ("syscall", "park", "map", "vfs", "mach_send", "mach_recv"), key the
+// injection key, errno the injected error (0 for pure latency spikes).
+func (s *Session) Fault(proc string, id int, op, key string, errno int, at time.Duration) {
+	s.counter[CounterFaultInjected]++
+	s.counter["fault."+op]++
+	s.record(Event{At: at, Kind: EvFault, Proc: proc, ProcID: id, Name: key, Errno: errno, Detail: op})
+}
+
 // Count adds n to a named counter.
 func (s *Session) Count(name string, n uint64) { s.counter[name] += n }
 
 // Counter reads a named counter (0 if never counted).
 func (s *Session) Counter(name string) uint64 { return s.counter[name] }
+
+// Counters returns all named counters sorted by name — the deterministic
+// export the soak harness digests.
+func (s *Session) Counters() []NamedCounter {
+	out := make([]NamedCounter, 0, len(s.counter))
+	for name, v := range s.counter {
+		out = append(out, NamedCounter{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedCounter is one Counters() entry.
+type NamedCounter struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
 
 // SchedCount reads one scheduler-event counter.
 func (s *Session) SchedCount(ev sim.SchedEvent) uint64 {

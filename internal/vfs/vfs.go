@@ -86,6 +86,18 @@ func (e *ErrLoop) Error() string {
 	return fmt.Sprintf("vfs: %s: too many levels of symbolic links", e.Path)
 }
 
+// ErrIO reports a simulated media error (fault injection).
+type ErrIO struct{ Path string }
+
+func (e *ErrIO) Error() string { return fmt.Sprintf("vfs: %s: input/output error", e.Path) }
+
+// ErrNoSpace reports a simulated full device (fault injection).
+type ErrNoSpace struct{ Path string }
+
+func (e *ErrNoSpace) Error() string {
+	return fmt.Sprintf("vfs: %s: no space left on device", e.Path)
+}
+
 // Node is one filesystem object.
 type Node struct {
 	name     string
@@ -162,6 +174,11 @@ type FileSystem interface {
 // FS is a plain in-memory filesystem tree.
 type FS struct {
 	root *Node
+	// FaultHook, when non-nil, is consulted before Lookup, Create, and
+	// Remove with the operation name ("lookup", "create", "remove") and
+	// the cleaned path; a non-nil error fails the operation (fault
+	// injection: EIO, ENOSPC, latency spikes charged by the hook).
+	FaultHook func(op, path string) error
 }
 
 // New creates an empty filesystem with a root directory.
@@ -234,6 +251,11 @@ func (fs *FS) walk(p string, followLast bool, depth int) (*Node, error) {
 
 // Lookup resolves p, following symlinks.
 func (fs *FS) Lookup(p string) (*Node, error) {
+	if fs.FaultHook != nil {
+		if err := fs.FaultHook("lookup", Clean(p)); err != nil {
+			return nil, err
+		}
+	}
 	return fs.walk(p, true, 0)
 }
 
@@ -274,6 +296,11 @@ func (fs *FS) addChild(p string, n *Node) error {
 
 // Create makes a new empty regular file.
 func (fs *FS) Create(p string) (*Node, error) {
+	if fs.FaultHook != nil {
+		if err := fs.FaultHook("create", Clean(p)); err != nil {
+			return nil, err
+		}
+	}
 	n := &Node{kind: KindFile}
 	if err := fs.addChild(p, n); err != nil {
 		return nil, err
@@ -335,6 +362,11 @@ func (fs *FS) Mount(p string, m FileSystem) error {
 
 // Remove unlinks a file, symlink, device, or empty directory.
 func (fs *FS) Remove(p string) error {
+	if fs.FaultHook != nil {
+		if err := fs.FaultHook("remove", Clean(p)); err != nil {
+			return err
+		}
+	}
 	d, leaf, err := fs.parentOf(p)
 	if err != nil {
 		return err

@@ -13,9 +13,12 @@
 package xnu
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ducttape"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -177,6 +180,7 @@ func (s *Space) insert(p *Port, t RightType) PortName {
 // domestic kernel. It is registered as the kernel extension "mach_ipc".
 type IPC struct {
 	env    *ducttape.Env
+	k      *kernel.Kernel
 	lock   *ducttape.LckMtx
 	spaces map[*kernel.Task]*Space
 	nextID uint64
@@ -205,6 +209,7 @@ func InstallIPC(k *kernel.Kernel, env *ducttape.Env) (*IPC, error) {
 	cpu := k.Device().CPU
 	ipc := &IPC{
 		env:        env,
+		k:          k,
 		lock:       env.NewLckMtx("ipc_space"),
 		spaces:     make(map[*kernel.Task]*Space),
 		nextID:     1,
@@ -213,6 +218,11 @@ func InstallIPC(k *kernel.Kernel, env *ducttape.Env) (*IPC, error) {
 		portAlloc:  cpu.Cycles(1700),
 	}
 	k.SetExtension(ExtensionName, ipc)
+	// Tear down the exiting task's port space — receive rights die with
+	// their task, exactly as XNU reaps an ipc_space at task termination.
+	// Without this, every exited process leaks its Space and its ports'
+	// blocked peers park forever.
+	k.OnTaskExit(ipc.taskExit)
 	return ipc, nil
 }
 
@@ -290,19 +300,93 @@ func (ipc *IPC) PortDestroy(t *kernel.Thread, name PortName) KernReturn {
 	if r.typ != RightReceive {
 		return KernInvalidRight
 	}
-	p := r.port
-	p.dead = true
-	p.recvWait.WakeAll(t.Proc(), sim.WakeNormal)
-	p.sendWait.WakeAll(t.Proc(), sim.WakeNormal)
 	delete(ipc.spaces[t.Task()].names, name)
+	ipc.destroyPort(t.Proc(), r.port)
+	return KernSuccess
+}
+
+// destroyPort kills a port: mark dead, drain queued messages, fail blocked
+// senders/receivers, and fire any dead-name notification.
+func (ipc *IPC) destroyPort(waker *sim.Proc, p *Port) {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	for p.msgs.Len() > 0 {
+		p.msgs.Dequeue()
+	}
+	p.recvWait.WakeAll(waker, sim.WakeNormal)
+	p.sendWait.WakeAll(waker, sim.WakeNormal)
 	if n := p.deadNameNotify; n != nil && !n.dead && n.msgs.Len() < n.qlimit {
 		n.msgs.Enqueue(&Message{ID: MsgDeadNameNotification, Body: portIDBytes(p.id)})
 		if n.set != nil {
-			n.set.wait.WakeOne(t.Proc(), sim.WakeNormal)
+			n.set.wait.WakeOne(waker, sim.WakeNormal)
 		}
-		n.recvWait.WakeOne(t.Proc(), sim.WakeNormal)
+		n.recvWait.WakeOne(waker, sim.WakeNormal)
 	}
-	return KernSuccess
+}
+
+// taskExit reaps the exiting task's IPC space (registered via OnTaskExit):
+// receive rights destroy their ports, send rights are dropped. Names are
+// processed in sorted order so teardown wakes blocked peers in a
+// deterministic sequence.
+func (ipc *IPC) taskExit(t *kernel.Thread) {
+	s, ok := ipc.spaces[t.Task()]
+	if !ok {
+		return
+	}
+	names := make([]PortName, 0, len(s.names))
+	for n := range s.names {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, n := range names {
+		r := s.names[n]
+		delete(s.names, n)
+		if r.typ == RightReceive {
+			ipc.destroyPort(t.Proc(), r.port)
+		}
+	}
+	delete(ipc.spaces, t.Task())
+}
+
+// LeakCheck implements kernel.LeakChecker: no exited task may still own a
+// port space, and live spaces must hold only sane rights.
+func (ipc *IPC) LeakCheck(k *kernel.Kernel) []string {
+	var out []string
+	type ent struct {
+		pid int
+		s   *Space
+	}
+	ents := make([]ent, 0, len(ipc.spaces))
+	for tk, s := range ipc.spaces {
+		ents = append(ents, ent{tk.PID(), s})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].pid < ents[j].pid })
+	for _, e := range ents {
+		tk := e.s.task
+		if k.Task(tk.PID()) != tk || tk.Zombie() || tk.Threads() == 0 {
+			out = append(out, fmt.Sprintf("mach_ipc: space for exited pid %d leaked (%d names)", e.pid, e.s.Names()))
+			continue
+		}
+		names := make([]PortName, 0, len(e.s.names))
+		for n := range e.s.names {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+		for _, n := range names {
+			r := e.s.names[n]
+			if r.refs < 1 {
+				out = append(out, fmt.Sprintf("mach_ipc: pid %d name 0x%x holds a right with %d refs", e.pid, uint32(n), r.refs))
+			}
+			if r.port.dead && r.typ == RightReceive {
+				if r.port.msgs.Len() > 0 || r.port.recvWait.Len() > 0 || r.port.sendWait.Len() > 0 {
+					out = append(out, fmt.Sprintf("mach_ipc: pid %d name 0x%x: dead port not drained", e.pid, uint32(n)))
+				}
+			}
+		}
+	}
+	return out
 }
 
 // RequestDeadNameNotification is mach_port_request_notification
@@ -384,11 +468,27 @@ func (ipc *IPC) Send(t *kernel.Thread, dest PortName, msg *Message, timeout time
 	}
 	p := r.port
 	t.Charge(ipc.msgBase + time.Duration(msg.Size())*ipc.msgPerByte)
+	// Fault layer: queue-overflow pressure (QLimit override forces the
+	// blocked-sender path) and MACH_SEND_INTERRUPTED at entry.
+	qlimit := p.qlimit
+	if in := ipc.k.FaultInjector(); in != nil {
+		if out, ok := in.Check(fault.OpMachSend, "send", t.Now()); ok {
+			if out.Delay > 0 {
+				t.Charge(out.Delay)
+			}
+			if out.QLimit > 0 && out.QLimit < qlimit {
+				qlimit = out.QLimit
+			}
+			if out.Errno != 0 {
+				return MachSendInterrupted
+			}
+		}
+	}
 	deadline := time.Duration(-1)
 	if timeout >= 0 {
 		deadline = t.Now() + timeout
 	}
-	for p.msgs.Len() >= p.qlimit {
+	for p.msgs.Len() >= qlimit {
 		if p.dead {
 			return MachSendInvalidDest
 		}
@@ -433,6 +533,17 @@ func (ipc *IPC) Receive(t *kernel.Thread, recv PortName, timeout time.Duration) 
 		return nil, KernInvalidRight
 	}
 	p := r.port
+	// Fault layer: MACH_RCV_INTERRUPTED pressure at entry.
+	if in := ipc.k.FaultInjector(); in != nil {
+		if out, ok := in.Check(fault.OpMachRecv, "recv", t.Now()); ok {
+			if out.Delay > 0 {
+				t.Charge(out.Delay)
+			}
+			if out.Errno != 0 {
+				return nil, MachRcvInterrupted
+			}
+		}
+	}
 	deadline := time.Duration(-1)
 	if timeout >= 0 {
 		deadline = t.Now() + timeout
@@ -514,6 +625,16 @@ func (ipc *IPC) PortSetAdd(t *kernel.Thread, set *PortSet, name PortName) KernRe
 
 // ReceiveSet receives from any member port of a set.
 func (ipc *IPC) ReceiveSet(t *kernel.Thread, set *PortSet, timeout time.Duration) (*Message, KernReturn) {
+	if in := ipc.k.FaultInjector(); in != nil {
+		if out, ok := in.Check(fault.OpMachRecv, "recv", t.Now()); ok {
+			if out.Delay > 0 {
+				t.Charge(out.Delay)
+			}
+			if out.Errno != 0 {
+				return nil, MachRcvInterrupted
+			}
+		}
+	}
 	deadline := time.Duration(-1)
 	if timeout >= 0 {
 		deadline = t.Now() + timeout

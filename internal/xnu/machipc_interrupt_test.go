@@ -4,85 +4,140 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/kernel"
-	"repro/internal/sim"
 )
 
-// Regression test for a wakeup bug found by ciderlint's waketag analyzer:
+// Regression tests for a wakeup bug found by ciderlint's waketag analyzer:
 // Send discarded the wake tag while blocked at the queue limit, so a
-// software interrupt (signal delivery wakes the proc with
-// sim.WakeInterrupted, as kill(2) does) was silently swallowed — the
-// sender just went back to sleep. mach_msg must instead return
-// MACH_SEND_INTERRUPTED, like the receive half always did.
-func TestSendInterruptedBySignal(t *testing.T) {
+// software interrupt was silently swallowed — the sender just went back
+// to sleep. mach_msg must instead return MACH_SEND_INTERRUPTED, like the
+// receive half always did.
+//
+// The interrupts are delivered by the fault layer (OpPark rules matched
+// against the sender's own park reason) rather than by a dedicated killer
+// process: the injector fires deterministically on exactly the wait under
+// test, with no cross-process handshake.
+
+// A sender blocked indefinitely at the queue limit parks on
+// waitq:mach_snd; an interrupt there must surface MACH_SEND_INTERRUPTED.
+func TestSendInterruptedWhileBlocked(t *testing.T) {
 	h := newHarness(t)
+	in := fault.NewInjector(fault.Plan{Name: "snd-eintr", Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpPark, Match: "waitq:mach_snd", Nth: 1},
+	}})
+	h.k.EnableFaults(in)
 	var kr KernReturn
-	var sender *sim.Proc
-	started := sim.NewWaitQueue("sender-up")
-	up := false
-	h.runProcs(t,
-		func(th *kernel.Thread) {
-			sender = th.Proc()
-			port, _ := h.ipc.PortAllocate(th)
-			for i := 0; i < defaultQLimit; i++ {
-				if kr := h.ipc.Send(th, port, &Message{ID: int32(i)}, 0); kr != KernSuccess {
-					t.Errorf("fill %d: %v", i, kr)
-				}
+	h.runProcs(t, func(th *kernel.Thread) {
+		port, _ := h.ipc.PortAllocate(th)
+		for i := 0; i < defaultQLimit; i++ {
+			if kr := h.ipc.Send(th, port, &Message{ID: int32(i)}, 0); kr != KernSuccess {
+				t.Errorf("fill %d: %v", i, kr)
 			}
-			up = true
-			started.WakeAll(th.Proc(), sim.WakeNormal)
-			// Queue full, no receiver: blocks until the interrupt lands.
-			kr = h.ipc.Send(th, port, &Message{}, -1)
-		},
-		func(th *kernel.Thread) {
-			for !up {
-				started.Wait(th.Proc())
-			}
-			th.Charge(time.Millisecond)
-			th.Proc().Wake(sender, sim.WakeInterrupted)
-		},
-	)
+		}
+		// Queue full, no receiver: blocks until the interrupt lands.
+		kr = h.ipc.Send(th, port, &Message{}, -1)
+	})
 	if kr != MachSendInterrupted {
 		t.Fatalf("kr = %#x, want MACH_SEND_INTERRUPTED (%#x)", kr, MachSendInterrupted)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("injector fired %d times, want 1", in.Fired())
 	}
 }
 
 // The same interrupt against a sender blocked with a finite timeout must
 // also surface MACH_SEND_INTERRUPTED (not run the timeout down and report
-// MACH_SEND_TIMED_OUT).
-func TestSendTimeoutInterruptedBySignal(t *testing.T) {
+// MACH_SEND_TIMED_OUT). A timed wait parks under the "sleep" reason.
+func TestSendTimeoutInterrupted(t *testing.T) {
 	h := newHarness(t)
+	h.k.EnableFaults(fault.NewInjector(fault.Plan{Name: "snd-timeo-eintr", Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpPark, Match: "sleep", Nth: 1},
+	}}))
 	var kr KernReturn
 	var at time.Duration
-	var sender *sim.Proc
-	started := sim.NewWaitQueue("sender-up")
-	up := false
-	h.runProcs(t,
-		func(th *kernel.Thread) {
-			sender = th.Proc()
-			port, _ := h.ipc.PortAllocate(th)
-			for i := 0; i < defaultQLimit; i++ {
-				if kr := h.ipc.Send(th, port, &Message{ID: int32(i)}, 0); kr != KernSuccess {
-					t.Errorf("fill %d: %v", i, kr)
-				}
+	h.runProcs(t, func(th *kernel.Thread) {
+		port, _ := h.ipc.PortAllocate(th)
+		for i := 0; i < defaultQLimit; i++ {
+			if kr := h.ipc.Send(th, port, &Message{ID: int32(i)}, 0); kr != KernSuccess {
+				t.Errorf("fill %d: %v", i, kr)
 			}
-			up = true
-			started.WakeAll(th.Proc(), sim.WakeNormal)
-			kr = h.ipc.Send(th, port, &Message{}, time.Second)
-			at = th.Now()
-		},
-		func(th *kernel.Thread) {
-			for !up {
-				started.Wait(th.Proc())
-			}
-			th.Charge(time.Millisecond)
-			th.Proc().Wake(sender, sim.WakeInterrupted)
-		},
-	)
+		}
+		kr = h.ipc.Send(th, port, &Message{}, time.Second)
+		at = th.Now()
+	})
 	if kr != MachSendInterrupted {
 		t.Fatalf("kr = %#x, want MACH_SEND_INTERRUPTED (%#x)", kr, MachSendInterrupted)
 	}
 	if at >= time.Second {
 		t.Fatalf("interrupted send returned at %v, after the full timeout", at)
 	}
+}
+
+// OpMachSend/OpMachRecv rules with a nonzero Errno abort mach_msg at
+// entry — before any queue-state check — modelling a pending signal
+// observed on the way into the trap. Neither side may lose or duplicate a
+// message: the interrupted send must not have enqueued, the interrupted
+// receive must not have dequeued.
+func TestMachEntryInterrupts(t *testing.T) {
+	h := newHarness(t)
+	h.k.EnableFaults(fault.NewInjector(fault.Plan{Name: "mach-entry", Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpMachSend, Match: "send", Errno: 1, Nth: 2},
+		{Op: fault.OpMachRecv, Match: "recv", Errno: 1, Nth: 2},
+	}}))
+	h.runProcs(t, func(th *kernel.Thread) {
+		port, _ := h.ipc.PortAllocate(th)
+		if kr := h.ipc.Send(th, port, &Message{ID: 7}, 0); kr != KernSuccess {
+			t.Errorf("send 1: %v", kr)
+		}
+		// Second send hits the entry interrupt: nothing enqueued.
+		if kr := h.ipc.Send(th, port, &Message{ID: 8}, 0); kr != MachSendInterrupted {
+			t.Errorf("send 2: kr = %#x, want MACH_SEND_INTERRUPTED (%#x)", kr, MachSendInterrupted)
+		}
+		msg, kr := h.ipc.Receive(th, port, 0)
+		if kr != KernSuccess || msg.ID != 7 {
+			t.Errorf("receive 1: kr=%v msg=%+v, want the first message", kr, msg)
+		}
+		// Second receive hits the entry interrupt; the queue is empty, but
+		// the interrupt must win over MACH_RCV_TIMED_OUT.
+		if _, kr := h.ipc.Receive(th, port, 0); kr != MachRcvInterrupted {
+			t.Errorf("receive 2: kr = %#x, want MACH_RCV_INTERRUPTED (%#x)", kr, MachRcvInterrupted)
+		}
+		// After the one-shot rules are spent, the port still works.
+		if kr := h.ipc.Send(th, port, &Message{ID: 9}, 0); kr != KernSuccess {
+			t.Errorf("send 3: %v", kr)
+		}
+		if msg, kr := h.ipc.Receive(th, port, 0); kr != KernSuccess || msg.ID != 9 {
+			t.Errorf("receive 3: kr=%v msg=%+v", kr, msg)
+		}
+	})
+}
+
+// An OpMachSend QLimit override shrinks the effective queue limit for
+// that one call: a polling send (timeout 0) against a queue holding one
+// message must report MACH_SEND_TIMED_OUT when the limit is forced to 1,
+// even though the real limit has plenty of room.
+func TestMachSendQueueLimitOverride(t *testing.T) {
+	h := newHarness(t)
+	h.k.EnableFaults(fault.NewInjector(fault.Plan{Name: "mach-qlimit", Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpMachSend, Match: "send", QLimit: 1, Nth: 2},
+	}}))
+	h.runProcs(t, func(th *kernel.Thread) {
+		port, _ := h.ipc.PortAllocate(th)
+		if kr := h.ipc.Send(th, port, &Message{ID: 1}, 0); kr != KernSuccess {
+			t.Errorf("send 1: %v", kr)
+		}
+		if kr := h.ipc.Send(th, port, &Message{ID: 2}, 0); kr != MachSendTimedOut {
+			t.Errorf("send 2: kr = %#x, want MACH_SEND_TIMED_OUT (%#x) under QLimit=1", kr, MachSendTimedOut)
+		}
+		// Without the override the queue has room again.
+		if kr := h.ipc.Send(th, port, &Message{ID: 3}, 0); kr != KernSuccess {
+			t.Errorf("send 3: %v", kr)
+		}
+		for i := 0; i < 2; i++ {
+			if _, kr := h.ipc.Receive(th, port, 0); kr != KernSuccess {
+				t.Errorf("drain %d: %v", i, kr)
+			}
+		}
+	})
 }

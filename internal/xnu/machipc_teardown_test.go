@@ -1,0 +1,63 @@
+package xnu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Regression test for the task-exit reaping path: when a task exits
+// without destroying its receive rights, taskExit must tear the ports
+// down — failing (not stranding) peers blocked on them — and drop the
+// task's IPC space so nothing leaks.
+//
+// Before the burn-down, an exiting task left its space in ipc.spaces and
+// its ports alive: a sender blocked at the queue limit parked forever
+// (sim.ErrDeadlock) and LeakCheck had nothing to catch it with.
+func TestTaskExitWakesBlockedSender(t *testing.T) {
+	h := newHarness(t)
+	var kr KernReturn
+	up := false
+	started := sim.NewWaitQueue("server-up")
+	h.runProcs(t,
+		func(th *kernel.Thread) {
+			name, _ := h.ipc.PortAllocate(th)
+			cr, krr := h.ipc.MakeSendRight(th, name)
+			if krr != KernSuccess {
+				t.Errorf("MakeSendRight: %v", krr)
+				return
+			}
+			h.ipc.SetBootstrapPort(cr.Port)
+			up = true
+			started.WakeAll(th.Proc(), sim.WakeNormal)
+			// Let the client fill the queue and block, then exit without
+			// destroying the port: taskExit must clean up.
+			th.Proc().Sleep(time.Millisecond)
+		},
+		func(th *kernel.Thread) {
+			for !up {
+				if started.Wait(th.Proc()) == sim.WakeInterrupted {
+					continue // the loop condition is the real gate
+				}
+			}
+			for i := 0; i < defaultQLimit; i++ {
+				if kr := h.ipc.Send(th, BootstrapName, &Message{ID: int32(i)}, 0); kr != KernSuccess {
+					t.Errorf("fill %d: %v", i, kr)
+				}
+			}
+			// Queue full: blocks until the server task's exit kills the port.
+			kr = h.ipc.Send(th, BootstrapName, &Message{}, -1)
+		},
+	)
+	if kr != MachSendInvalidDest {
+		t.Fatalf("kr = %#x, want MACH_SEND_INVALID_DEST (%#x) after peer exit", kr, MachSendInvalidDest)
+	}
+	if n := len(h.ipc.spaces); n != 0 {
+		t.Fatalf("%d IPC spaces survive task exit, want 0", n)
+	}
+	if err := h.k.LeakCheck(); err != nil {
+		t.Fatalf("leak after task exit: %v", err)
+	}
+}
