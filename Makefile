@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke soak soak-smoke verify
+.PHONY: build test vet lint race bench bench-smoke soak soak-smoke soak-smoke-crash verify
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,13 @@ soak:
 soak-smoke:
 	$(GO) run ./cmd/cider soak -quick -verify -schedule eintr-storm
 
+# soak-smoke-crash is the crash-containment smoke: the daemon-crash
+# schedule kills service daemons mid-battery; launchd must respawn them,
+# crash reports must land, and the digest must stay jobs-invariant.
+soak-smoke-crash:
+	$(GO) run ./cmd/cider soak -quick -verify -schedule daemon-crash
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # ciderlint, pass the full test suite under the race detector, and run
 # the bench and soak harnesses once end to end.
-verify: build vet lint race bench-smoke soak-smoke
+verify: build vet lint race bench-smoke soak-smoke soak-smoke-crash

@@ -25,6 +25,10 @@
 //	                       jobs level, leak-free kernels, no deadlocks;
 //	                       --verify re-runs each schedule at jobs=1 and
 //	                       jobs=N and compares digests
+//	cider crashes          boot the service tree, crash two iOS apps with
+//	                       fatal faults, and print the crash reports
+//	                       crashreporterd wrote to /var/log/crashes plus
+//	                       the exception/supervision counters
 package main
 
 import (
@@ -33,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -72,6 +78,8 @@ func main() {
 			os.Exit(2)
 		}
 		err = runSoak(*jobs, *quick, *full, *schedule, *verify)
+	case len(args) > 0 && args[0] == "crashes":
+		err = runCrashes()
 	default:
 		err = runDemo(hasFlag(args, "--trace"))
 	}
@@ -195,12 +203,113 @@ func runDemo(traced bool) error {
 	fmt.Printf("  CiderPress launches:        %d (exit status %d)\n",
 		sys.CiderPress.Launches(), sys.CiderPress.LastStatus())
 	fmt.Println("  syslog:")
-	for _, line := range sys.Syslog.Lines {
+	for _, line := range sys.Syslog.Lines() {
 		fmt.Printf("    %s\n", line)
+	}
+	if n := sys.Syslog.Dropped(); n > 0 {
+		fmt.Printf("    (%d earlier lines dropped by the ring)\n", n)
 	}
 	if sys.Trace.Enabled() {
 		fmt.Println("\n== ktrace ==")
 		fmt.Print(sys.Trace.Text())
+	}
+	return nil
+}
+
+// runCrashes demonstrates the crash-containment pipeline end to end on
+// one simulated device: two iOS apps take fatal faults, the kernel
+// translates them into Mach exceptions, crashreporterd (spawned and
+// supervised by launchd) receives the host-level EXC_CRASH messages and
+// writes deterministic reports into the VFS, which are then read back
+// and printed together with the exception/supervision counters.
+func runCrashes() error {
+	fmt.Println("== crash containment: two iOS apps fault under a supervised service tree ==")
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		return err
+	}
+	sys.EnableTrace()
+	if _, err := sys.BootServices(); err != nil {
+		return err
+	}
+
+	// An app that takes a wild-pointer fault shortly after launch, and one
+	// that aborts a little later. Both are iOS-persona, so the fatal
+	// signal rides the Mach exception path, not the Linux one.
+	crasher := func(after time.Duration, sig int) prog.Func {
+		return func(c *prog.Call) uint64 {
+			th := c.Ctx.(*kernel.Thread)
+			lc := libsystem.Sys(th)
+			th.Charge(after)
+			lc.Kill(lc.GetPID(), sig)
+			return 0
+		}
+	}
+	apps := []struct {
+		path  string
+		key   string
+		after time.Duration
+		sig   int
+	}{
+		{"/Applications/Faulty.app/Faulty", "faulty-app", 40 * time.Millisecond, 11 /* SIGSEGV */},
+		{"/Applications/Abort.app/Abort", "abort-app", 120 * time.Millisecond, 6 /* SIGABRT */},
+	}
+	for _, a := range apps {
+		if err := sys.InstallIOSBinary(a.path, a.key, nil, crasher(a.after, a.sig)); err != nil {
+			return err
+		}
+		if _, err := sys.Start(a.path, nil); err != nil {
+			return err
+		}
+	}
+	// A bystander that outlives both crashes: the simulation ends when
+	// the last ordinary process exits, so this gives crashreporterd the
+	// virtual time to drain its queue.
+	if err := sys.InstallStaticAndroidBinary("/system/bin/bystander", "bystander", func(c *prog.Call) uint64 {
+		c.Ctx.(*kernel.Thread).Charge(300 * time.Millisecond)
+		return 0
+	}); err != nil {
+		return err
+	}
+	if _, err := sys.Start("/system/bin/bystander", nil); err != nil {
+		return err
+	}
+
+	if err := sys.Run(); err != nil {
+		var dl *sim.ErrDeadlock
+		if errors.As(err, &dl) {
+			fmt.Fprint(os.Stderr, dl.Report())
+		}
+		return err
+	}
+
+	nodes, err := sys.IOSFS.ReadDir(services.CrashLogDir)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", services.CrashLogDir, err)
+	}
+	names := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		names = append(names, n.Name())
+	}
+	sort.Strings(names)
+	fmt.Printf("\n== %d crash report(s) in %s ==\n", len(names), services.CrashLogDir)
+	for _, name := range names {
+		body, rerr := sys.IOSFS.ReadFile(services.CrashLogDir + "/" + name)
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Printf("--- %s ---\n", name)
+		for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+			fmt.Printf("    %s\n", line)
+		}
+	}
+	fmt.Println("\n== counters ==")
+	for _, c := range sys.Trace.Counters() {
+		switch c.Name {
+		case trace.CounterExcRaised, trace.CounterExcResumed, trace.CounterCrashReports,
+			trace.CounterLaunchdCrashes, trace.CounterLaunchdRespawns, trace.CounterLaunchdThrottled:
+			fmt.Printf("  %-18s %d\n", c.Name, c.Value)
+		}
 	}
 	return nil
 }
@@ -256,6 +365,12 @@ func runSoak(jobs int, quick, full bool, schedule string, verify bool) error {
 		}
 		fmt.Printf("%-14s %016x %6d %7d %9d  %s\n",
 			r.Schedule, r.Digest, r.Cells, r.FailedCells, r.Injected, verdict)
+		if r.Counters[trace.CounterLaunchdCrashes]+r.Counters[trace.CounterExcRaised] > 0 {
+			fmt.Printf("    supervision: crashes=%d respawns=%d throttled=%d exceptions=%d reports=%d\n",
+				r.Counters[trace.CounterLaunchdCrashes], r.Counters[trace.CounterLaunchdRespawns],
+				r.Counters[trace.CounterLaunchdThrottled], r.Counters[trace.CounterExcRaised],
+				r.Counters[trace.CounterCrashReports])
+		}
 		for _, f := range r.Findings {
 			fmt.Printf("    finding: %s\n", f)
 		}

@@ -45,7 +45,7 @@ func chargeSeed(fn *types.Func) bool {
 	switch fn.Name() {
 	case "Advance", "Sleep", "Park":
 		return RecvPkgName(fn) == "sim"
-	case "Check", "Syscall", "Interrupt", "MemMap", "VFS":
+	case "Check", "Syscall", "Interrupt", "MemMap", "VFS", "Crash":
 		return RecvPkgName(fn) == "fault"
 	}
 	return false
@@ -208,6 +208,14 @@ func runChargeCheck(pass *Pass) error {
 					for _, arg := range node.Args {
 						if lit, ok := Unparen(arg).(*ast.FuncLit); ok {
 							checkHop(lit, "dyld "+fn.Name()+" hook")
+						}
+					}
+				case fn.Name() == "SetExceptionBridge" && RecvTypeName(fn) == "Kernel":
+					// Exception delivery is modeled work: the bridge consulted
+					// on a fatal fault must accrue the exception-message cost.
+					for _, arg := range node.Args {
+						if lit, ok := Unparen(arg).(*ast.FuncLit); ok {
+							checkHop(lit, "exception bridge")
 						}
 					}
 				}

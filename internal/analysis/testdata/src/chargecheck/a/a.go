@@ -97,6 +97,16 @@ func Install(tb *kernel.SyscallTable, hooks *kernel.Hooks, cb func()) {
 		return kernel.SyscallRet{}
 	})
 
+	// Crash consults seed the same way: the dispatcher's pre-handler
+	// crash check pays the injected fault's modeled cost at the consult.
+	tb.Register(12, "crash-checked", func(t *kernel.Thread) kernel.SyscallRet {
+		if out, ok := in.Crash(0, "/bin/x"); ok {
+			return kernel.SyscallRet{R0: 2, Errno: kernel.Errno(out.Errno)}
+		}
+		t.Charge(1)
+		return kernel.SyscallRet{}
+	})
+
 	hooks.AtExit(func(t *kernel.Thread) {
 		t.Charge(2)
 	})
@@ -124,4 +134,17 @@ func (e *Engine) Wrap(t *kernel.Thread, f func()) func() {
 		t.Charge(1)
 		f()
 	}
+}
+
+// Exception bridges are hops: a bridge that delivers (or declines) an
+// exception without accruing the exception-message cost skews the modeled
+// crash latencies.
+func InstallBridges(k *kernel.Kernel) {
+	k.SetExceptionBridge(func(t *kernel.Thread, sig int) bool {
+		t.Charge(4)
+		return true
+	})
+	k.SetExceptionBridge(func(t *kernel.Thread, sig int) bool { // want `chargecheck: exception bridge accrues no virtual-time cost`
+		return sig == 11
+	})
 }

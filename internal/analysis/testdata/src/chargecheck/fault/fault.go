@@ -19,3 +19,11 @@ func (in *Injector) Interrupt(now int64, reason string) bool {
 	_, ok := in.Check(1, reason, now)
 	return ok
 }
+
+// Crash consults OpCrash rules at syscall dispatch. Unlike Interrupt it
+// does not route through Check here, so the analyzer must treat it as a
+// seed in its own right.
+func (in *Injector) Crash(now int64, path string) (Outcome, bool) {
+	in.fired++
+	return Outcome{}, false
+}

@@ -30,3 +30,8 @@ func (tb *SyscallTable) Register(num int, name string, h SyscallHandler) {
 type Hooks struct{ exit []func(*Thread) }
 
 func (h *Hooks) AtExit(f func(*Thread)) { h.exit = append(h.exit, f) }
+
+// Kernel mimics the exception-bridge registration point.
+type Kernel struct{ bridge func(*Thread, int) bool }
+
+func (k *Kernel) SetExceptionBridge(b func(*Thread, int) bool) { k.bridge = b }

@@ -38,6 +38,12 @@ const (
 	OpMachSend
 	// OpMachRecv interrupts a Mach message receive. Key "recv".
 	OpMachRecv
+	// OpCrash delivers a fatal signal to a task at syscall dispatch. Keys
+	// are the task's executable path ("/usr/sbin/notifyd", "/bin/lmbench",
+	// ...), so a rule targets a service regardless of pid and its hit
+	// counters accumulate across respawned incarnations. Rule.Errno names
+	// the canonical fatal signal (SEGV/BUS/ILL/FPE/ABRT); 0 means SIGSEGV.
+	OpCrash
 
 	numOps
 )
@@ -56,6 +62,8 @@ func (o Op) String() string {
 		return "mach_send"
 	case OpMachRecv:
 		return "mach_recv"
+	case OpCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -232,6 +240,12 @@ func (in *Injector) MemMap(now time.Duration, name string) (Outcome, bool) {
 // VFS consults OpVFS rules for an "op:path" key.
 func (in *Injector) VFS(now time.Duration, op, path string) (Outcome, bool) {
 	return in.Check(OpVFS, op+":"+path, now)
+}
+
+// Crash consults OpCrash rules for a task executable path and reports
+// whether the task should take a fatal signal at this dispatch.
+func (in *Injector) Crash(now time.Duration, path string) (Outcome, bool) {
+	return in.Check(OpCrash, path, now)
 }
 
 // mix hashes a decision context to a uniform-ish uint64 with splitmix64.

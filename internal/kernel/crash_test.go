@@ -1,0 +1,138 @@
+package kernel
+
+// SIGCHLD/waitpid hardening for the crash-containment work: a crashed
+// child is a zombie reapable exactly once, wait4 picks zombies in
+// deterministic (lowest-pid) order, and a parent exiting without waiting
+// reaps its zombies on the way out — launchd must never leak zombies, and
+// Kernel.LeakCheck now flags any that survive their parent.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/prog"
+)
+
+// TestCrashedChildReapableExactlyOnce: a child killed by SIGSEGV becomes
+// a zombie with status 128+11; the first wait4 reaps it and a second
+// returns ECHILD — crashing must not make a child reapable twice (or not
+// at all).
+func TestCrashedChildReapableExactlyOnce(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	var first, second SyscallRet
+	var firstPID uint64
+	e.install(t, "/bin/parent", "parent", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		ret := th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+			ct.Charge(time.Millisecond)
+			ct.Syscall(SysKill, &SyscallArgs{I: [6]uint64{uint64(ct.task.pid), SIGSEGV}})
+			ct.exitTask(0) // unreachable: the fault terminates the child
+		}})
+		first = th.Syscall(SysWait4, &SyscallArgs{I: [6]uint64{ret.R0}})
+		firstPID = ret.R0
+		second = th.Syscall(SysWait4, &SyscallArgs{I: [6]uint64{ret.R0}})
+		return 0
+	})
+	e.run(t, "/bin/parent", nil)
+	if first.Errno != OK || first.R0 != firstPID {
+		t.Fatalf("first wait: pid=%d errno=%v, want pid %d", first.R0, first.Errno, firstPID)
+	}
+	if first.R1 != 128+SIGSEGV {
+		t.Fatalf("crash status = %d, want %d", first.R1, 128+SIGSEGV)
+	}
+	if second.Errno != ECHILD {
+		t.Fatalf("second wait errno = %v, want ECHILD", second.Errno)
+	}
+	if err := e.k.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitReapsLowestPIDZombie: with several zombies pending, wait4(-1)
+// must reap them in pid order — Go map iteration over the child set must
+// never leak host randomness into which crash the supervisor observes
+// first.
+func TestWaitReapsLowestPIDZombie(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	var order []uint64
+	e.install(t, "/bin/parent", "parent", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		for i := 0; i < 3; i++ {
+			status := uint64(40 + i)
+			th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+				ct.exitTask(int(status))
+			}})
+		}
+		// Let all three exit before reaping anything.
+		th.Charge(time.Millisecond)
+		for i := 0; i < 3; i++ {
+			ret := th.Syscall(SysWait4, &SyscallArgs{I: [6]uint64{^uint64(0)}})
+			if ret.Errno != OK {
+				t.Errorf("wait %d: errno %v", i, ret.Errno)
+				return 0
+			}
+			order = append(order, ret.R0)
+		}
+		return 0
+	})
+	e.run(t, "/bin/parent", nil)
+	if len(order) != 3 {
+		t.Fatalf("reaped %d children, want 3", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("reap order %v not ascending by pid", order)
+		}
+	}
+}
+
+// TestParentExitReapsZombies: a parent that exits without waiting must
+// not strand its zombie children — exitTask reaps them, Zombies() is
+// empty afterwards, and LeakCheck stays clean.
+func TestParentExitReapsZombies(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	e.install(t, "/bin/deadbeat", "deadbeat", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		for i := 0; i < 2; i++ {
+			th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+				ct.Syscall(SysKill, &SyscallArgs{I: [6]uint64{uint64(ct.task.pid), SIGBUS}})
+			}})
+		}
+		th.Charge(time.Millisecond) // children crash while parent still lives
+		return 0                    // exit without ever calling wait4
+	})
+	e.run(t, "/bin/deadbeat", nil)
+	if z := e.k.Zombies(); len(z) != 0 {
+		t.Fatalf("zombies leaked past parent exit: %v", z)
+	}
+	if err := e.k.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunningChildrenReparentedOnParentExit: children still running when
+// the parent exits are reparented (not killed, not leaked); when they
+// later exit nobody waits, so their teardown must be self-contained and
+// leak-free.
+func TestRunningChildrenReparentedOnParentExit(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	childRan := false
+	e.install(t, "/bin/parent", "parent", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+			ct.Charge(5 * time.Millisecond) // outlive the parent
+			childRan = true
+		}})
+		return 0 // parent exits first
+	})
+	e.run(t, "/bin/parent", nil)
+	if !childRan {
+		t.Fatal("orphaned child never finished")
+	}
+	if z := e.k.Zombies(); len(z) != 0 {
+		t.Fatalf("orphan left zombies: %v", z)
+	}
+	if err := e.k.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/fault"
@@ -290,7 +291,18 @@ type Kernel struct {
 	// task becomes a zombie. Kernel extensions use them to tear down
 	// per-task state (Mach port spaces).
 	exitHooks []func(*Thread)
+
+	// excBridge, when non-nil, is consulted before the default-terminate
+	// disposition of a fatal signal on an iOS-persona thread. Returning
+	// true means the exception was handled and the thread resumes.
+	excBridge ExceptionBridge
 }
+
+// ExceptionBridge translates a fatal canonical signal on an iOS-persona
+// thread into a Mach exception message (EXC_BAD_ACCESS and friends) and
+// reports whether a catcher handled it. The kernel cannot import the xnu
+// extension, so xnu.InstallIPC wires the bridge in.
+type ExceptionBridge func(t *Thread, sig int) bool
 
 // New boots a kernel on the given simulator.
 func New(s *sim.Sim, cfg Config) (*Kernel, error) {
@@ -406,6 +418,23 @@ func (k *Kernel) memFaultHook(size uint64, name string) error {
 // fds and mappings are released but before it turns zombie.
 func (k *Kernel) OnTaskExit(h func(*Thread)) {
 	k.exitHooks = append(k.exitHooks, h)
+}
+
+// SetExceptionBridge installs the Mach exception bridge consulted before
+// fatal default dispositions on iOS-persona threads (see ExceptionBridge).
+func (k *Kernel) SetExceptionBridge(b ExceptionBridge) { k.excBridge = b }
+
+// Zombies returns the pids of unreaped zombie tasks, sorted — test and
+// leak-check support.
+func (k *Kernel) Zombies() []int {
+	var out []int
+	for pid, tk := range k.tasks {
+		if tk.state == taskZombie {
+			out = append(out, pid)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // PersonaAware reports whether the kernel tracks per-thread personas

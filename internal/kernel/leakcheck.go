@@ -48,6 +48,13 @@ func (k *Kernel) LeakCheck() error {
 		if n := tk.childEvents.Len(); n != 0 {
 			findings = append(findings, fmt.Sprintf("pid %d (%s): %d waiters parked on wait4 queue of a dead task", pid, tk.path, n))
 		}
+		// A zombie whose parent is gone (or itself dead) can never be
+		// reaped: exitTask should have reaped or reparented it. Zombies
+		// with a live parent are normal transient state — the parent may
+		// simply not have waited yet.
+		if tk.state == taskZombie && (tk.parent == nil || tk.parent.state != taskRunning) {
+			findings = append(findings, fmt.Sprintf("pid %d (%s): unreaped zombie with no live parent", pid, tk.path))
+		}
 	}
 
 	names := make([]string, 0, len(k.extensions))

@@ -162,6 +162,15 @@ func (t *Thread) deliverSignal(sig int) {
 		case sigCHLD, sigCONT:
 			return
 		default:
+			// Real iOS binaries expect fatal faults to surface as Mach
+			// exceptions routed through task/host exception ports before the
+			// Unix disposition runs. Android-persona threads keep plain
+			// Linux semantics — the persona split of Section 4.1.
+			if isExceptionSignal(sig) && t.Persona.Current() == persona.IOS && k.excBridge != nil {
+				if k.excBridge(t, sig) {
+					return // catcher handled it; thread resumes
+				}
+			}
 			if tr := k.tracer; tr != nil {
 				tr.Count(trace.CounterSignalDelivered, 1)
 				tr.Signal(t.proc.Name(), t.proc.ID(), t.Persona.Current(), sig,
@@ -193,6 +202,20 @@ func (t *Thread) deliverSignal(sig int) {
 	}
 	act.Handler(t, delivered)
 }
+
+// isExceptionSignal reports whether a canonical signal corresponds to a
+// Mach exception class (the fatal faults EXC_* delivery covers).
+func isExceptionSignal(sig int) bool {
+	switch sig {
+	case sigSEGV, sigBUS, sigILL, sigFPE, sigABRT:
+		return true
+	}
+	return false
+}
+
+// IsExceptionSignal exposes the exception-signal set to the xnu extension
+// and tests.
+func IsExceptionSignal(sig int) bool { return isExceptionSignal(sig) }
 
 // linuxToXNUSignal maps canonical Linux numbers to XNU numbers where they
 // differ (sys/signal.h on each platform).

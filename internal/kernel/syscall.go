@@ -172,6 +172,25 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 	var ret SyscallRet
 	injected := false
 	if in := k.fault; in != nil && ok {
+		// Crash injection first: an OpCrash rule keyed by the task's
+		// executable path queues a fatal signal instead of running the
+		// handler; the signal is delivered on this trap's return path
+		// (checkSignals below), where the exception bridge and default
+		// disposition apply as for any organic fault.
+		if out, fire := in.Crash(t.proc.Now(), t.task.path); fire {
+			if out.Delay > 0 {
+				t.charge(out.Delay)
+			}
+			sig := out.Errno
+			if sig <= 0 || sig >= nsig {
+				sig = sigSEGV
+			}
+			t.sigPending = append(t.sigPending, sig)
+			ret = SyscallRet{R0: ^uint64(0), Errno: EINTR}
+			injected = true
+		}
+	}
+	if in := k.fault; in != nil && ok && !injected {
 		// Fault injection happens at dispatch, after entry costs: an
 		// injected errno still pays the full trap cost (plus any modeled
 		// latency spike), exactly like a real early-EINTR return would.

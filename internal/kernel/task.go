@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/mem"
@@ -371,8 +372,22 @@ func (t *Thread) exitTask(status int) {
 	}
 	tk.state = taskZombie
 	tk.exitStatus = status
-	// Reparent children to nobody; they self-reap on exit.
-	for _, c := range tk.children {
+	// Children that already died waiting for this parent's wait4 are
+	// reaped here (lowest pid first, for determinism) — otherwise they
+	// would linger as zombies forever. Running children are reparented to
+	// nobody and self-reap on exit.
+	pids := make([]int, 0, len(tk.children))
+	for pid := range tk.children {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		c := tk.children[pid]
+		if c.state == taskZombie {
+			c.state = taskReaped
+			delete(k.tasks, c.pid)
+			continue
+		}
 		c.parent = nil
 	}
 	tk.children = make(map[int]*Task)
@@ -400,18 +415,25 @@ func (t *Thread) waitInternal(pid int) (int, int, Errno) {
 	tk := t.task
 	t.charge(t.k.costs.WaitBase)
 	for {
+		// With several simultaneous zombies the reaped child must not
+		// depend on Go map iteration order: reap the lowest-pid zombie.
 		found := false
+		reap := -1
 		for _, c := range tk.children {
 			if pid > 0 && c.pid != pid {
 				continue
 			}
 			found = true
-			if c.state == taskZombie {
-				c.state = taskReaped
-				delete(tk.children, c.pid)
-				delete(t.k.tasks, c.pid)
-				return c.pid, c.exitStatus, OK
+			if c.state == taskZombie && (reap < 0 || c.pid < reap) {
+				reap = c.pid
 			}
+		}
+		if reap >= 0 {
+			c := tk.children[reap]
+			c.state = taskReaped
+			delete(tk.children, c.pid)
+			delete(t.k.tasks, c.pid)
+			return c.pid, c.exitStatus, OK
 		}
 		if !found {
 			return -1, 0, ECHILD

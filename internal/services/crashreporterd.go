@@ -1,0 +1,58 @@
+package services
+
+import (
+	"fmt"
+	"path"
+
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/trace"
+	"repro/internal/xnu"
+)
+
+// crashReporterMain is the ReportCrash-style daemon: it binds the
+// host-level EXC_CRASH exception port and writes one deterministic crash
+// report per exception into the VFS under CrashLogDir. Reports are plain
+// key=value text (the excBody record), named by victim, pid and virtual
+// timestamp so every run produces the identical file set.
+func crashReporterMain(t *kernel.Thread) uint64 {
+	lc := libsystem.Sys(t)
+	ipc, ok := xnu.FromKernel(t.Kernel())
+	if !ok {
+		return 1
+	}
+	port := lc.MachReplyPort()
+	if err := BootstrapRegister(lc, CrashReporterName, port); err != nil {
+		return 1
+	}
+	// host_set_exception_ports(EXC_CRASH): undelivered fatal faults land
+	// here. A respawned crashreporterd re-binds, replacing its dead
+	// predecessor's port.
+	if kr := ipc.HostSetExceptionPort(t, port); kr != xnu.KernSuccess {
+		return 1
+	}
+	for {
+		msg, kr := lc.MachReceive(port, -1)
+		if kr != xnu.KernSuccess {
+			return 1
+		}
+		if msg.ID != xnu.MsgExceptionRaise {
+			continue
+		}
+		rec := xnu.ParseExceptionBody(msg.Body)
+		name := path.Base(rec["path"])
+		if name == "" || name == "." {
+			name = "unknown"
+		}
+		file := fmt.Sprintf("%s/%s-pid%s-%sns.crash", CrashLogDir, name, rec["pid"], rec["at_ns"])
+		fd, errno := lc.Creat(file)
+		if errno != kernel.OK {
+			continue
+		}
+		lc.Write(fd, msg.Body)
+		lc.Close(fd)
+		if tr := t.Kernel().Tracer(); tr != nil {
+			tr.Count(trace.CounterCrashReports, 1)
+		}
+	}
+}

@@ -1,20 +1,60 @@
 package services
 
 import (
+	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/libsystem"
 	"repro/internal/prog"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/xnu"
 )
 
-// Syslogd's captured log, exposed for tests and the cider CLI.
+// SyslogCapacity bounds the syslog ring: under long soaks and crash
+// storms the log must not grow without limit.
+const SyslogCapacity = 512
+
+// SyslogBuffer is syslogd's captured log, exposed for tests and the cider
+// CLI: a fixed-capacity ring that evicts the oldest line when full and
+// counts what it dropped.
 type SyslogBuffer struct {
-	// Lines holds submitted log lines in arrival order.
-	Lines []string
+	lines   []string
+	start   int
+	dropped uint64
 }
+
+// Append adds a line, evicting the oldest when the ring is full; it
+// reports whether a line was dropped.
+func (b *SyslogBuffer) Append(line string) bool {
+	if len(b.lines) < SyslogCapacity {
+		b.lines = append(b.lines, line)
+		return false
+	}
+	b.lines[b.start] = line
+	b.start++
+	if b.start == SyslogCapacity {
+		b.start = 0
+	}
+	b.dropped++
+	return true
+}
+
+// Lines returns the retained lines oldest-first.
+func (b *SyslogBuffer) Lines() []string {
+	out := make([]string, 0, len(b.lines))
+	out = append(out, b.lines[b.start:]...)
+	out = append(out, b.lines[:b.start]...)
+	return out
+}
+
+// Len returns the retained line count.
+func (b *SyslogBuffer) Len() int { return len(b.lines) }
+
+// Dropped returns how many lines were evicted.
+func (b *SyslogBuffer) Dropped() uint64 { return b.dropped }
 
 // RegisterAll installs the service programs (launchd, configd, notifyd,
 // syslogd) into the registry and their Mach-O binaries into the iOS
@@ -45,6 +85,12 @@ func RegisterAll(reg *prog.Registry, iosFS *vfs.FS) (*SyslogBuffer, error) {
 	}); err != nil {
 		return nil, err
 	}
+	if err := register(CrashReporterKey, crashReporterMain); err != nil {
+		return nil, err
+	}
+	if err := iosFS.MkdirAll(CrashLogDir); err != nil {
+		return nil, err
+	}
 
 	// Install the Mach-O binaries (copied from an iOS device, per §3).
 	for _, svc := range []struct{ path, key string }{
@@ -52,6 +98,7 @@ func RegisterAll(reg *prog.Registry, iosFS *vfs.FS) (*SyslogBuffer, error) {
 		{ConfigdPath, ConfigdKey},
 		{NotifydPath, NotifydKey},
 		{SyslogdPath, SyslogdKey},
+		{CrashReporterPath, CrashReporterKey},
 	} {
 		bin, err := prog.MachOExecutable(svc.key, []string{"/usr/lib/libSystem.B.dylib"}, nil)
 		if err != nil {
@@ -64,8 +111,24 @@ func RegisterAll(reg *prog.Registry, iosFS *vfs.FS) (*SyslogBuffer, error) {
 	return slog, nil
 }
 
+// Supervision (KeepAlive) constants. All delays are virtual-clock, so
+// respawn timing is deterministic.
+const (
+	// RespawnBackoffBase is the delay before the first respawn of a
+	// crashed service; it doubles per crash inside the flap window.
+	RespawnBackoffBase = 10 * time.Millisecond
+	// RespawnBackoffCap bounds the exponential backoff.
+	RespawnBackoffCap = 160 * time.Millisecond
+	// RespawnWindow is the flap-detection window.
+	RespawnWindow = 2 * time.Second
+	// RespawnMaxInWindow is the crash budget: one more crash inside the
+	// window and launchd gives up on the service.
+	RespawnMaxInWindow = 5
+)
+
 // launchdMain is pid-1-style: claim the bootstrap port, spawn the standard
-// daemons, then serve the name registry forever.
+// daemons, start the supervisor thread, then serve the name registry
+// forever.
 func launchdMain(t *kernel.Thread) uint64 {
 	lc := libsystem.Sys(t)
 	ipc, ok := xnu.FromKernel(t.Kernel())
@@ -82,10 +145,21 @@ func launchdMain(t *kernel.Thread) uint64 {
 	}
 
 	// Start the Mach IPC services (Section 2: "launchd starts Mach IPC
-	// services such as configd, notifyd, ...").
-	for _, path := range []string{ConfigdPath, NotifydPath, SyslogdPath} {
-		lc.PosixSpawn(path, nil)
+	// services such as configd, notifyd, ..."). crashreporterd first, so
+	// the host exception port is up before anything can crash.
+	children := make(map[int]string)
+	for _, path := range []string{CrashReporterPath, ConfigdPath, NotifydPath, SyslogdPath} {
+		if pid, errno := lc.PosixSpawn(path, nil); errno == kernel.OK {
+			children[pid] = path
+		}
 	}
+
+	// KeepAlive: a dedicated thread waits on the children and respawns
+	// crashed services (the registry loop below must never block on wait4).
+	t.SpawnThread("supervisor", func(nt *kernel.Thread) {
+		nt.Proc().SetDaemon(true)
+		superviseLoop(nt, children)
+	})
 
 	// Serve the bootstrap registry.
 	names := make(map[string]*xnu.CarriedRight)
@@ -100,6 +174,8 @@ func launchdMain(t *kernel.Thread) uint64 {
 				name := string(msg.Body)
 				right, _ := ipc.MakeSendRight(t, msg.RightNames[0])
 				if right != nil {
+					// A respawned service re-registers here, replacing its
+					// dead predecessor's right.
 					names[name] = right
 					if msg.ReplyName != xnu.PortNull {
 						lc.MachSend(msg.ReplyName, &xnu.Message{ID: MsgBootstrapOK}, -1)
@@ -112,6 +188,12 @@ func launchdMain(t *kernel.Thread) uint64 {
 			}
 		case MsgBootstrapLookUp:
 			right, ok := names[string(msg.Body)]
+			if ok && right.Port.Dead() {
+				// Prune a crashed service's stale right: clients get an
+				// error (and retry) instead of a right to a dead port.
+				delete(names, string(msg.Body))
+				ok = false
+			}
 			if msg.ReplyName == xnu.PortNull {
 				continue
 			}
@@ -123,6 +205,80 @@ func launchdMain(t *kernel.Thread) uint64 {
 				ID:     MsgBootstrapOK,
 				Rights: []xnu.CarriedRight{*right},
 			}, -1)
+		}
+	}
+}
+
+// superviseLoop is launchd's KeepAlive wait loop: reap every child, and
+// respawn crashed services with deterministic exponential backoff —
+// throttling a service that crashes more than RespawnMaxInWindow times
+// inside RespawnWindow (give up + syslog line).
+func superviseLoop(t *kernel.Thread, children map[int]string) {
+	lc := libsystem.Sys(t)
+	tr := func() *trace.Session { return t.Kernel().Tracer() }
+	// Per-service crash history inside the flap window.
+	history := make(map[string][]time.Duration)
+	throttled := make(map[string]bool)
+	for {
+		pid, status, errno := lc.Wait(-1)
+		if errno == kernel.EINTR {
+			continue
+		}
+		if errno != kernel.OK {
+			return // ECHILD: every service exited clean or was throttled
+		}
+		path, ok := children[pid]
+		if !ok {
+			continue // not a supervised service
+		}
+		delete(children, pid)
+		if status == 0 {
+			continue // clean exit: KeepAlive respawns crashes only
+		}
+		now := t.Now()
+		if s := tr(); s != nil {
+			s.Count(trace.CounterLaunchdCrashes, 1)
+		}
+		if throttled[path] {
+			continue
+		}
+		// Prune crashes that fell out of the window, then record this one.
+		h := history[path][:0]
+		for _, at := range history[path] {
+			if now-at < RespawnWindow {
+				h = append(h, at)
+			}
+		}
+		h = append(h, now)
+		history[path] = h
+		if len(h) > RespawnMaxInWindow {
+			throttled[path] = true
+			if s := tr(); s != nil {
+				s.Count(trace.CounterLaunchdThrottled, 1)
+				s.Respawn(t.Proc().Name(), t.Proc().ID(), path, "throttled", t.Now())
+			}
+			// Best-effort give-up line; dropped if syslogd itself is down.
+			slog := NewServiceClient(lc, SyslogdName)
+			slog.Attempts = 2
+			slog.Send(&xnu.Message{ID: MsgSyslog,
+				Body: []byte(fmt.Sprintf("launchd: giving up on %s: %d crashes in window", path, len(h)))})
+			continue
+		}
+		// Exponential backoff on the virtual clock: 10ms, 20ms, ... capped.
+		backoff := RespawnBackoffBase << (len(h) - 1)
+		if backoff > RespawnBackoffCap {
+			backoff = RespawnBackoffCap
+		}
+		sleepFull(lc, backoff)
+		npid, errno := lc.PosixSpawn(path, nil)
+		if errno != kernel.OK {
+			continue
+		}
+		children[npid] = path
+		if s := tr(); s != nil {
+			s.Count(trace.CounterLaunchdRespawns, 1)
+			s.Respawn(t.Proc().Name(), t.Proc().ID(), path,
+				fmt.Sprintf("respawn pid=%d backoff=%s", npid, backoff), t.Now())
 		}
 	}
 }
@@ -203,7 +359,11 @@ func syslogdMain(t *kernel.Thread, buf *SyslogBuffer) uint64 {
 			return 1
 		}
 		if msg.ID == MsgSyslog {
-			buf.Lines = append(buf.Lines, string(msg.Body))
+			if buf.Append(string(msg.Body)) {
+				if tr := t.Kernel().Tracer(); tr != nil {
+					tr.Count(trace.CounterSyslogDropped, 1)
+				}
+			}
 		}
 	}
 }

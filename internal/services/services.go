@@ -37,19 +37,26 @@ const (
 	NotifydName = "com.apple.system.notification_center"
 	// SyslogdName is syslogd's bootstrap name.
 	SyslogdName = "com.apple.system.logger"
+	// CrashReporterName is crashreporterd's bootstrap name.
+	CrashReporterName = "com.apple.ReportCrash"
 )
 
 // Program keys / binary paths.
 const (
-	LaunchdKey  = "launchd"
-	LaunchdPath = "/sbin/launchd"
-	ConfigdKey  = "configd"
-	ConfigdPath = "/usr/libexec/configd"
-	NotifydKey  = "notifyd"
-	NotifydPath = "/usr/sbin/notifyd"
-	SyslogdKey  = "syslogd"
-	SyslogdPath = "/usr/sbin/syslogd"
+	LaunchdKey        = "launchd"
+	LaunchdPath       = "/sbin/launchd"
+	ConfigdKey        = "configd"
+	ConfigdPath       = "/usr/libexec/configd"
+	NotifydKey        = "notifyd"
+	NotifydPath       = "/usr/sbin/notifyd"
+	SyslogdKey        = "syslogd"
+	SyslogdPath       = "/usr/sbin/syslogd"
+	CrashReporterKey  = "crashreporterd"
+	CrashReporterPath = "/usr/libexec/crashreporterd"
 )
+
+// CrashLogDir is where crashreporterd writes its reports.
+const CrashLogDir = "/var/log/crashes"
 
 // BootstrapRegister publishes a receive right under name with launchd.
 func BootstrapRegister(lc *libsystem.C, name string, recv xnu.PortName) error {
@@ -204,4 +211,205 @@ func WaitForService(lc *libsystem.C, name string, attempts int) (xnu.PortName, e
 			return xnu.PortNull, fmt.Errorf("services: wait for %q interrupted", name)
 		}
 	}
+}
+
+// ServiceClient defaults.
+const (
+	// clientTimeout bounds each Mach send/receive so a dead service can
+	// never hang a client: the call fails, the cached right is dropped,
+	// and the client re-resolves via bootstrap lookup.
+	clientTimeout = 20 * time.Millisecond
+	// clientAttempts bounds resolve/retry rounds.
+	clientAttempts = 8
+	// clientBackoffBase/Cap pace re-resolution between failed rounds
+	// (deterministic exponential, virtual clock).
+	clientBackoffBase = 2 * time.Millisecond
+	clientBackoffCap  = 32 * time.Millisecond
+)
+
+// ServiceClient is a supervision-aware Mach service client: it caches the
+// service's send right, arms a dead-name notification so a crash wakes
+// blocked waiters immediately, and on any dead-name/timeout failure
+// re-resolves via bootstrap lookup with bounded exponential backoff
+// instead of hanging. This is the client half of launchd's KeepAlive
+// story: a service crash surfaces as a bounded retry, not a stuck app.
+type ServiceClient struct {
+	lc   *libsystem.C
+	name string
+	port xnu.PortName // cached send right (PortNull = unresolved)
+	// reply is the client's receive port, reused across calls and doubling
+	// as the dead-name notification target.
+	reply xnu.PortName
+
+	// Timeout bounds each send and each reply receive.
+	Timeout time.Duration
+	// Attempts bounds resolve/retry rounds per call.
+	Attempts int
+}
+
+// NewServiceClient builds a client for the named service.
+func NewServiceClient(lc *libsystem.C, name string) *ServiceClient {
+	return &ServiceClient{lc: lc, name: name, Timeout: clientTimeout, Attempts: clientAttempts}
+}
+
+// resolve returns the cached send right or looks the service up,
+// re-arming the dead-name notification on every fresh resolution.
+func (sc *ServiceClient) resolve() (xnu.PortName, error) {
+	if sc.port != xnu.PortNull {
+		return sc.port, nil
+	}
+	p, err := WaitForService(sc.lc, sc.name, sc.Attempts)
+	if err != nil {
+		return xnu.PortNull, err
+	}
+	sc.port = p
+	if ipc, ok := xnu.FromKernel(sc.lc.T.Kernel()); ok {
+		// A crash of the service posts MsgDeadNameNotification to the
+		// reply port, waking a blocked receive right away.
+		ipc.RequestDeadNameNotification(sc.lc.T, p, sc.replyPort())
+	}
+	return p, nil
+}
+
+func (sc *ServiceClient) replyPort() xnu.PortName {
+	if sc.reply == xnu.PortNull {
+		sc.reply = sc.lc.MachReplyPort()
+	}
+	return sc.reply
+}
+
+// drop forgets the cached right (the service died; its replacement has a
+// different port).
+func (sc *ServiceClient) drop() { sc.port = xnu.PortNull }
+
+// discardReply destroys the reply port after a timed-out round.
+func (sc *ServiceClient) discardReply(ipc *xnu.IPC) {
+	if sc.reply != xnu.PortNull {
+		ipc.PortDestroy(sc.lc.T, sc.reply)
+		sc.reply = xnu.PortNull
+	}
+}
+
+// backoff sleeps a full deterministic exponential delay for retry round i,
+// re-sleeping the remainder when interrupted.
+func (sc *ServiceClient) backoff(i int) {
+	d := clientBackoffBase << i
+	if d > clientBackoffCap {
+		d = clientBackoffCap
+	}
+	sleepFull(sc.lc, d)
+}
+
+// sleepFull sleeps for d of virtual time, consuming interrupted wakes and
+// re-sleeping the remainder so the full delay always elapses.
+func sleepFull(lc *libsystem.C, d time.Duration) {
+	deadline := lc.T.Now() + d
+	for lc.T.Now() < deadline {
+		if lc.T.Proc().Sleep(deadline-lc.T.Now()) == sim.WakeInterrupted {
+			continue // interrupted: re-sleep the remainder
+		}
+	}
+}
+
+// retryable reports whether a send failure means "the service may have
+// died or be flapping — re-resolve and try again".
+func retryable(kr xnu.KernReturn) bool {
+	switch kr {
+	case xnu.MachSendInvalidDest, xnu.MachSendTimedOut, xnu.KernInvalidName, xnu.KernInvalidRight:
+		return true
+	}
+	return false
+}
+
+// Send delivers a one-way message, re-resolving on dead-name failures.
+func (sc *ServiceClient) Send(msg *xnu.Message) error {
+	var lastErr error
+	for i := 0; i < sc.Attempts; i++ {
+		p, err := sc.resolve()
+		if err != nil {
+			lastErr = err
+			sc.backoff(i)
+			continue
+		}
+		kr := sc.lc.MachSend(p, msg, sc.Timeout)
+		switch {
+		case kr == xnu.KernSuccess:
+			return nil
+		case kr == xnu.MachSendInterrupted:
+			i-- // injected interrupt: same right, immediate retry
+			continue
+		case retryable(kr):
+			sc.drop()
+			lastErr = fmt.Errorf("services: send to %q: %#x", sc.name, kr)
+			sc.backoff(i)
+		default:
+			return fmt.Errorf("services: send to %q: %#x", sc.name, kr)
+		}
+	}
+	return fmt.Errorf("services: %q unavailable after %d attempts: %w", sc.name, sc.Attempts, lastErr)
+}
+
+// Call performs a request/reply round trip. The reply right is attached
+// automatically; a service that dies mid-call surfaces as a dead-name
+// notification or receive timeout, and the round is retried against the
+// respawned instance.
+func (sc *ServiceClient) Call(msg *xnu.Message) (*xnu.Message, error) {
+	ipc, ok := xnu.FromKernel(sc.lc.T.Kernel())
+	if !ok {
+		return nil, fmt.Errorf("services: no Mach IPC")
+	}
+	var lastErr error
+	for i := 0; i < sc.Attempts; i++ {
+		p, err := sc.resolve()
+		if err != nil {
+			lastErr = err
+			sc.backoff(i)
+			continue
+		}
+		reply := sc.replyPort()
+		replyRight, kr := ipc.MakeSendRight(sc.lc.T, reply)
+		if kr != xnu.KernSuccess {
+			return nil, fmt.Errorf("services: reply right: %#x", kr)
+		}
+		m := *msg
+		m.Reply = replyRight
+		kr = sc.lc.MachSend(p, &m, sc.Timeout)
+		if kr == xnu.MachSendInterrupted {
+			i--
+			continue
+		}
+		if kr != xnu.KernSuccess {
+			if retryable(kr) {
+				sc.drop()
+				lastErr = fmt.Errorf("services: call %q: %#x", sc.name, kr)
+				sc.backoff(i)
+				continue
+			}
+			return nil, fmt.Errorf("services: call %q: %#x", sc.name, kr)
+		}
+	recv:
+		rep, kr := sc.lc.MachReceive(reply, sc.Timeout)
+		switch {
+		case kr == xnu.MachRcvInterrupted:
+			goto recv
+		case kr != xnu.KernSuccess:
+			// Timeout: the service died holding our request. Discard the
+			// reply port too — a late reply must not pair with the next
+			// round's request.
+			sc.drop()
+			sc.discardReply(ipc)
+			lastErr = fmt.Errorf("services: call %q: no reply (%#x)", sc.name, kr)
+			sc.backoff(i)
+			continue
+		case rep.ID == xnu.MsgDeadNameNotification:
+			// The service's port died — possibly while we waited, possibly
+			// earlier (stale notification). Forget the right and keep
+			// receiving: either the real reply follows, or the timeout
+			// path retries against the respawned service.
+			sc.drop()
+			goto recv
+		}
+		return rep, nil
+	}
+	return nil, fmt.Errorf("services: %q unavailable after %d attempts: %w", sc.name, sc.Attempts, lastErr)
 }

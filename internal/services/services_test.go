@@ -140,11 +140,11 @@ func TestSyslogdCollectsLines(t *testing.T) {
 		// Give syslogd a turn to drain before the app exits.
 		lc.T.Proc().Sleep(10 * time.Millisecond)
 	})
-	if len(sys.Syslog.Lines) != 2 {
-		t.Fatalf("syslog lines = %v", sys.Syslog.Lines)
+	if sys.Syslog.Len() != 2 {
+		t.Fatalf("syslog lines = %v", sys.Syslog.Lines())
 	}
-	if sys.Syslog.Lines[0] != "app[1]: started" {
-		t.Fatalf("lines = %v", sys.Syslog.Lines)
+	if sys.Syslog.Lines()[0] != "app[1]: started" {
+		t.Fatalf("lines = %v", sys.Syslog.Lines())
 	}
 }
 

@@ -1,0 +1,245 @@
+package services_test
+
+// Supervision (KeepAlive) regression tests for the crash-containment
+// work: launchd must respawn crashed services with deterministic backoff,
+// clients riding ServiceClient must survive a daemon dying under them,
+// flapping services must be throttled with a syslog trail, and SIGCHLD
+// must reach iOS handlers under its XNU number.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/libsystem"
+	"repro/internal/prog"
+	"repro/internal/services"
+	"repro/internal/trace"
+	"repro/internal/xnu"
+)
+
+// bootSupervised is bootWithApp plus tracing and an armed fault plan, so
+// tests can kill daemons deterministically and read the supervision
+// counters afterwards.
+func bootSupervised(t *testing.T, plan fault.Plan, fn func(lc *libsystem.C)) (*core.System, *fault.Injector) {
+	t.Helper()
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableTrace()
+	in := sys.EnableFaults(plan)
+	if _, err := sys.BootServices(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InstallIOSBinary("/Applications/s.app/s", "sup-app", nil, func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		// Let launchd and its children come up first.
+		th.Proc().Sleep(80 * time.Millisecond)
+		fn(libsystem.Sys(th))
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Start("/Applications/s.app/s", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, in
+}
+
+// TestNotifydRespawnAfterCrash is the headline regression: kill notifyd
+// mid-use — twice — and a ServiceClient on the other side must keep
+// posting successfully through dead-name detection, bootstrap
+// re-resolution and bounded backoff. Before supervision existed, the
+// first crash stranded every client forever on a dead send right.
+func TestNotifydRespawnAfterCrash(t *testing.T) {
+	plan := fault.Plan{Name: "notifyd-crash", Seed: 0x5eedc1, Rules: []fault.Rule{
+		{Op: fault.OpCrash, Match: services.NotifydPath, Nth: 10, Errno: 11},
+		{Op: fault.OpCrash, Match: services.NotifydPath, Nth: 30, Errno: 11},
+	}}
+	var failed []string
+	sys, in := bootSupervised(t, plan, func(lc *libsystem.C) {
+		nfy := services.NewServiceClient(lc, services.NotifydName)
+		for i := 0; i < 25; i++ {
+			if err := nfy.Send(&xnu.Message{
+				ID:   services.MsgNotifyPost,
+				Body: []byte("test.event"),
+			}); err != nil {
+				failed = append(failed, fmt.Sprintf("round %d: %v", i, err))
+			}
+			lc.T.Proc().Sleep(2 * time.Millisecond)
+		}
+	})
+	if in.Fired() == 0 {
+		t.Fatal("crash plan never fired; the regression exercised nothing")
+	}
+	if len(failed) != 0 {
+		t.Fatalf("client rounds failed despite supervision: %v", failed)
+	}
+	if c := sys.Trace.Counter(trace.CounterLaunchdCrashes); c == 0 {
+		t.Fatal("no crash observed by launchd")
+	}
+	if r := sys.Trace.Counter(trace.CounterLaunchdRespawns); r == 0 {
+		t.Fatal("notifyd crashed but was never respawned")
+	}
+	if err := sys.Kernel.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlappingServiceThrottled: a service crashing on every syscall burns
+// through its crash budget — RespawnMaxInWindow respawns — and on the
+// next crash launchd gives up, bumps the throttle counter and leaves a
+// give-up line in syslog instead of respawning forever.
+func TestFlappingServiceThrottled(t *testing.T) {
+	plan := fault.Plan{Name: "notifyd-flap", Seed: 0x5eedc2, Rules: []fault.Rule{
+		{Op: fault.OpCrash, Match: services.NotifydPath, Errno: 11},
+	}}
+	sys, _ := bootSupervised(t, plan, func(lc *libsystem.C) {
+		// Outlive the whole crash/backoff ladder (~310ms of backoff).
+		for i := 0; i < 80; i++ {
+			lc.T.Proc().Sleep(10 * time.Millisecond)
+		}
+	})
+	wantCrashes := uint64(services.RespawnMaxInWindow + 1)
+	if c := sys.Trace.Counter(trace.CounterLaunchdCrashes); c != wantCrashes {
+		t.Fatalf("crashes = %d, want %d (budget exhausted exactly once)", c, wantCrashes)
+	}
+	if r := sys.Trace.Counter(trace.CounterLaunchdRespawns); r != uint64(services.RespawnMaxInWindow) {
+		t.Fatalf("respawns = %d, want %d", r, services.RespawnMaxInWindow)
+	}
+	if th := sys.Trace.Counter(trace.CounterLaunchdThrottled); th != 1 {
+		t.Fatalf("throttled = %d, want 1", th)
+	}
+	log := strings.Join(sys.Syslog.Lines(), "\n")
+	if !strings.Contains(log, "giving up on "+services.NotifydPath) {
+		t.Fatalf("no give-up line in syslog:\n%s", log)
+	}
+	if err := sys.Kernel.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRespawnWithinBackoffBudget: a single crash must be answered by a
+// respawn at the base backoff — visible as an EvRespawn trace event with
+// backoff=10ms — within a bounded virtual-time budget of the exception
+// being raised.
+func TestRespawnWithinBackoffBudget(t *testing.T) {
+	plan := fault.Plan{Name: "configd-once", Seed: 0x5eedc3, Rules: []fault.Rule{
+		{Op: fault.OpCrash, Match: services.ConfigdPath, Nth: 8, Errno: 11},
+	}}
+	sys, in := bootSupervised(t, plan, func(lc *libsystem.C) {
+		cfg := services.NewServiceClient(lc, services.ConfigdName)
+		for i := 0; i < 10; i++ {
+			cfg.Call(&xnu.Message{ID: services.MsgConfigGet, Body: []byte("Model")})
+			lc.T.Proc().Sleep(5 * time.Millisecond)
+		}
+	})
+	if in.Fired() == 0 {
+		t.Fatal("crash plan never fired")
+	}
+	var excAt, respawnAt time.Duration
+	var detail string
+	for _, e := range sys.Trace.Events() {
+		switch {
+		case e.Kind == trace.EvExc && excAt == 0:
+			excAt = e.At
+		case e.Kind == trace.EvRespawn && e.Name == services.ConfigdPath && respawnAt == 0:
+			respawnAt, detail = e.At, e.Detail
+		}
+	}
+	if respawnAt == 0 {
+		t.Fatal("no respawn event for configd")
+	}
+	if !strings.Contains(detail, "backoff=10ms") {
+		t.Fatalf("first crash respawn detail = %q, want base backoff 10ms", detail)
+	}
+	// Budget: exception delivery is bounded (send and reply timeouts),
+	// then reap plus the base backoff. Anything past this is a stall.
+	if budget := 100 * time.Millisecond; respawnAt-excAt > budget {
+		t.Fatalf("respawn %v after exception at %v exceeds budget %v", respawnAt-excAt, excAt, budget)
+	}
+	if th := sys.Trace.Counter(trace.CounterLaunchdThrottled); th != 0 {
+		t.Fatalf("single crash must not throttle (throttled=%d)", th)
+	}
+}
+
+// TestSIGCHLDDeliveredAsXNU20: an iOS-persona parent installs a handler
+// for XNU SIGCHLD (20); when its forked child exits, the handler must
+// receive 20 — the kernel posts canonical 17 and translates at delivery
+// based on the thread persona (Section 4.1).
+func TestSIGCHLDDeliveredAsXNU20(t *testing.T) {
+	sys, err := core.NewSystem(core.ConfigCider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	var reaped, status int
+	if err := sys.InstallIOSBinary("/Applications/c.app/c", "chld-app", nil, func(c *prog.Call) uint64 {
+		lc := libsystem.Sys(c.Ctx.(*kernel.Thread))
+		lc.Sigaction(20, func(t *kernel.Thread, sig int) {
+			got = append(got, sig)
+		})
+		pid := lc.Fork(func(cc *libsystem.C) {}) // child exits immediately
+		lc.T.Charge(time.Millisecond)            // let the child exit first
+		for {
+			p, s, errno := lc.Wait(pid)
+			if errno == kernel.EINTR {
+				continue
+			}
+			reaped, status = p, s
+			break
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Start("/Applications/c.app/c", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("handler saw %v, want exactly [20] (XNU SIGCHLD)", got)
+	}
+	if reaped <= 0 || status != 0 {
+		t.Fatalf("wait reaped pid=%d status=%d", reaped, status)
+	}
+	if err := sys.Kernel.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyslogRingEvictsOldest: the bounded ring drops the oldest lines
+// once full and counts every eviction.
+func TestSyslogRingEvictsOldest(t *testing.T) {
+	var b services.SyslogBuffer
+	total := services.SyslogCapacity + 3
+	for i := 0; i < total; i++ {
+		dropped := b.Append(fmt.Sprintf("line %d", i))
+		if want := i >= services.SyslogCapacity; dropped != want {
+			t.Fatalf("Append(%d) dropped=%v, want %v", i, dropped, want)
+		}
+	}
+	if b.Len() != services.SyslogCapacity {
+		t.Fatalf("Len = %d, want %d", b.Len(), services.SyslogCapacity)
+	}
+	if b.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", b.Dropped())
+	}
+	lines := b.Lines()
+	if lines[0] != "line 3" {
+		t.Fatalf("oldest retained = %q, want %q", lines[0], "line 3")
+	}
+	if last := lines[len(lines)-1]; last != fmt.Sprintf("line %d", total-1) {
+		t.Fatalf("newest retained = %q", last)
+	}
+}

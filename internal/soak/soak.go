@@ -28,6 +28,7 @@ import (
 	"repro/internal/lmbench"
 	"repro/internal/passmark"
 	"repro/internal/prog"
+	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -42,6 +43,11 @@ type Schedule struct {
 	Desc string
 	// Plan is the seeded fault plan armed on every cell's System.
 	Plan fault.Plan
+	// Services boots the launchd service tree in every cell that has an
+	// iOS layer and runs a Mach service client app alongside the
+	// benchmark, so crash schedules have daemons to kill, a supervisor
+	// to respawn them, and stranded clients to recover.
+	Services bool
 }
 
 // Schedules is the soak matrix: one clean control plus one schedule per
@@ -101,6 +107,40 @@ func Schedules() []Schedule {
 				{Op: fault.OpPark, Match: "waitq:mach_rcv", Every: 7},
 			}},
 		},
+		{
+			Name:     "daemon-crash",
+			Desc:     "fatal faults inside the service daemons; launchd KeepAlive must respawn them and clients must re-resolve",
+			Services: true,
+			Plan: fault.Plan{Name: "daemon-crash", Seed: 0x5eed0006, Rules: []fault.Rule{
+				// Nth hit counters are keyed by executable path and so
+				// accumulate across respawned incarnations: two rules per
+				// daemon kill both the original and its replacement. The
+				// daemons' startup sequence alone is 4-5 syscalls, and the
+				// in-cell service client drives tens more, so every rule is
+				// reachable on the quick battery.
+				{Op: fault.OpCrash, Match: services.NotifydPath, Nth: 4, Errno: 11 /* SIGSEGV */},
+				{Op: fault.OpCrash, Match: services.NotifydPath, Nth: 16, Errno: 11},
+				{Op: fault.OpCrash, Match: services.ConfigdPath, Nth: 6, Errno: 6 /* SIGABRT */},
+				{Op: fault.OpCrash, Match: services.ConfigdPath, Nth: 20, Errno: 7 /* SIGBUS */},
+				{Op: fault.OpCrash, Match: services.SyslogdPath, Nth: 8, Errno: 4 /* SIGILL */},
+				// crashreporterd itself crashes while on duty; its respawn
+				// must re-bind the host exception port.
+				{Op: fault.OpCrash, Match: services.CrashReporterPath, Nth: 5, Errno: 11},
+			}},
+		},
+		{
+			Name:     "app-crash-storm",
+			Desc:     "fatal faults in the apps themselves: crash reports written, kernels leak-free, daemons unharmed",
+			Services: true,
+			Plan: fault.Plan{Name: "app-crash-storm", Seed: 0x5eed0007, Rules: []fault.Rule{
+				// The service client dies mid-conversation (iOS persona:
+				// EXC_BAD_ACCESS through the exception path, then a crash
+				// report); the hello payloads the proc tests exec die with
+				// mixed dispositions on both personas.
+				{Op: fault.OpCrash, Match: svcClientPath, Nth: 25, Errno: 11 /* SIGSEGV */},
+				{Op: fault.OpCrash, Match: "/bin/hello-*", Nth: 2, Errno: 6 /* SIGABRT */, Count: 6},
+			}},
+		},
 	}
 }
 
@@ -156,6 +196,16 @@ type Result struct {
 	FailedCells int
 	// Injected totals fault-rule fires across all cells.
 	Injected uint64
+	// LatencyDigest fingerprints only the Fig. 5 latency table (test
+	// names, per-configuration latencies, and failure marks). Crash
+	// schedules that kill daemons between cells must leave this equal to
+	// the clean schedule's: supervision may not perturb benchmark
+	// virtual time.
+	LatencyDigest uint64
+	// Counters aggregates every cell's trace counters — the respawn,
+	// throttle, exception and crash-report totals ride here into reports
+	// and `cider stats`-style tooling.
+	Counters map[string]uint64
 	// Findings are hard invariant violations: deadlocks and leaks.
 	// Empty findings means the schedule passed.
 	Findings []string
@@ -198,12 +248,17 @@ func RunSchedule(s Schedule, opts Options) *Result {
 		OnSystem: func(c lmbench.Cell, sys *core.System) {
 			sys.EnableTrace()
 			sys.EnableFaults(s.Plan)
+			if s.Services {
+				bootCellServices(sys)
+			}
 			systems[c.Index] = sys
 		},
 	})
 	res.Cells += len(cells)
+	ld := newDigest()
 	if err != nil {
 		d.str("lmbench-err:" + err.Error())
+		ld.str("lmbench-err:" + err.Error())
 		var dl *sim.ErrDeadlock
 		if errors.As(err, &dl) {
 			res.Findings = append(res.Findings, fmt.Sprintf("lmbench deadlocked under %q: %v", s.Name, err))
@@ -211,17 +266,22 @@ func RunSchedule(s Schedule, opts Options) *Result {
 	} else {
 		for _, t := range tests {
 			d.str(t.Name)
+			ld.str(t.Name)
 			for _, conf := range lmbench.Configurations() {
 				d.u64(uint64(rep.Latency[t.Name][conf.Name]))
+				ld.u64(uint64(rep.Latency[t.Name][conf.Name]))
 				if rep.Failed[t.Name][conf.Name] {
 					d.u64(1)
+					ld.u64(1)
 					res.FailedCells++
 				} else {
 					d.u64(0)
+					ld.u64(0)
 				}
 			}
 		}
 	}
+	res.LatencyDigest = ld.sum()
 	res.auditCells(d, systems)
 
 	if opts.Full {
@@ -437,13 +497,17 @@ func (r *Result) runMachCell(s Schedule, d *digest) {
 	r.Injected += fired
 	d.u64(fired)
 	digestSession(d, tr)
+	r.collectCounters(tr)
 	if lerr := k.LeakCheck(); lerr != nil {
 		r.Findings = append(r.Findings, fmt.Sprintf("mach cell (%s): %v", s.Name, lerr))
 	}
 }
 
-// auditCells digests each cell's trace and injection state and runs the
-// post-battery leak check.
+// auditCells digests each cell's trace and injection state, runs the
+// post-battery leak check, and audits the supervision counters: every
+// crash launchd observed must be answered by a respawn or a deliberate
+// throttle, with at most one crash still in flight when the simulation
+// wound down (the benchmark exiting ends the run mid-backoff).
 func (r *Result) auditCells(d *digest, systems []*core.System) {
 	for i, sys := range systems {
 		d.u64(uint64(i))
@@ -457,10 +521,47 @@ func (r *Result) auditCells(d *digest, systems []*core.System) {
 			d.u64(fired)
 		}
 		digestSession(d, sys.Trace)
+		r.collectCounters(sys.Trace)
+		if crashes, respawns, throttled := supervisionCounters(sys.Trace); crashes > respawns+throttled+1 {
+			r.Findings = append(r.Findings, fmt.Sprintf(
+				"cell %d (%s): supervision lost services: %d crashes vs %d respawns + %d throttled",
+				i, sys.Config, crashes, respawns, throttled))
+		}
 		if err := sys.Kernel.LeakCheck(); err != nil {
 			r.Findings = append(r.Findings, fmt.Sprintf("cell %d (%s): %v", i, sys.Config, err))
 		}
 	}
+}
+
+// collectCounters folds one cell's trace counters into the result total.
+func (r *Result) collectCounters(tr *trace.Session) {
+	if tr == nil {
+		return
+	}
+	if r.Counters == nil {
+		r.Counters = map[string]uint64{}
+	}
+	for _, c := range tr.Counters() {
+		r.Counters[c.Name] += c.Value
+	}
+}
+
+// supervisionCounters reads one cell's launchd KeepAlive counters.
+func supervisionCounters(tr *trace.Session) (crashes, respawns, throttled uint64) {
+	if tr == nil {
+		return 0, 0, 0
+	}
+	for _, c := range tr.Counters() {
+		switch c.Name {
+		case trace.CounterLaunchdCrashes:
+			crashes = c.Value
+		case trace.CounterLaunchdRespawns:
+			respawns = c.Value
+		case trace.CounterLaunchdThrottled:
+			throttled = c.Value
+		}
+	}
+	return crashes, respawns, throttled
 }
 
 // digestSession folds a trace session's event stream and counters into

@@ -2,6 +2,8 @@ package soak
 
 import (
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // TestCleanScheduleLeakFree is the control: the quick battery with no
@@ -55,6 +57,62 @@ func TestDeterminismAcrossJobs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+// TestCrashSchedulesDeterministic is the crash-storm half of the
+// determinism criterion: killing daemons and apps mid-battery — with
+// exception delivery, crash reports, SIGCHLD reaping, backoff sleeps and
+// respawns in the mix — must still produce bit-identical digests at
+// jobs=1 and jobs=4.
+func TestCrashSchedulesDeterministic(t *testing.T) {
+	for _, name := range []string{"daemon-crash", "app-crash-storm"} {
+		s, ok := ScheduleByName(name)
+		if !ok {
+			t.Fatalf("schedule %q missing", name)
+		}
+		if err := VerifyDeterminism(s, 4, Options{Tests: QuickTests()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDaemonCrashKeepsFig5Latencies is the paper-fidelity criterion:
+// service daemons crashing and respawning between benchmark operations
+// must not perturb the Fig. 5 latency table at all — the latency digest
+// under daemon-crash equals the clean schedule's, even though faults
+// demonstrably fired, services were respawned, and crash reports were
+// written.
+func TestDaemonCrashKeepsFig5Latencies(t *testing.T) {
+	clean, _ := ScheduleByName("clean")
+	dc, ok := ScheduleByName("daemon-crash")
+	if !ok {
+		t.Fatal("daemon-crash schedule missing")
+	}
+	a := RunSchedule(clean, Options{Jobs: 1, Tests: QuickTests()})
+	b := RunSchedule(dc, Options{Jobs: 1, Tests: QuickTests()})
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Injected == 0 {
+		t.Fatal("daemon-crash never fired a fault")
+	}
+	if a.LatencyDigest != b.LatencyDigest {
+		t.Fatalf("daemon crashes perturbed Fig. 5 latencies: clean %016x vs daemon-crash %016x",
+			a.LatencyDigest, b.LatencyDigest)
+	}
+	for _, c := range []string{
+		trace.CounterLaunchdCrashes,
+		trace.CounterLaunchdRespawns,
+		trace.CounterExcRaised,
+		trace.CounterCrashReports,
+	} {
+		if b.Counters[c] == 0 {
+			t.Errorf("daemon-crash recorded no %s", c)
+		}
+	}
+	t.Logf("daemon-crash: crashes=%d respawns=%d throttled=%d reports=%d",
+		b.Counters[trace.CounterLaunchdCrashes], b.Counters[trace.CounterLaunchdRespawns],
+		b.Counters[trace.CounterLaunchdThrottled], b.Counters[trace.CounterCrashReports])
 }
 
 // TestRepeatedRunsBitIdentical re-runs one faulted schedule at the same

@@ -126,6 +126,10 @@ func (s *Session) EventsText() string {
 			}
 		case EvSignal:
 			fmt.Fprintf(&b, " sig=%d", e.Sysno)
+		case EvExc:
+			fmt.Fprintf(&b, " sig=%d exc=%d", e.Sysno, e.Errno)
+		case EvRespawn:
+			fmt.Fprintf(&b, " %s", e.Name)
 		}
 		if e.Detail != "" {
 			fmt.Fprintf(&b, " (%s)", e.Detail)

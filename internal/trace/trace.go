@@ -53,6 +53,26 @@ const (
 	// CounterFaultInjected counts fault-layer injections of any kind;
 	// per-op counts ride under "fault.<op>" (e.g. "fault.syscall").
 	CounterFaultInjected = "fault.injected"
+	// CounterExcRaised counts Mach exception messages raised for fatal
+	// signals on iOS-persona threads (EXC_BAD_ACCESS and friends).
+	CounterExcRaised = "exc.raised"
+	// CounterExcResumed counts exceptions whose catcher replied
+	// EXC_HANDLED, resuming the faulting thread instead of killing it.
+	CounterExcResumed = "exc.resumed"
+	// CounterCrashReports counts crash reports written by crashreporterd
+	// under /var/log/crashes.
+	CounterCrashReports = "crash.reports"
+	// CounterLaunchdCrashes counts abnormal child exits reaped by
+	// launchd's supervision loop.
+	CounterLaunchdCrashes = "launchd.crashes"
+	// CounterLaunchdRespawns counts services respawned by launchd.
+	CounterLaunchdRespawns = "launchd.respawns"
+	// CounterLaunchdThrottled counts services launchd gave up on after
+	// crashing too often inside the flap window.
+	CounterLaunchdThrottled = "launchd.throttled"
+	// CounterSyslogDropped counts lines evicted from the bounded syslog
+	// ring.
+	CounterSyslogDropped = "syslog.dropped"
 )
 
 // EventKind classifies ring-buffer entries.
@@ -70,6 +90,12 @@ const (
 	// EvFault marks a fault-layer injection; Name holds the injection key,
 	// Detail the op class, Errno the injected error.
 	EvFault
+	// EvExc marks a Mach exception raise; Sysno carries the originating
+	// canonical signal, Errno the EXC_* code, Detail the delivery outcome.
+	EvExc
+	// EvRespawn marks a launchd supervision decision; Name holds the
+	// service path, Detail the action ("respawn", "throttled", ...).
+	EvRespawn
 )
 
 func (k EventKind) String() string {
@@ -84,6 +110,10 @@ func (k EventKind) String() string {
 		return "signal"
 	case EvFault:
 		return "fault"
+	case EvExc:
+		return "exc"
+	case EvRespawn:
+		return "respawn"
 	}
 	return "event?"
 }
@@ -270,6 +300,20 @@ func (s *Session) Fault(proc string, id int, op, key string, errno int, at time.
 	s.counter[CounterFaultInjected]++
 	s.counter["fault."+op]++
 	s.record(Event{At: at, Kind: EvFault, Proc: proc, ProcID: id, Name: key, Errno: errno, Detail: op})
+}
+
+// Exc records a Mach exception raise for a fatal signal: sig is the
+// canonical signal number, code the EXC_* class, detail the delivery
+// outcome ("resumed", "fatal", "no-port", ...).
+func (s *Session) Exc(proc string, id int, p persona.Kind, sig, code int, detail string, at time.Duration) {
+	s.counter[CounterExcRaised]++
+	s.record(Event{At: at, Kind: EvExc, Proc: proc, ProcID: id, Persona: p, Sysno: sig, Errno: code, Detail: detail})
+}
+
+// Respawn records a launchd supervision decision for a service. name is
+// the service executable path, detail the action taken.
+func (s *Session) Respawn(proc string, id int, name, detail string, at time.Duration) {
+	s.record(Event{At: at, Kind: EvRespawn, Proc: proc, ProcID: id, Name: name, Detail: detail})
 }
 
 // Count adds n to a named counter.

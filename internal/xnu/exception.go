@@ -1,0 +1,225 @@
+package xnu
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// Mach exception classes (mach/exception_types.h). Fatal canonical signals
+// on iOS-persona threads are translated into these before their Unix
+// disposition runs — real iOS binaries (and ReportCrash) expect faults to
+// arrive as EXC_* messages on task/host exception ports, not raw signals.
+const (
+	// ExcBadAccess is EXC_BAD_ACCESS (SIGSEGV / SIGBUS).
+	ExcBadAccess = 1
+	// ExcBadInstruction is EXC_BAD_INSTRUCTION (SIGILL).
+	ExcBadInstruction = 2
+	// ExcArithmetic is EXC_ARITHMETIC (SIGFPE).
+	ExcArithmetic = 3
+	// ExcSoftware is EXC_SOFTWARE (SIGABRT).
+	ExcSoftware = 5
+	// ExcCrash is EXC_CRASH, the host-level "a task is dying" exception
+	// ReportCrash subscribes to.
+	ExcCrash = 10
+)
+
+// Exception-message ids on the wire.
+const (
+	// MsgExceptionRaise is the msgh_id of an exception_raise request.
+	MsgExceptionRaise int32 = 2401
+	// MsgExceptionReply is the msgh_id of the catcher's verdict reply.
+	MsgExceptionReply int32 = 2501
+)
+
+// Reply verdict bytes (first body byte of a MsgExceptionReply).
+const (
+	// ExcHandled resumes the faulting thread (KERN_SUCCESS from the
+	// catcher: the fault was fixed up).
+	ExcHandled byte = 0
+	// ExcNotHandled lets the default disposition proceed.
+	ExcNotHandled byte = 1
+)
+
+// Exception delivery bounds. All delays are virtual-clock, so they are
+// deterministic; they exist to guarantee a wedged or dead catcher can
+// never hang the faulting thread — delivery degrades to the default
+// disposition instead.
+const (
+	// excSendTimeout bounds each attempt to enqueue an exception message.
+	excSendTimeout = 5 * time.Millisecond
+	// excReplyTimeout bounds the wait for the catcher's verdict.
+	excReplyTimeout = 20 * time.Millisecond
+	// excSendRetries bounds retries around injected interrupts.
+	excSendRetries = 4
+)
+
+// ExceptionForSignal maps a canonical fatal signal to its EXC_* class.
+func ExceptionForSignal(sig int) int {
+	switch sig {
+	case kernel.SIGSEGV, kernel.SIGBUS:
+		return ExcBadAccess
+	case kernel.SIGILL:
+		return ExcBadInstruction
+	case kernel.SIGFPE:
+		return ExcArithmetic
+	case kernel.SIGABRT:
+		return ExcSoftware
+	}
+	return ExcSoftware
+}
+
+// TaskSetExceptionPort is task_set_exception_ports: register the receive
+// right named name (in the caller's space) as the calling task's exception
+// port. PortNull clears the registration.
+func (ipc *IPC) TaskSetExceptionPort(t *kernel.Thread, name PortName) KernReturn {
+	if name == PortNull {
+		delete(ipc.taskExc, t.Task())
+		return KernSuccess
+	}
+	r, kr := ipc.resolve(t, name)
+	if kr != KernSuccess {
+		return kr
+	}
+	if r.typ != RightReceive {
+		return KernInvalidRight
+	}
+	ipc.taskExc[t.Task()] = r.port
+	return KernSuccess
+}
+
+// HostSetExceptionPort is host_set_exception_ports for EXC_CRASH: register
+// the receive right named name as the host-level crash port (what
+// crashreporterd binds). PortNull clears it.
+func (ipc *IPC) HostSetExceptionPort(t *kernel.Thread, name PortName) KernReturn {
+	if name == PortNull {
+		ipc.hostExc = nil
+		return KernSuccess
+	}
+	r, kr := ipc.resolve(t, name)
+	if kr != KernSuccess {
+		return kr
+	}
+	if r.typ != RightReceive {
+		return KernInvalidRight
+	}
+	ipc.hostExc = r.port
+	return KernSuccess
+}
+
+// DeliverException is the kernel's exception bridge: translate a fatal
+// canonical signal on an iOS-persona thread into EXC_* messages. Delivery
+// is two-stage, as on XNU: the task-level port gets exception_raise and
+// may resume the thread; if it does not (or there is none), the host-level
+// port gets EXC_CRASH so crashreporterd can write a report, and the caller
+// proceeds to the default disposition. Returns true when the thread
+// resumes. Every send/receive is bounded by virtual timeouts, so a dead or
+// wedged catcher degrades to the default disposition — never a deadlock.
+func (ipc *IPC) DeliverException(t *kernel.Thread, sig int) bool {
+	exc := ExceptionForSignal(sig)
+	body := ipc.excBody(t, sig, exc)
+	handled := false
+	detail := "no-port"
+	if p := ipc.taskExc[t.Task()]; p != nil && !p.dead {
+		handled = ipc.raiseToCatcher(t, p, body)
+		if handled {
+			detail = "resumed"
+		} else {
+			detail = "fatal"
+		}
+	}
+	if !handled {
+		ipc.reportCrash(t, body)
+	}
+	if tr := ipc.k.Tracer(); tr != nil {
+		tr.Exc(t.Proc().Name(), t.Proc().ID(), t.Persona.Current(), sig, exc, detail, t.Now())
+		if handled {
+			tr.Count(trace.CounterExcResumed, 1)
+		}
+	}
+	return handled
+}
+
+// raiseToCatcher sends exception_raise to the task exception port and
+// waits (bounded) for the verdict on a one-shot reply port allocated in
+// the victim's space.
+func (ipc *IPC) raiseToCatcher(t *kernel.Thread, p *Port, body []byte) bool {
+	replyName, kr := ipc.PortAllocate(t)
+	if kr != KernSuccess {
+		return false
+	}
+	defer ipc.PortDestroy(t, replyName)
+	r, kr := ipc.resolve(t, replyName)
+	if kr != KernSuccess {
+		return false
+	}
+	msg := &Message{
+		ID:    MsgExceptionRaise,
+		Body:  body,
+		Reply: &CarriedRight{Port: r.port, Type: RightSendOnce},
+	}
+	kr = MachSendInterrupted
+	for i := 0; i < excSendRetries && kr == MachSendInterrupted; i++ {
+		kr = ipc.sendToPort(t, p, msg, excSendTimeout)
+	}
+	if kr != KernSuccess {
+		return false
+	}
+	for i := 0; i < excSendRetries; i++ {
+		reply, kr := ipc.Receive(t, replyName, excReplyTimeout)
+		if kr == MachRcvInterrupted {
+			continue
+		}
+		if kr != KernSuccess {
+			return false // timeout or port died: catcher never answered
+		}
+		return reply.ID == MsgExceptionReply && len(reply.Body) > 0 && reply.Body[0] == ExcHandled
+	}
+	return false
+}
+
+// reportCrash posts EXC_CRASH to the host exception port. The send is
+// bounded and best-effort: with crashreporterd dead or its queue wedged
+// the report is dropped, never blocking the dying task.
+func (ipc *IPC) reportCrash(t *kernel.Thread, body []byte) {
+	p := ipc.hostExc
+	if p == nil || p.dead {
+		return
+	}
+	msg := &Message{ID: MsgExceptionRaise, Body: append([]byte("class=crash\n"), body...)}
+	kr := MachSendInterrupted
+	for i := 0; i < excSendRetries && kr == MachSendInterrupted; i++ {
+		kr = ipc.sendToPort(t, p, msg, excSendTimeout)
+	}
+}
+
+// excBody renders the deterministic key=value exception record both
+// catchers and crashreporterd parse: task identity, persona, fault, the
+// virtual timestamp, and an open-fd/mapping summary.
+func (ipc *IPC) excBody(t *kernel.Thread, sig, exc int) []byte {
+	tk := t.Task()
+	var b strings.Builder
+	fmt.Fprintf(&b, "pid=%d\n", tk.PID())
+	fmt.Fprintf(&b, "path=%s\n", tk.Path())
+	fmt.Fprintf(&b, "persona=%s\n", t.Persona.Current())
+	fmt.Fprintf(&b, "signal=%d\n", sig)
+	fmt.Fprintf(&b, "exception=%d\n", exc)
+	fmt.Fprintf(&b, "at_ns=%d\n", int64(t.Now()))
+	fmt.Fprintf(&b, "fds=%d\n", tk.FDs().Count())
+	fmt.Fprintf(&b, "mappings=%d\n", len(tk.Mem().Regions()))
+	return []byte(b.String())
+}
+
+// ParseExceptionBody decodes an excBody record into key/value pairs.
+func ParseExceptionBody(body []byte) map[string]string {
+	out := make(map[string]string)
+	for _, line := range strings.Split(string(body), "\n") {
+		if k, v, ok := strings.Cut(line, "="); ok {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -99,6 +99,10 @@ const MsgDeadNameNotification int32 = 0110
 // ID returns the kernel-global port id (diagnostics).
 func (p *Port) ID() uint64 { return p.id }
 
+// Dead reports whether the port has been destroyed (launchd uses this to
+// prune stale service registrations on lookup).
+func (p *Port) Dead() bool { return p.dead }
+
 // Pending returns the queued message count.
 func (p *Port) Pending() int { return p.msgs.Len() }
 
@@ -187,6 +191,11 @@ type IPC struct {
 	// bootstrap is the port every new space binds at BootstrapName.
 	bootstrap *Port
 
+	// taskExc maps tasks to their task-level exception port; hostExc is
+	// the host-level exception port (crashreporterd). See exception.go.
+	taskExc map[*kernel.Task]*Port
+	hostExc *Port
+
 	// Cost model: fixed per-message kernel path plus a per-byte copy term.
 	msgBase    time.Duration
 	msgPerByte time.Duration
@@ -212,12 +221,18 @@ func InstallIPC(k *kernel.Kernel, env *ducttape.Env) (*IPC, error) {
 		k:          k,
 		lock:       env.NewLckMtx("ipc_space"),
 		spaces:     make(map[*kernel.Task]*Space),
+		taskExc:    make(map[*kernel.Task]*Port),
 		nextID:     1,
 		msgBase:    cpu.Cycles(3900),
 		msgPerByte: cpu.Cycles(0.6),
 		portAlloc:  cpu.Cycles(1700),
 	}
 	k.SetExtension(ExtensionName, ipc)
+	// Fatal faults on iOS-persona threads surface as Mach exceptions
+	// before their Unix disposition runs (see exception.go).
+	k.SetExceptionBridge(func(t *kernel.Thread, sig int) bool {
+		return ipc.DeliverException(t, sig)
+	})
 	// Tear down the exiting task's port space — receive rights die with
 	// their task, exactly as XNU reaps an ipc_space at task termination.
 	// Without this, every exited process leaks its Space and its ports'
@@ -348,6 +363,7 @@ func (ipc *IPC) taskExit(t *kernel.Thread) {
 		}
 	}
 	delete(ipc.spaces, t.Task())
+	delete(ipc.taskExc, t.Task())
 }
 
 // LeakCheck implements kernel.LeakChecker: no exited task may still own a
@@ -466,7 +482,20 @@ func (ipc *IPC) Send(t *kernel.Thread, dest PortName, msg *Message, timeout time
 	if r.typ != RightSend && r.typ != RightSendOnce && r.typ != RightReceive {
 		return KernInvalidRight
 	}
-	p := r.port
+	kr = ipc.sendToPort(t, r.port, msg, timeout)
+	if kr == KernSuccess && r.typ == RightSendOnce {
+		// Safe after the wakes: the receiver is not scheduled until the
+		// sender yields, so the right is consumed before anyone can look.
+		ipc.PortDeallocate(t, dest)
+	}
+	return kr
+}
+
+// sendToPort is the port-level send path shared by mach_msg and in-kernel
+// senders (exception delivery): charge the message cost, consult the fault
+// layer, block at the queue limit, enqueue and wake a receiver. Every Mach
+// send — user or kernel originated — charges and faults identically here.
+func (ipc *IPC) sendToPort(t *kernel.Thread, p *Port, msg *Message, timeout time.Duration) KernReturn {
 	t.Charge(ipc.msgBase + time.Duration(msg.Size())*ipc.msgPerByte)
 	// Fault layer: queue-overflow pressure (QLimit override forces the
 	// blocked-sender path) and MACH_SEND_INTERRUPTED at entry.
@@ -510,9 +539,6 @@ func (ipc *IPC) Send(t *kernel.Thread, dest PortName, msg *Message, timeout time
 	}
 	p.msgs.Enqueue(msg)
 	ipc.sent++
-	if r.typ == RightSendOnce {
-		ipc.PortDeallocate(t, dest)
-	}
 	// Wake a receiver on the port, or on its containing set.
 	if p.set != nil {
 		p.set.wait.WakeOne(t.Proc(), sim.WakeNormal)
