@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke soak soak-smoke soak-smoke-crash verify
+.PHONY: build test vet lint race bench bench-smoke soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke verify
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,21 @@ soak-smoke:
 soak-smoke-crash:
 	$(GO) run ./cmd/cider soak -quick -verify -schedule daemon-crash
 
+# diffcheck runs the differential persona oracle at full depth: 200
+# seeded programs, each executed under both personas and diffed after
+# normalization; any unallowlisted divergence is minimized, reported,
+# and fails the target (see DESIGN.md "Differential persona testing").
+diffcheck:
+	$(GO) run ./cmd/cider diffcheck --seeds 200
+
+# diffcheck-smoke is the bounded version wired into verify: enough seeds
+# to cross every op kind and fault-schedule shape, small enough to stay
+# in tier-1 time. The always-on test-suite gate is
+# internal/diffcheck.TestTreeHasNoDivergences.
+diffcheck-smoke:
+	$(GO) run ./cmd/cider diffcheck --seeds 60
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # ciderlint, pass the full test suite under the race detector, and run
-# the bench and soak harnesses once end to end.
-verify: build vet lint race bench-smoke soak-smoke soak-smoke-crash
+# the bench, soak, and diffcheck harnesses once end to end.
+verify: build vet lint race bench-smoke soak-smoke soak-smoke-crash diffcheck-smoke

@@ -29,6 +29,16 @@
 //	                       fatal faults, and print the crash reports
 //	                       crashreporterd wrote to /var/log/crashes plus
 //	                       the exception/supervision counters
+//	cider diffcheck [--seeds N] [--jobs N] [--corpus DIR] [--no-minimize]
+//	                [--update-allowlist]
+//	                       run the differential persona oracle: execute N
+//	                       seeded programs under both personas and diff the
+//	                       canonicalized results; unallowlisted divergences
+//	                       are minimized and reported (exit nonzero), and
+//	                       --corpus writes each diverging program's text to
+//	                       DIR; --update-allowlist prints suggested
+//	                       allowlist entries (the Why citation still has to
+//	                       be written by hand — that is the policy)
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diffcheck"
 	"repro/internal/input"
 	"repro/internal/kernel"
 	"repro/internal/libsystem"
@@ -80,6 +91,17 @@ func main() {
 		err = runSoak(*jobs, *quick, *full, *schedule, *verify)
 	case len(args) > 0 && args[0] == "crashes":
 		err = runCrashes()
+	case len(args) > 0 && args[0] == "diffcheck":
+		fs := flag.NewFlagSet("diffcheck", flag.ExitOnError)
+		seeds := fs.Int("seeds", 200, "number of seeded programs to run")
+		jobs := fs.Int("jobs", 0, "max parallel host workers (<=0: GOMAXPROCS)")
+		corpus := fs.String("corpus", "", "directory to write diverging programs to")
+		noMin := fs.Bool("no-minimize", false, "skip delta-debug minimization of divergences")
+		suggest := fs.Bool("update-allowlist", false, "print suggested allowlist entries for residual divergences")
+		if err := fs.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+		err = runDiffcheck(*seeds, *jobs, *corpus, !*noMin, *suggest)
 	default:
 		err = runDemo(hasFlag(args, "--trace"))
 	}
@@ -377,6 +399,43 @@ func runSoak(jobs int, quick, full bool, schedule string, verify bool) error {
 	}
 	if bad {
 		return fmt.Errorf("soak: invariant violations found")
+	}
+	return nil
+}
+
+// runDiffcheck drives the differential persona oracle and reports. A
+// residual (unallowlisted) divergence exits nonzero; the allowlist hits
+// are printed so a quiet run still shows the oracle exercised the
+// deliberate deviations.
+func runDiffcheck(seeds, jobs int, corpus string, minimize, suggest bool) error {
+	fmt.Printf("== diffcheck: %d seeded programs, Android vs iOS persona ==\n", seeds)
+	rep, err := diffcheck.Run(diffcheck.Options{Seeds: seeds, Jobs: jobs, Minimize: minimize})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Text())
+	if corpus != "" && len(rep.Divergences) > 0 {
+		if err := os.MkdirAll(corpus, 0o755); err != nil {
+			return err
+		}
+		for i, d := range rep.Divergences {
+			body := fmt.Sprintf("# %s\n# sig: %s\n%s", d.Class, d.Sig, d.Program)
+			if d.Minimized != "" {
+				body += "# minimized\n" + d.Minimized
+			}
+			name := fmt.Sprintf("%s/div-%03d-seed-%x.txt", corpus, i, d.Seed)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d diverging program(s) to %s\n", len(rep.Divergences), corpus)
+	}
+	if suggest && len(rep.Divergences) > 0 {
+		fmt.Println("-- suggested allowlist entries (write the Why citation by hand) --")
+		fmt.Print(rep.SuggestAllowlist())
+	}
+	if len(rep.Divergences) > 0 {
+		return fmt.Errorf("diffcheck: %d unallowlisted divergence(s)", len(rep.Divergences))
 	}
 	return nil
 }

@@ -50,6 +50,11 @@ const (
 	XNUWait4      = 7
 	XNUUnlink     = 10
 	XNUGetpid     = 20
+	// XNUDup is dup(2); XNU and Linux/ARM happen to agree on 41, but the
+	// entry must still exist in this table — its absence made every
+	// iOS-persona dup return ENOSYS while the Android persona's worked,
+	// the first fd-state divergence the differential oracle flagged.
+	XNUDup = 41
 	XNUKill       = 37
 	XNUGetppid    = 39
 	XNUPipe       = 42
@@ -69,6 +74,20 @@ const (
 	XNUPsynchCVWait    = 305
 	XNUPsynchCVSignal  = 304
 	XNUPsynchCVBroad   = 303
+)
+
+// XNU open(2) flag bits (bsd/sys/fcntl.h). They do not coincide with
+// Linux's: XNU O_CREAT is 0x200, which on Linux is O_TRUNC. The open
+// wrapper renumbers them before calling the Linux implementation —
+// forwarding them raw made iOS-persona open(path, O_CREAT) fail ENOENT
+// instead of creating the file (the kernel saw Linux 0x200 and no create
+// bit), another oracle-flagged divergence.
+const (
+	// XNUOCreat is XNU's O_CREAT.
+	XNUOCreat = 0x200
+	// XNUOTrunc and XNUOExcl are translated alongside for completeness.
+	XNUOTrunc = 0x400
+	XNUOExcl  = 0x800
 )
 
 // Mach trap numbers (osfmk/kern/syscall_sw.c, negated as XNU does).
@@ -178,7 +197,24 @@ func installXNU(k *kernel.Kernel, native bool) *kernel.SyscallTable {
 	wrap(XNUFork, kernel.SysFork, "fork", nil)
 	wrap(XNURead, kernel.SysRead, "read", nil)
 	wrap(XNUWrite, kernel.SysWrite, "write", nil)
-	wrap(XNUOpen, kernel.SysOpen, "open", nil)
+	// open: XNU flag bits are renumbered to Linux's before the Linux
+	// implementation sees them (O_CREAT 0x200 -> 0x40, etc.). Access-mode
+	// bits (O_RDONLY/O_WRONLY/O_RDWR) coincide and pass through; unknown
+	// bits are dropped rather than forwarded as a wrong Linux flag.
+	wrap(XNUOpen, kernel.SysOpen, "open", func(t *kernel.Thread, a *kernel.SyscallArgs) {
+		x := a.I[1]
+		l := x & 0x3 // access mode
+		if x&XNUOCreat != 0 {
+			l |= kernel.OCreat
+		}
+		if x&XNUOTrunc != 0 {
+			l |= 0x200 // Linux O_TRUNC
+		}
+		if x&XNUOExcl != 0 {
+			l |= 0x80 // Linux O_EXCL
+		}
+		a.I[1] = l
+	})
 	wrap(XNUClose, kernel.SysClose, "close", nil)
 	wrap(XNUWait4, kernel.SysWait4, "wait4", nil)
 	wrap(XNUUnlink, kernel.SysUnlink, "unlink", nil)
@@ -190,6 +226,7 @@ func installXNU(k *kernel.Kernel, native bool) *kernel.SyscallTable {
 	wrap(XNUExecve, kernel.SysExecve, "execve", nil)
 	wrap(XNUSocketpair, kernel.SysSocketpair, "socketpair", nil)
 	wrap(XNUCreat, kernel.SysCreat, "creat", nil)
+	wrap(XNUDup, kernel.SysDup, "dup", nil)
 
 	// kill: the signal number arrives in XNU numbering; renumber to the
 	// canonical (Linux) value before invoking the Linux implementation.

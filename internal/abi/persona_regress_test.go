@@ -1,0 +1,59 @@
+package abi
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// Regression tests for two divergences the differential persona oracle
+// (internal/diffcheck) located: both fail if the corresponding XNU-table
+// entry is removed or de-translated again.
+
+// TestXNUDupDispatches pins the oracle's fd-state finding: the XNU table
+// had no dup entry, so every iOS-persona dup returned ENOSYS while the
+// Android persona duplicated the descriptor fine.
+func TestXNUDupDispatches(t *testing.T) {
+	e := newEnv(t, kernel.ProfileCider)
+	var dupFD int64
+	var dupErr, closeErr kernel.Errno
+	e.runIOS(t, func(th *kernel.Thread) {
+		ret := th.Syscall(XNUCreat, &kernel.SyscallArgs{Path: "/dup-target"})
+		if ret.Errno != kernel.OK {
+			t.Errorf("creat: %v", ret.Errno)
+			return
+		}
+		dup := th.Syscall(XNUDup, &kernel.SyscallArgs{I: [6]uint64{ret.R0}})
+		dupFD, dupErr = int64(dup.R0), dup.Errno
+		closeErr = th.Syscall(XNUClose, &kernel.SyscallArgs{I: [6]uint64{dup.R0}}).Errno
+	})
+	if dupErr != kernel.OK {
+		t.Fatalf("iOS dup: errno = %v, want OK", dupErr)
+	}
+	if dupFD < 0 {
+		t.Fatalf("iOS dup returned fd %d", dupFD)
+	}
+	if closeErr != kernel.OK {
+		t.Fatalf("close of duplicated fd: %v — dup returned a dangling descriptor", closeErr)
+	}
+}
+
+// TestXNUOpenTranslatesCreateFlags pins the oracle's errno finding on
+// open: the XNU table forwarded flag bits untranslated, and XNU's
+// O_CREAT (0x200) is not Linux's (0x40), so an iOS open(path, O_CREAT)
+// on a missing file failed ENOENT instead of creating it.
+func TestXNUOpenTranslatesCreateFlags(t *testing.T) {
+	e := newEnv(t, kernel.ProfileCider)
+	var errno kernel.Errno
+	e.runIOS(t, func(th *kernel.Thread) {
+		errno = th.Syscall(XNUOpen, &kernel.SyscallArgs{
+			Path: "/created-via-xnu-flags", I: [6]uint64{0, XNUOCreat},
+		}).Errno
+	})
+	if errno != kernel.OK {
+		t.Fatalf("iOS open(O_CREAT) on missing file: errno = %v, want OK", errno)
+	}
+	if _, err := e.fs.Lookup("/created-via-xnu-flags"); err != nil {
+		t.Fatalf("file was not created: %v", err)
+	}
+}

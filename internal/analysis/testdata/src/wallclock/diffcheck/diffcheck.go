@@ -1,0 +1,25 @@
+// Fixture: the differential persona oracle runs whole simulations and
+// diffs their traces, so "diffcheck" is a simulation package — program
+// generation and fault schedules must be pure functions of the seed, or
+// the jobs=1 vs jobs=N report comparison (and minimization replay)
+// breaks.
+package diffcheck
+
+import (
+	"math/rand"
+	"time"
+)
+
+func StampReport() time.Time {
+	return time.Now() // want `wallclock: wall-clock leak: time\.Now`
+}
+
+func PickSeed() int {
+	return rand.Intn(1 << 20) // want `wallclock: nondeterminism leak: math/rand\.Intn`
+}
+
+// Deriving everything from an explicit seed is the sanctioned idiom.
+func SeededPick(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(1 << 20)
+}

@@ -64,6 +64,23 @@ func (c *C) Open(path string) (int, kernel.Errno) {
 	return int(int64(ret.R0)), ret.Errno
 }
 
+// OpenFlags opens a file with Linux open(2) flag bits.
+func (c *C) OpenFlags(path string, flags int) (int, kernel.Errno) {
+	ret := c.T.Syscall(kernel.SysOpen, &kernel.SyscallArgs{Path: path, I: [6]uint64{0, uint64(flags)}})
+	return int(int64(ret.R0)), ret.Errno
+}
+
+// OpenCreate opens a file, creating it if absent (open with O_CREAT).
+func (c *C) OpenCreate(path string) (int, kernel.Errno) {
+	return c.OpenFlags(path, kernel.OCreat)
+}
+
+// Dup duplicates a descriptor.
+func (c *C) Dup(fd int) (int, kernel.Errno) {
+	ret := c.T.Syscall(kernel.SysDup, &kernel.SyscallArgs{I: [6]uint64{uint64(fd)}})
+	return int(int64(ret.R0)), ret.Errno
+}
+
 // Creat creates a file.
 func (c *C) Creat(path string) (int, kernel.Errno) {
 	ret := c.T.Syscall(kernel.SysCreat, &kernel.SyscallArgs{Path: path})

@@ -1,0 +1,80 @@
+package diffcheck
+
+import "strings"
+
+// AllowEntry is one deliberate, source-annotated persona deviation. The
+// policy (DESIGN.md "Differential persona testing") is strict: an entry
+// must cite why the paper's design *requires* the two personas to differ
+// at this signature — measurement-side asymmetries like translation-work
+// counters qualify; anything a program could observe through results,
+// errnos, or event order does not, and must be fixed instead.
+type AllowEntry struct {
+	// ID names the entry in reports.
+	ID string
+	// Match is the signature pattern: exact, "prefix*", "*suffix", or "*".
+	Match string
+	// Why cites the paper-backed justification.
+	Why string
+}
+
+// DefaultAllowlist is the repo's deliberate-deviation set.
+func DefaultAllowlist() []AllowEntry {
+	return []AllowEntry{
+		{
+			ID:    "xnu-signal-send-counter",
+			Match: "counter:signal.xnu_send_translated",
+			Why: "iOS-persona kill/sigaction enter through the XNU table, whose " +
+				"shim renumbers XNU signals to canonical and counts each " +
+				"translation; Android-persona syscalls are canonical natively, so " +
+				"the counter is structurally iOS-only. It measures translation " +
+				"work, not observable behavior — delivered signal numbers are " +
+				"compared separately after canonicalization. Cider §4.1 (persona " +
+				"signal delivery) and the Fig. 5 lat_sig overhead make this the " +
+				"expected persona cost asymmetry.",
+		},
+		{
+			ID:    "xnu-signal-deliver-counter",
+			Match: "counter:signal.xnu_deliver_translated",
+			Why: "Delivery-side twin of the send counter: handing a signal to an " +
+				"iOS-persona thread translates the number and copies the larger " +
+				"XNU sigframe (Cider §4.1, the ~25% lat_sig overhead of Fig. 5). " +
+				"The counter tracks that iOS-only work; the handler-observed " +
+				"signal numbers themselves are canonicalized and compared.",
+		},
+	}
+}
+
+// matchSig implements the allowlist glob: exact match, "prefix*",
+// "*suffix", or a bare "*" (same dialect as the fault layer's rules).
+func matchSig(pattern, sig string) bool {
+	switch {
+	case pattern == "*":
+		return true
+	case strings.HasSuffix(pattern, "*"):
+		return strings.HasPrefix(sig, pattern[:len(pattern)-1])
+	case strings.HasPrefix(pattern, "*"):
+		return strings.HasSuffix(sig, pattern[1:])
+	}
+	return pattern == sig
+}
+
+// Filter splits divergences into the residual (unallowlisted) set and a
+// per-entry hit count.
+func Filter(divs []Divergence, allow []AllowEntry) ([]Divergence, map[string]int) {
+	hits := map[string]int{}
+	var kept []Divergence
+	for _, d := range divs {
+		matched := false
+		for _, a := range allow {
+			if matchSig(a.Match, d.Sig) {
+				hits[a.ID]++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			kept = append(kept, d)
+		}
+	}
+	return kept, hits
+}

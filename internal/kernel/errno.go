@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/vfs"
 )
@@ -56,6 +57,13 @@ const (
 	ENOSPC Errno = 28
 	// EPIPE: broken pipe.
 	EPIPE Errno = 32
+	// EDEADLK: resource deadlock would occur. Declared because its Linux
+	// number (35) is BSD's EAGAIN: an undeclared 35 crossing the persona
+	// boundary reads as "would block" to an iOS thread and "deadlock" to an
+	// Android one — the differential oracle caught exactly that on the
+	// errno-storm fault schedule, which injected the BSD number as if it
+	// were canonical.
+	EDEADLK Errno = 35
 	// ENOSYS: function not implemented.
 	ENOSYS Errno = 38
 	// ENOTEMPTY: directory not empty.
@@ -72,8 +80,22 @@ var errnoNames = map[Errno]string{
 	ECHILD: "ECHILD", EAGAIN: "EAGAIN", ENOMEM: "ENOMEM", EACCES: "EACCES",
 	EFAULT: "EFAULT", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR",
 	EISDIR: "EISDIR", EINVAL: "EINVAL", EMFILE: "EMFILE", ENOTTY: "ENOTTY",
-	ENOSPC: "ENOSPC", EPIPE: "EPIPE", ENOSYS: "ENOSYS",
+	ENOSPC: "ENOSPC", EPIPE: "EPIPE", EDEADLK: "EDEADLK", ENOSYS: "ENOSYS",
 	ENOTEMPTY: "ENOTEMPTY", ELOOP: "ELOOP", EOPNOTSUPP: "EOPNOTSUPP",
+}
+
+// Errnos returns every declared canonical errno (excluding OK), sorted.
+// The differential oracle iterates this to prove each value survives the
+// persona boundary as the same semantic condition under both ABIs.
+func Errnos() []Errno {
+	out := make([]Errno, 0, len(errnoNames))
+	for e := range errnoNames {
+		if e != OK {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (e Errno) Error() string {
@@ -112,6 +134,7 @@ var linuxToXNUErrno = map[Errno]int{
 	ENOTTY:     25,
 	ENOSPC:     28,
 	EPIPE:      32,
+	EDEADLK:    11, // BSD EDEADLK; Linux 35 is BSD EAGAIN, so both must be pinned
 	ENOSYS:     78,
 	ENOTEMPTY:  66,
 	ELOOP:      62,

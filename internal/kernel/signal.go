@@ -28,6 +28,14 @@ const (
 	sigCHLD = 17 // XNU: 20
 	sigCONT = 18 // XNU: 19
 	sigSTOP = 19 // XNU: 17
+	sigTSTP = 20 // XNU: 18
+	sigURG  = 23 // XNU: 16
+	sigIO   = 29 // XNU: 23 (SIGIO/SIGPOLL)
+	sigPWR  = 30 // XNU: 29 (see the orphan pairing note on linuxToXNUSignal)
+	sigSYS  = 31 // XNU: 12
+	// sigSTKFLT is Linux-only (stack fault); paired with XNU's Linux-less
+	// SIGEMT so the translation stays bijective.
+	sigSTKFLT = 16 // XNU: 7 (SIGEMT)
 	// NSIG bounds valid canonical numbers.
 	nsig = 32
 )
@@ -51,6 +59,11 @@ const (
 	SIGCHLD = sigCHLD
 	SIGCONT = sigCONT
 	SIGSTOP = sigSTOP
+	SIGTSTP = sigTSTP
+	SIGURG  = sigURG
+	SIGIO   = sigIO
+	SIGPWR  = sigPWR
+	SIGSYS  = sigSYS
 	NSIG    = nsig
 )
 
@@ -218,15 +231,28 @@ func isExceptionSignal(sig int) bool {
 func IsExceptionSignal(sig int) bool { return isExceptionSignal(sig) }
 
 // linuxToXNUSignal maps canonical Linux numbers to XNU numbers where they
-// differ (sys/signal.h on each platform).
+// differ (sys/signal.h on each platform). The map must be a bijection on
+// [1, nsig): a partial table is how the oracle-caught SIGTSTP bug happened
+// — canonical 20 (TSTP) and canonical 17 (CHLD, XNU 20) both translated to
+// XNU 20, so an iOS thread could neither register nor receive TSTP, while
+// the Android persona handled it fine. Two signals have no counterpart on
+// the other platform; they are paired with each other's orphans (STKFLT
+// with EMT, PWR with INFO) so no number is lost in either direction —
+// real Cider's translation table must make the same arbitrary choice or
+// drop those signals entirely. TestSignalMapBijective pins all of this.
 var linuxToXNUSignal = map[int]int{
-	sigBUS:  10,
-	sigUSR1: 30,
-	sigUSR2: 31,
-	sigCHLD: 20,
-	sigCONT: 19,
-	sigSTOP: 17,
-	13:      13, // SIGPIPE same
+	sigBUS:    10,
+	sigUSR1:   30,
+	sigUSR2:   31,
+	sigCHLD:   20,
+	sigCONT:   19,
+	sigSTOP:   17,
+	sigTSTP:   18,
+	sigURG:    16,
+	sigIO:     23,
+	sigSYS:    12,
+	sigSTKFLT: 7,  // Linux SIGSTKFLT <-> XNU SIGEMT (orphan pairing)
+	sigPWR:    29, // Linux SIGPWR   <-> XNU SIGINFO (orphan pairing)
 }
 
 // xnuToLinuxSignal is the inverse mapping.

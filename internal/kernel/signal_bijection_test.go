@@ -1,0 +1,111 @@
+package kernel
+
+import "testing"
+
+// TestSignalMapBijective pins the signal-translation fix the differential
+// persona oracle (internal/diffcheck) forced: the table must be a
+// bijection on [1, NSIG). The pre-fix partial table sent canonical 20
+// (SIGTSTP) through as 20 — which is XNU's SIGCHLD — colliding with
+// canonical 17's (SIGCHLD) translation, so an iOS-persona thread that
+// asked for SIGTSTP actually registered SIGCHLD and could never receive
+// a TSTP, while the Android persona handled it fine.
+func TestSignalMapBijective(t *testing.T) {
+	seenXNU := map[int]int{}
+	for sig := 1; sig < NSIG; sig++ {
+		x := SignalToXNU(sig)
+		if x < 1 || x >= NSIG {
+			t.Errorf("SignalToXNU(%d) = %d, out of [1, %d)", sig, x, NSIG)
+		}
+		if prev, dup := seenXNU[x]; dup {
+			t.Errorf("SignalToXNU collision: canonical %d and %d both map to XNU %d",
+				prev, sig, x)
+		}
+		seenXNU[x] = sig
+		if back := SignalFromXNU(x); back != sig {
+			t.Errorf("SignalFromXNU(SignalToXNU(%d)) = %d, want %d", sig, back, sig)
+		}
+	}
+	for x := 1; x < NSIG; x++ {
+		if fwd := SignalToXNU(SignalFromXNU(x)); fwd != x {
+			t.Errorf("SignalToXNU(SignalFromXNU(%d)) = %d, want %d", x, fwd, x)
+		}
+	}
+}
+
+// TestSignalTranslationKnownPairs pins the individual mappings the
+// bijection fix introduced, including the two orphan pairings (Linux
+// SIGSTKFLT with XNU SIGEMT, Linux SIGPWR with XNU SIGINFO).
+func TestSignalTranslationKnownPairs(t *testing.T) {
+	cases := []struct{ canonical, xnu int }{
+		{SIGTSTP, 18},
+		{SIGURG, 16},
+		{SIGIO, 23},
+		{SIGSYS, 12},
+		{sigSTKFLT, 7},
+		{SIGPWR, 29},
+	}
+	for _, c := range cases {
+		if got := SignalToXNU(c.canonical); got != c.xnu {
+			t.Errorf("SignalToXNU(%d) = %d, want %d", c.canonical, got, c.xnu)
+		}
+		if got := SignalFromXNU(c.xnu); got != c.canonical {
+			t.Errorf("SignalFromXNU(%d) = %d, want %d", c.xnu, got, c.canonical)
+		}
+	}
+	// The collision that motivated the fix: TSTP and CHLD must land on
+	// distinct XNU numbers.
+	if SignalToXNU(SIGTSTP) == SignalToXNU(SIGCHLD) {
+		t.Fatalf("SIGTSTP and SIGCHLD translate to the same XNU number %d",
+			SignalToXNU(SIGTSTP))
+	}
+}
+
+// TestErrnoEDEADLKDistinctFromEAGAIN pins the errno-border fix: canonical
+// (Linux) 35 is EDEADLK but BSD 35 is EAGAIN, and before EDEADLK was
+// declared and pinned the translation passed 35 through unchanged, so an
+// injected canonical EDEADLK read back as EAGAIN from iOS-persona TLS.
+func TestErrnoEDEADLKDistinctFromEAGAIN(t *testing.T) {
+	if EDEADLK == EAGAIN {
+		t.Fatal("EDEADLK and EAGAIN collapsed")
+	}
+	if got := ErrnoToXNU(EDEADLK); got != 11 {
+		t.Fatalf("ErrnoToXNU(EDEADLK) = %d, want 11 (BSD EDEADLK)", got)
+	}
+	if got := ErrnoFromXNU(11); got != EDEADLK {
+		t.Fatalf("ErrnoFromXNU(11) = %v, want EDEADLK", got)
+	}
+	// Round-trip must not leak into EAGAIN's numbers in either direction.
+	if got := ErrnoFromXNU(ErrnoToXNU(EDEADLK)); got != EDEADLK {
+		t.Fatalf("EDEADLK round-trip = %v", got)
+	}
+	if got := ErrnoFromXNU(ErrnoToXNU(EAGAIN)); got != EAGAIN {
+		t.Fatalf("EAGAIN round-trip = %v", got)
+	}
+}
+
+// TestErrnosAccessor sanity-checks the exhaustive-iteration hook the
+// cross-persona fault-injection test builds on.
+func TestErrnosAccessor(t *testing.T) {
+	all := Errnos()
+	if len(all) == 0 {
+		t.Fatal("Errnos() is empty")
+	}
+	seen := map[Errno]bool{}
+	for i, e := range all {
+		if e == OK {
+			t.Error("Errnos() includes OK")
+		}
+		if seen[e] {
+			t.Errorf("Errnos() duplicate %v", e)
+		}
+		seen[e] = true
+		if i > 0 && all[i-1] >= e {
+			t.Fatalf("Errnos() not sorted at %d: %v >= %v", i, all[i-1], e)
+		}
+	}
+	for _, want := range []Errno{EAGAIN, EDEADLK, EINTR, ENOSYS} {
+		if !seen[want] {
+			t.Errorf("Errnos() missing %v", want)
+		}
+	}
+}

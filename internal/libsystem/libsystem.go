@@ -145,6 +145,24 @@ func (c *C) Open(path string) (int, kernel.Errno) {
 	return int(int64(ret.R0)), ret.Errno
 }
 
+// OpenFlags opens a path with XNU open(2) flag bits (an iOS binary passes
+// XNU's numbering, e.g. O_CREAT = 0x200; the ABI table renumbers).
+func (c *C) OpenFlags(path string, flags int) (int, kernel.Errno) {
+	ret := c.T.Syscall(abi.XNUOpen, &kernel.SyscallArgs{Path: path, I: [6]uint64{0, uint64(flags)}})
+	return int(int64(ret.R0)), ret.Errno
+}
+
+// OpenCreate opens a path, creating it if absent (open with XNU O_CREAT).
+func (c *C) OpenCreate(path string) (int, kernel.Errno) {
+	return c.OpenFlags(path, abi.XNUOCreat)
+}
+
+// Dup duplicates a descriptor.
+func (c *C) Dup(fd int) (int, kernel.Errno) {
+	ret := c.T.Syscall(abi.XNUDup, &kernel.SyscallArgs{I: [6]uint64{uint64(fd)}})
+	return int(int64(ret.R0)), ret.Errno
+}
+
 // Creat creates (or truncates) a file.
 func (c *C) Creat(path string) (int, kernel.Errno) {
 	ret := c.T.Syscall(abi.XNUCreat, &kernel.SyscallArgs{Path: path})

@@ -3,7 +3,18 @@ package prog
 import (
 	"repro/internal/elfx"
 	"repro/internal/macho"
+	"repro/internal/vfs"
 )
+
+// InstallStatic builds a static ELF for key and writes it at path —
+// the one-liner every test cell repeats to stage its program binary.
+func InstallStatic(fs *vfs.FS, path, key string) error {
+	bin, err := StaticELF(key)
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(path, bin)
+}
 
 // StaticELF builds a minimal static ELF executable whose text payload is
 // the given program key — the shape of a small test binary like lmbench's

@@ -73,9 +73,15 @@ func Schedules() []Schedule {
 		{
 			Name: "errno-storm",
 			Desc: "transient errno injection at syscall dispatch",
+			// Injected errnos are CANONICAL (Linux) numbers: the dispatch
+			// path translates to BSD numbering for iOS-persona TLS. An
+			// earlier version injected 35 here "as EAGAIN" — that is BSD's
+			// number; canonically 35 is EDEADLK, so the same rule surfaced
+			// as would-block on one persona and deadlock on the other (the
+			// differential oracle's errno-mapping finding).
 			Plan: fault.Plan{Name: "errno-storm", Seed: 0x5eed0002, Rules: []fault.Rule{
 				{Op: fault.OpSyscall, Match: "*/read", Errno: 4 /* EINTR */, Every: 11},
-				{Op: fault.OpSyscall, Match: "*/write", Errno: 35 /* EAGAIN */, Every: 13},
+				{Op: fault.OpSyscall, Match: "*/write", Errno: 11 /* EAGAIN (canonical) */, Every: 13},
 				{Op: fault.OpSyscall, Match: "*/dup", Errno: 24 /* EMFILE */, Every: 5},
 				{Op: fault.OpSyscall, Match: "*/open", Errno: 4 /* EINTR */, Every: 9},
 			}},

@@ -14,6 +14,7 @@ package trace
 import (
 	"math/bits"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/persona"
@@ -133,6 +134,47 @@ type Event struct {
 	Name    string         `json:"name,omitempty"`
 	Errno   int            `json:"errno,omitempty"`
 	Detail  string         `json:"detail,omitempty"`
+}
+
+// Short renders the event as one compact ktrace-style line without the
+// timestamp or sequence number — the shape-only view differential tools
+// compare across configurations whose virtual clocks legitimately differ.
+func (e Event) Short() string {
+	var b []byte
+	b = append(b, e.Kind.String()...)
+	b = append(b, ' ')
+	b = append(b, e.Proc...)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(e.ProcID), 10)
+	b = append(b, ']')
+	switch e.Kind {
+	case EvSched:
+		b = append(b, ' ')
+		b = append(b, e.Sched.String()...)
+	case EvSyscallEnter, EvSyscallExit:
+		b = append(b, ' ')
+		if e.Name != "" {
+			b = append(b, e.Name...)
+		} else {
+			b = strconv.AppendInt(b, int64(e.Sysno), 10)
+		}
+		if e.Kind == EvSyscallExit {
+			b = append(b, " errno="...)
+			b = strconv.AppendInt(b, int64(e.Errno), 10)
+		}
+	case EvSignal, EvExc:
+		b = append(b, " sig="...)
+		b = strconv.AppendInt(b, int64(e.Sysno), 10)
+	case EvFault, EvRespawn:
+		b = append(b, ' ')
+		b = append(b, e.Name...)
+	}
+	if e.Detail != "" {
+		b = append(b, " ("...)
+		b = append(b, e.Detail...)
+		b = append(b, ')')
+	}
+	return string(b)
 }
 
 // HistBuckets is the number of log2 latency buckets per histogram;

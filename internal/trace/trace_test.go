@@ -186,3 +186,39 @@ func TestTextIncludesSections(t *testing.T) {
 		}
 	}
 }
+
+// TestEventShort pins the compact shape-only rendering differential
+// tools compare: no timestamp, no sequence number, per-kind payload.
+func TestEventShort(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{
+			Event{Seq: 9, At: 5 * time.Millisecond, Kind: EvSyscallExit,
+				Proc: "pid1:/bin/app", ProcID: 1, Persona: persona.IOS, Sysno: 41, Name: "dup", Errno: 9},
+			"sysexit pid1:/bin/app[1] dup errno=9",
+		},
+		{
+			Event{Kind: EvSyscallEnter, Proc: "p", ProcID: 2, Sysno: 63},
+			"sysenter p[2] 63",
+		},
+		{
+			Event{Kind: EvSignal, Proc: "p", ProcID: 1, Sysno: 20, Detail: "handler"},
+			"signal p[1] sig=20 (handler)",
+		},
+		{
+			Event{Kind: EvFault, Proc: "p", ProcID: 1, Name: "android/read", Detail: "syscall"},
+			"fault p[1] android/read (syscall)",
+		},
+		{
+			Event{Kind: EvSched, Proc: "p", ProcID: 3, Sched: sim.SchedSpawn},
+			"sched p[3] " + sim.SchedSpawn.String(),
+		},
+	}
+	for _, c := range cases {
+		if got := c.ev.Short(); got != c.want {
+			t.Errorf("Short() = %q, want %q", got, c.want)
+		}
+	}
+}
