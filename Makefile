@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke verify
+.PHONY: build test vet lint lint-fixtures race bench bench-smoke soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke verify
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs ciderlint, the simulator-invariant suite (wallclock,
-# chargecheck, waketag, tracepure — see DESIGN.md "Simulation invariants").
+# lint runs ciderlint, the full static suite: the v1 simulation
+# invariants (wallclock, chargecheck, waketag, tracepure) and the v2
+# ABI-fidelity/concurrency/hot-path passes (tablecomplete, xlatecheck,
+# lockorder, hotalloc) — see DESIGN.md "Simulation invariants" and
+# "Static analysis v2". -timing prints per-analyzer wall-clock totals and
+# the trailing findings/allowed/analyzers summary line.
 lint:
-	$(GO) run ./cmd/ciderlint ./...
+	$(GO) run ./cmd/ciderlint -timing ./...
+
+# lint-fixtures is the bounded analyzer smoke wired into verify: the
+# want-annotated fixture suites prove each analyzer still fires on its
+# known-bad shapes (a regression here means the tree gate is toothless).
+lint-fixtures:
+	$(GO) test -count=1 -run 'TestWallclock|TestChargeCheck|TestWakeTag|TestTracePure|TestTableComplete|TestXlateCheck|TestLockOrder|TestHotAlloc|TestDirectives' ./internal/analysis
 
 test:
 	$(GO) test ./...
@@ -69,4 +79,4 @@ diffcheck-smoke:
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # ciderlint, pass the full test suite under the race detector, and run
 # the bench, soak, and diffcheck harnesses once end to end.
-verify: build vet lint race bench-smoke soak-smoke soak-smoke-crash diffcheck-smoke
+verify: build vet lint lint-fixtures race bench-smoke soak-smoke soak-smoke-crash diffcheck-smoke

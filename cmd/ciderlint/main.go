@@ -1,16 +1,22 @@
 // Command ciderlint runs the simulator-invariant analysis suite over the
-// module: wallclock, chargecheck, waketag, and tracepure (see
-// internal/analysis and the "Simulation invariants" section of DESIGN.md).
+// module: the v1 passes (wallclock, chargecheck, waketag, tracepure) plus
+// the v2 ABI-fidelity and concurrency passes (tablecomplete, xlatecheck,
+// lockorder, hotalloc) — see internal/analysis and the "Static analysis"
+// sections of DESIGN.md.
 //
 // Usage:
 //
-//	ciderlint [-C dir] [patterns...]
+//	ciderlint [-C dir] [-json] [-timing] [patterns...]
 //
-// Patterns default to ./... . Exit status is 1 if any finding survives
-// //lint:allow suppression, 2 on load/internal errors.
+// Patterns default to ./... . With -json, every diagnostic — suppressed
+// ones included, with their allow status and reason — is emitted as one
+// JSON object on stdout, followed by a summary object. With -timing,
+// per-analyzer wall-clock totals go to stderr. Exit status is 1 if any
+// finding survives //lint:allow suppression, 2 on load/internal errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +24,31 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonDiag is the -json wire shape for one diagnostic.
+type jsonDiag struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Allowed     bool   `json:"allowed"`
+	AllowReason string `json:"allow_reason,omitempty"`
+}
+
+// jsonSummary trails the diagnostic stream so CI can assert on totals
+// without re-counting.
+type jsonSummary struct {
+	Summary   bool             `json:"summary"`
+	Findings  int              `json:"findings"`
+	Allowed   int              `json:"allowed"`
+	Analyzers int              `json:"analyzers"`
+	TimingsMS map[string]int64 `json:"timings_ms,omitempty"`
+}
+
 func main() {
 	dir := flag.String("C", ".", "module root to analyze")
+	asJSON := flag.Bool("json", false, "emit diagnostics (and a trailing summary) as JSON objects")
+	timing := flag.Bool("timing", false, "report per-analyzer wall-clock totals on stderr")
 	flag.Parse()
 
 	prog, err := analysis.Load(analysis.LoadConfig{Dir: *dir}, flag.Args()...)
@@ -27,16 +56,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ciderlint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(prog, analysis.All())
+	suite := analysis.All()
+	res, err := analysis.RunAll(prog, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ciderlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	findings, allowed := 0, 0
+	for _, d := range res.Diags {
+		if d.Allowed {
+			allowed++
+		} else {
+			findings++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ciderlint: %d finding(s)\n", len(diags))
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range res.Diags {
+			if err := enc.Encode(jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+				Allowed: d.Allowed, AllowReason: d.AllowReason,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "ciderlint:", err)
+				os.Exit(2)
+			}
+		}
+		sum := jsonSummary{Summary: true, Findings: findings, Allowed: allowed, Analyzers: len(suite)}
+		if *timing {
+			sum.TimingsMS = map[string]int64{}
+			for _, tm := range res.Timings {
+				sum.TimingsMS[tm.Name] = tm.Elapsed.Milliseconds()
+			}
+		}
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintln(os.Stderr, "ciderlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Findings() {
+			fmt.Println(d)
+		}
+	}
+
+	if *timing {
+		for _, tm := range res.Timings {
+			fmt.Fprintf(os.Stderr, "ciderlint: %-14s %8.1fms\n", tm.Name, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "ciderlint: %d finding(s), %d allowed, %d analyzers\n",
+		findings, allowed, len(suite))
+	if findings > 0 {
 		os.Exit(1)
 	}
 }

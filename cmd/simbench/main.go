@@ -206,7 +206,7 @@ func switchBench() (nsPerSwitch float64, allocsPerRound int64) {
 				for j := 0; j < rounds; j++ {
 					p.Advance(time.Microsecond)
 					p.Wake(pb, sim.WakeNormal)
-					//lint:allow waketag closed benchmark pair: a is only ever woken normally by b
+					//lint:allow waketag: closed benchmark pair: a is only ever woken normally by b
 					p.Park("pong")
 				}
 				p.Wake(pb, sim.WakeInterrupted)

@@ -41,20 +41,20 @@ const (
 // simulation implements. Where XNU and Linux numbering differ, the wrapper
 // here is exactly the renumbering + convention shim Cider generates.
 const (
-	XNUExit       = 1
-	XNUFork       = 2
-	XNURead       = 3
-	XNUWrite      = 4
-	XNUOpen       = 5
-	XNUClose      = 6
-	XNUWait4      = 7
-	XNUUnlink     = 10
-	XNUGetpid     = 20
+	XNUExit   = 1
+	XNUFork   = 2
+	XNURead   = 3
+	XNUWrite  = 4
+	XNUOpen   = 5
+	XNUClose  = 6
+	XNUWait4  = 7
+	XNUUnlink = 10
+	XNUGetpid = 20
 	// XNUDup is dup(2); XNU and Linux/ARM happen to agree on 41, but the
 	// entry must still exist in this table — its absence made every
 	// iOS-persona dup return ENOSYS while the Android persona's worked,
 	// the first fd-state divergence the differential oracle flagged.
-	XNUDup = 41
+	XNUDup        = 41
 	XNUKill       = 37
 	XNUGetppid    = 39
 	XNUPipe       = 42
@@ -302,7 +302,7 @@ func installXNU(k *kernel.Kernel, native bool) *kernel.SyscallTable {
 	})
 	tb.Register(TaskSelfTrap, "task_self", func(t *kernel.Thread, a *kernel.SyscallArgs) kernel.SyscallRet {
 		// The task self port name is modeled as pid-tagged.
-		//lint:allow chargecheck task_self returns a cached name, modeled at trap entry/exit cost only
+		//lint:allow chargecheck: task_self returns a cached name, modeled at trap entry/exit cost only
 		return kernel.SyscallRet{R0: uint64(0x900 + t.Task().PID())}
 	})
 	tb.Register(SemaphoreWaitTrap, "semaphore_wait", func(t *kernel.Thread, a *kernel.SyscallArgs) kernel.SyscallRet {

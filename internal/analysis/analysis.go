@@ -17,12 +17,32 @@
 //	tracepure   — code reachable from trace sink callbacks never re-enters
 //	              the simulator (the zero-cost-when-disabled guarantee).
 //
+// The v2 suite (see DESIGN.md, "Static analysis v2") adds the
+// ABI-fidelity and hot-path analyzers grown out of the PR 6 differential
+// persona oracle — every divergence class it caught dynamically is now
+// statically enumerable:
+//
+//	tablecomplete — syscall tables, errno/signal maps, and open-flag
+//	                translations must cover the declared ABI surface, and
+//	                the maps must be bijections (the missing-dup and
+//	                EDEADLK/EAGAIN collision bug classes).
+//	xlatecheck    — raw errno/flag/signal constants of one persona's
+//	                numbering must never reach the other persona's trap
+//	                without passing through the translation helpers (the
+//	                PR 6 open(O_CREAT) bug, as a lint).
+//	lockorder     — the static lock-acquisition graph must be acyclic and
+//	                no blocking primitive may be entered with a lock held.
+//	hotalloc      — functions annotated //hot:noalloc must be
+//	                allocation-free, guarding the 0-allocs switch path
+//	                without a benchmark run.
+//
 // Deliberate exceptions are annotated in source with
 //
-//	//lint:allow <analyzer> <reason>
+//	//lint:allow <analyzer>: <reason>
 //
-// on the flagged line or the line directly above it. The reason is
-// mandatory: an allow without a justification is itself a diagnostic.
+// on the flagged line or the line directly above it. The colon and the
+// reason are mandatory: a bare allow (no justification) is itself a
+// diagnostic, and so is a stale allow that suppresses nothing.
 package analysis
 
 import (
@@ -32,6 +52,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant checker.
@@ -154,6 +175,12 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Allowed marks a finding suppressed by a //lint:allow directive;
+	// AllowReason carries the directive's justification. Run filters
+	// allowed findings out; RunAll keeps them so tooling (ciderlint -json)
+	// can report allow status.
+	Allowed     bool
+	AllowReason string
 }
 
 func (d Diagnostic) String() string {
@@ -256,16 +283,21 @@ type directive struct {
 	analyzer string
 	reason   string
 	pos      token.Position
+	// hits counts findings this directive suppressed; a directive whose
+	// analyzer ran yet hit nothing is stale and reported as a finding.
+	hits int
 }
 
 // DirectivePrefix is the comment marker the driver understands.
 const DirectivePrefix = "//lint:allow"
 
 // parseDirectives extracts //lint:allow directives from a package's files.
-// Malformed directives (missing analyzer or reason, unknown analyzer name)
-// are reported as diagnostics in their own right.
-func parseDirectives(prog *Program, pkg *Package, known map[string]bool, diags *[]Diagnostic) []directive {
-	var out []directive
+// Malformed directives (missing colon, missing reason, unknown analyzer
+// name) are reported as diagnostics in their own right: a suppression
+// without a justification is exactly the kind of silent exception the
+// suite exists to forbid.
+func parseDirectives(prog *Program, pkg *Package, known map[string]bool, diags *[]Diagnostic) []*directive {
+	var out []*directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -279,13 +311,22 @@ func parseDirectives(prog *Program, pkg *Package, known map[string]bool, diags *
 				if i := strings.Index(rest, "// want"); i >= 0 {
 					rest = strings.TrimSpace(rest[:i])
 				}
-				name, reason, _ := strings.Cut(rest, " ")
+				name, reason, colon := strings.Cut(rest, ":")
+				name = strings.TrimSpace(name)
 				reason = strings.TrimSpace(reason)
-				if name == "" || reason == "" {
+				if !colon || strings.ContainsAny(name, " \t") || name == "" {
 					*diags = append(*diags, Diagnostic{
 						Pos:      pos,
 						Analyzer: "ciderlint",
-						Message:  "malformed directive: want //lint:allow <analyzer> <reason>",
+						Message:  "malformed directive: want //lint:allow <analyzer>: <reason>",
+					})
+					continue
+				}
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ciderlint",
+						Message:  fmt.Sprintf("bare //lint:allow %s: a suppression must carry a justification after the colon", name),
 					})
 					continue
 				}
@@ -297,7 +338,7 @@ func parseDirectives(prog *Program, pkg *Package, known map[string]bool, diags *
 					})
 					continue
 				}
-				out = append(out, directive{
+				out = append(out, &directive{
 					file: pos.Filename, line: pos.Line,
 					analyzer: name, reason: reason, pos: pos,
 				})
@@ -307,49 +348,95 @@ func parseDirectives(prog *Program, pkg *Package, known map[string]bool, diags *
 	return out
 }
 
-// Run executes the analyzers over every Lint-selected package of the
-// program, applies //lint:allow suppression, and returns the surviving
-// diagnostics sorted by position.
-func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+// AnalyzerTiming records one analyzer's cumulative wall-clock time across
+// every linted package, so `make lint` can surface slow passes.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// Result is a full analysis run: every diagnostic (allowed ones included,
+// marked) plus per-analyzer timings.
+type Result struct {
+	// Diags holds all findings sorted by position; suppressed findings are
+	// kept with Allowed=true so tooling can report allow status.
+	Diags []Diagnostic
+	// Timings lists per-analyzer elapsed time, in suite order.
+	Timings []AnalyzerTiming
+}
+
+// Findings returns the diagnostics that survive suppression.
+func (r *Result) Findings() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if !d.Allowed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAll executes the analyzers over every Lint-selected package of the
+// program and applies //lint:allow suppression, keeping suppressed
+// findings (marked Allowed) in the result. A directive that suppresses
+// nothing — while its analyzer is part of the run — is itself reported as
+// stale: dead allows rot into blanket exemptions when the code under them
+// changes.
+func RunAll(prog *Program, analyzers []*Analyzer) (*Result, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	res := &Result{}
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
 		if !pkg.Lint {
 			continue
 		}
 		for _, a := range analyzers {
+			start := time.Now()
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
+			elapsed[a.Name] += time.Since(start)
 		}
 	}
 	// Directive suppression: an allow on the flagged line, or on the line
 	// directly above it, silences that analyzer there.
-	var dirs []directive
+	var dirs []*directive
 	for _, pkg := range prog.Packages {
 		if !pkg.Lint {
 			continue
 		}
 		dirs = append(dirs, parseDirectives(prog, pkg, known, &diags)...)
 	}
-	allowed := make(map[string]bool, len(dirs))
+	byKey := make(map[string]*directive, 2*len(dirs))
 	for _, d := range dirs {
-		allowed[fmt.Sprintf("%s:%d:%s", d.file, d.line, d.analyzer)] = true
-		allowed[fmt.Sprintf("%s:%d:%s", d.file, d.line+1, d.analyzer)] = true
+		byKey[fmt.Sprintf("%s:%d:%s", d.file, d.line, d.analyzer)] = d
+		byKey[fmt.Sprintf("%s:%d:%s", d.file, d.line+1, d.analyzer)] = d
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if allowed[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)] {
-			continue
+	for i := range diags {
+		d := &diags[i]
+		if dir, ok := byKey[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)]; ok {
+			d.Allowed = true
+			d.AllowReason = dir.reason
+			dir.hits++
 		}
-		kept = append(kept, d)
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	for _, dir := range dirs {
+		if dir.hits == 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "ciderlint",
+				Message: fmt.Sprintf("stale //lint:allow %s: no %s finding here to suppress — remove the directive",
+					dir.analyzer, dir.analyzer),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -361,10 +448,28 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept, nil
+	res.Diags = diags
+	for _, a := range analyzers {
+		res.Timings = append(res.Timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	return res, nil
 }
 
-// All returns the full ciderlint suite.
+// Run executes the analyzers and returns only the diagnostics surviving
+// //lint:allow suppression, sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunAll(prog, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings(), nil
+}
+
+// All returns the full ciderlint suite: the four v1 simulation invariants
+// plus the four v2 ABI-fidelity/concurrency/hot-path analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, ChargeCheck, WakeTag, TracePure}
+	return []*Analyzer{
+		Wallclock, ChargeCheck, WakeTag, TracePure,
+		TableComplete, XlateCheck, LockOrder, HotAlloc,
+	}
 }

@@ -71,7 +71,7 @@ func Install(tb *kernel.SyscallTable, hooks *kernel.Hooks, cb func()) {
 
 	// A deliberately free syscall carries a justified allow directive.
 	tb.Register(9, "getpid", func(t *kernel.Thread) kernel.SyscallRet {
-		//lint:allow chargecheck pid is served from the cached persona, no modeled cost
+		//lint:allow chargecheck: pid is served from the cached persona, no modeled cost
 		return kernel.SyscallRet{R0: pidOf(t)}
 	})
 

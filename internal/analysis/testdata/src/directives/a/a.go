@@ -1,16 +1,16 @@
 // Fixture for the //lint:allow directive machinery itself: suppression on
-// the same line and the line above, mandatory reasons, and unknown
-// analyzer names.
+// the same line and the line above, the mandatory colon-separated reason,
+// unknown analyzer names, and stale directives.
 package a
 
 import "directives/sim"
 
 func SameLine(p *sim.Proc) {
-	p.Sleep(1) //lint:allow waketag fixture: suppressed on the same line
+	p.Sleep(1) //lint:allow waketag: fixture: suppressed on the same line
 }
 
 func LineAbove(p *sim.Proc) {
-	//lint:allow waketag fixture: suppressed from the line above
+	//lint:allow waketag: fixture: suppressed from the line above
 	p.Sleep(2)
 }
 
@@ -18,15 +18,41 @@ func NotSuppressed(p *sim.Proc) {
 	p.Sleep(3) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
 }
 
-// A directive must name an analyzer and give a reason.
-//lint:allow waketag // want `ciderlint: malformed directive`
+// A directive must separate the analyzer name from its reason with a colon.
+//lint:allow waketag no colon here // want `ciderlint: malformed directive`
+
+// ...and the reason after the colon may not be empty.
+func BareReason(p *sim.Proc) {
+	//lint:allow waketag: // want `ciderlint: bare //lint:allow waketag`
+	p.Sleep(4) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+}
 
 // ...and the analyzer must exist.
-//lint:allow speling this reason does not save it // want `ciderlint: directive names unknown analyzer "speling"`
+//lint:allow speling: this reason does not save it // want `ciderlint: directive names unknown analyzer "speling"`
 
 // A directive only silences its own analyzer; this one aims at the wrong
-// invariant and the finding survives.
+// invariant, the finding survives, and the directive itself is reported
+// stale because it suppressed nothing.
 func WrongAnalyzer(p *sim.Proc) {
-	//lint:allow tracepure not the analyzer that fired
-	p.Sleep(4) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+	//lint:allow tracepure: not the analyzer that fired // want `ciderlint: stale //lint:allow tracepure`
+	p.Sleep(5) // want `waketag: wake tag of sim\.Proc\.Sleep discarded`
+}
+
+// A suppression applies to the first line of a multi-line statement: the
+// directive above a call whose arguments span lines still matches, because
+// the diagnostic position is the call's opening line.
+func MultiLine(p *sim.Proc) {
+	//lint:allow waketag: fixture: multi-line call, directive matches the opening line
+	p.Sleep(sum(
+		1,
+		2,
+	))
+}
+
+func sum(xs ...int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }

@@ -1,0 +1,71 @@
+// Fixture for hotalloc: direct allocation sites, amortized-growth
+// exemptions, transitive (witness-chained) allocation through callees,
+// and the cold-path allow escape hatch.
+package sim
+
+type Proc struct {
+	buf  []int
+	seen map[int]int
+}
+
+//hot:noalloc
+func Direct(p *Proc) {
+	p.buf = make([]int, 4) // want `hotalloc: allocation in //hot:noalloc Direct: make`
+}
+
+// Amortized growth is exempt by policy: append and map insert reallocate
+// only on growth.
+//
+//hot:noalloc
+func Amortized(p *Proc, x int) {
+	p.buf = append(p.buf, x)
+	p.seen[x] = x
+}
+
+func helper() *Proc {
+	return &Proc{}
+}
+
+//hot:noalloc
+func Indirect(p *Proc) {
+	helper() // want `hotalloc: //hot:noalloc Indirect calls helper, which may allocate: &composite literal`
+}
+
+func mid() *Proc { return helper() }
+
+//hot:noalloc
+func Via() {
+	mid() // want `hotalloc: //hot:noalloc Via calls mid, which may allocate: &composite literal \(via helper\)`
+}
+
+//hot:noalloc
+func Closure(p *Proc) {
+	f := func() { p.buf = nil } // want `hotalloc: allocation in //hot:noalloc Closure: func literal`
+	f()
+}
+
+//hot:noalloc
+func Concat(a, b string) string {
+	return a + b // want `hotalloc: allocation in //hot:noalloc Concat: string concatenation`
+}
+
+// ColdPath justifies its one-time lazy allocation; the allow both
+// suppresses the finding here and keeps callers untainted.
+//
+//hot:noalloc
+func ColdPath(p *Proc) {
+	if p.buf == nil {
+		//lint:allow hotalloc: fixture: one-time lazy allocation on the cold path
+		p.buf = make([]int, 0, 8)
+	}
+}
+
+//hot:noalloc
+func CallsColdPath(p *Proc) {
+	ColdPath(p)
+}
+
+// unannotated may allocate freely.
+func unannotated() []int {
+	return make([]int, 1)
+}

@@ -1,0 +1,23 @@
+// Stand-in sim package for the lockorder fixture: the blocking seeds
+// (Proc.Park/Sleep, WaitQueue waits) and the LckMtx lock primitive.
+package sim
+
+type Proc struct{ now int64 }
+
+func (p *Proc) Park(reason string) int { return 0 }
+func (p *Proc) Sleep(d int64) int      { p.now += d; return 0 }
+func (p *Proc) Advance(d int64)        { p.now += d }
+
+type WaitQueue struct{ n int }
+
+func (q *WaitQueue) Wait(p *Proc) int                         { return 0 }
+func (q *WaitQueue) WaitTimeout(p *Proc, d int64) (int, bool) { return 0, false }
+func (q *WaitQueue) WakeOne(p *Proc, tag int) *Proc           { return nil }
+
+// LckMtx is the lock primitive; its methods are excluded from may-block
+// propagation (contention is an order-graph edge, not a park).
+type LckMtx struct{ locked bool }
+
+func (m *LckMtx) Lock(p *Proc)         { m.locked = true }
+func (m *LckMtx) Unlock(p *Proc)       { m.locked = false }
+func (m *LckMtx) TryLock(p *Proc) bool { m.locked = true; return true }

@@ -1,0 +1,27 @@
+// Fixture for tablecomplete's open-flag coverage check: every declared
+// XNUO* flag bit must be consumed by a translation somewhere in its
+// package.
+package abi
+
+const (
+	// XNUOpen is a syscall number, not a flag bit (lowercase after XNUO),
+	// and is exempt even though nothing uses it here.
+	XNUOpen = 5
+
+	XNUOCreat = 0x200
+	XNUOTrunc = 0x400
+	XNUOExcl  = 0x800 // want `tablecomplete: open flag XNUOExcl is declared but never consumed by a translation`
+)
+
+// translateOpenFlags consumes Creat and Trunc but forgets Excl: that bit
+// crosses the persona boundary dropped or raw.
+func translateOpenFlags(linux int) int {
+	out := 0
+	if linux&0x40 != 0 {
+		out |= XNUOCreat
+	}
+	if linux&0x200 != 0 {
+		out |= XNUOTrunc
+	}
+	return out
+}

@@ -40,6 +40,6 @@ func Drive(p *sim.Proc) {
 // A replay harness may deliberately reinject wakeups, with a justified
 // allow directive.
 func (s *Session) Signal(sig int) {
-	//lint:allow tracepure replay harness reinjects the recorded wakeup
+	//lint:allow tracepure: replay harness reinjects the recorded wakeup
 	s.proc.Wake(s.proc, 1)
 }

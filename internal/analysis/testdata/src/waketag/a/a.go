@@ -31,7 +31,7 @@ func Consumes(p *sim.Proc, q *sim.WaitQueue) bool {
 // justified allow directive.
 func Uninterruptible(p *sim.Proc, q *sim.WaitQueue) {
 	for i := 0; i < 2; i++ {
-		//lint:allow waketag uninterruptible lock: loop re-checks ownership
+		//lint:allow waketag: uninterruptible lock: loop re-checks ownership
 		q.Wait(p)
 	}
 }

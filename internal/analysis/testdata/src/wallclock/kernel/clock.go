@@ -42,6 +42,6 @@ func Budget(d time.Duration) time.Duration {
 
 // A reviewed exception is silenced with a justified allow directive.
 func WallDeadline() time.Time {
-	//lint:allow wallclock host watchdog deadline is outside the simulation
+	//lint:allow wallclock: host watchdog deadline is outside the simulation
 	return time.Now().Add(time.Second)
 }

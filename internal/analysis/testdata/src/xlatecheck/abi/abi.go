@@ -1,0 +1,69 @@
+// Stand-in abi (XNU persona) package for the xlatecheck fixture: XNU trap
+// numbers, the wrap registration closure, and trap-feeding helpers whose
+// parameter requirements export to other packages.
+package abi
+
+import "xlatecheck/kernel"
+
+// XNU-domain trap numbers and flag bits.
+const (
+	XNUKillTrap = 37
+	XNUOCreat   = 0x200
+)
+
+// wrap mirrors the real abi package's forwarding closure shape:
+// (xnuNum, linuxNum, name, transform).
+func wrap(xnuNum, linuxNum int, name string, xform func(*uint64)) {
+	_ = xnuNum + linuxNum
+	_ = name
+	_ = xform
+}
+
+func install() {
+	// The PR 6 open(O_CREAT) shape: a payload-carrying syscall wrapped
+	// with a nil transform forwards raw XNU flag bits to the Linux
+	// implementation.
+	wrap(5, 5, "open", nil) // want `xlatecheck: syscall "open" carries persona-numbered payloads but is wrapped with a nil transform`
+
+	// close carries no persona-numbered payload; nil is fine.
+	wrap(6, 6, "close", nil)
+
+	// kill with a real transform is the fixed shape.
+	wrap(37, 62, "kill", func(a *uint64) { *a = uint64(kernel.SignalFromXNU(int(*a))) })
+}
+
+// Kill feeds its sig parameter into an XNU trap, so call sites must pass
+// XNU numbering: the requirement is exported to importing packages.
+func Kill(t *kernel.Thread, pid, sig int) {
+	_ = pid
+	t.Syscall(XNUKillTrap, uint64(sig))
+}
+
+// DirectBad passes a Linux payload straight into an XNU trap.
+func DirectBad(t *kernel.Thread) {
+	t.Syscall(XNUKillTrap, uint64(kernel.SIGUSR1)) // want `xlatecheck: Linux payload SIGUSR1 flows into a XNU trap untranslated`
+}
+
+// DirectGood translates first.
+func DirectGood(t *kernel.Thread) {
+	t.Syscall(XNUKillTrap, uint64(kernel.SignalToXNU(kernel.SIGUSR1)))
+}
+
+// DirectSuppressed shows the allow machinery applies to xlatecheck.
+func DirectSuppressed(t *kernel.Thread) {
+	//lint:allow xlatecheck: fixture: raw path kept to exercise suppression
+	t.Syscall(XNUKillTrap, uint64(kernel.SIGUSR1))
+}
+
+// generic serves both personas: its n parameter reaches a Linux trap and
+// an XNU trap, so the requirement conflicts away and call sites are free.
+func generic(t *kernel.Thread, n int) {
+	t.Syscall(kernel.SysOpen, uint64(n))
+	t.Syscall(XNUKillTrap, uint64(n))
+}
+
+// ConflictFree passes a Linux payload into the conflicted parameter: no
+// requirement, no finding.
+func ConflictFree(t *kernel.Thread) {
+	generic(t, kernel.SIGUSR1)
+}

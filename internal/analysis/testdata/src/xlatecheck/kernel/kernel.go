@@ -1,0 +1,57 @@
+// Stand-in kernel package for the xlatecheck fixture: canonical
+// (Linux-numbered) constants, the trap entry point, translation helpers,
+// and the iOS TLS errno field.
+package kernel
+
+// Errno is the canonical error type; its constants are Linux payloads.
+type Errno int
+
+const (
+	EPERM  Errno = 1
+	EAGAIN Errno = 11
+)
+
+// Canonical signal numbers and open-flag bits are Linux payloads too.
+const (
+	SIGUSR1 = 10
+	OCreat  = 0x40
+)
+
+// Linux-domain trap numbers.
+const (
+	SysOpen = 5
+	SysKill = 37
+)
+
+// Thread is the trap entry point; a 2-arg Syscall matches the real
+// dispatcher's (number, payload) shape.
+type Thread struct{ errno int }
+
+func (t *Thread) Syscall(num int, arg uint64) uint64 { return arg }
+
+// Translation helpers: results are of the target domain and the argument
+// subtree is sanitized.
+func SignalToXNU(sig int) int   { return sig }
+func SignalFromXNU(sig int) int { return sig }
+func ErrnoToXNU(e Errno) int    { return int(e) }
+func ErrnoFromXNU(x int) Errno  { return Errno(x) }
+
+// Persona/TLS stand-ins for the errno border-crossing rule.
+const IOS = 1
+
+type TLSState struct{ Errno int }
+
+type Persona struct{ ios TLSState }
+
+func (p *Persona) TLS(k int) *TLSState { return &p.ios }
+
+// SetErrnoRaw writes Linux numbering straight into the iOS errno slot:
+// the errno-35 border crossing.
+func SetErrnoRaw(p *Persona, e Errno) {
+	p.TLS(IOS).Errno = int(e) // want `xlatecheck: canonical Errno value written to the iOS TLS errno field without ErrnoToXNU`
+}
+
+// SetErrnoTranslated routes through the helper and is clean.
+func SetErrnoTranslated(p *Persona, e Errno) {
+	p.TLS(IOS).Errno = ErrnoToXNU(e)
+}

@@ -1,0 +1,19 @@
+// Cross-package leg of the xlatecheck fixture: abi.Kill's sig-parameter
+// requirement (XNU numbering) was computed while analyzing the abi
+// package and must reach call sites here through the whole-program fact.
+package libsystem
+
+import (
+	"xlatecheck/abi"
+	"xlatecheck/kernel"
+)
+
+// RaiseBad hands a canonical signal number to the XNU-facing wrapper.
+func RaiseBad(t *kernel.Thread) {
+	abi.Kill(t, 1, kernel.SIGUSR1) // want `xlatecheck: Linux payload SIGUSR1 flows into XNU parameter 2 of Kill`
+}
+
+// RaiseGood translates at the boundary.
+func RaiseGood(t *kernel.Thread) {
+	abi.Kill(t, 1, kernel.SignalToXNU(kernel.SIGUSR1))
+}

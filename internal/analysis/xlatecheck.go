@@ -1,0 +1,546 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// XlateCheck is the interprocedural taint pass for persona-numbered
+// payloads: raw errno/flag/signal constants of one persona's numbering
+// must never flow into a trap (or a trap-bound parameter) of the other
+// persona without passing through a translation helper. It mechanizes the
+// PR 6 open(O_CREAT) divergence as a lint.
+//
+// Constant domains are assigned by declaration site and naming convention
+// (DESIGN.md pins both as part of the ABI contract):
+//
+//   - linux (canonical) payloads: kernel-package constants of the Errno
+//     type, the SIG*/sig* signal numbers, and the O* open-flag bits.
+//   - xnu payloads: abi-package XNUO* open-flag bits.
+//
+// Trap domains come from the syscall-number argument of Thread.Syscall:
+// a number declared in the kernel package is a Linux trap, one declared
+// in the abi package is an XNU trap. Translation helpers — SignalToXNU,
+// SignalFromXNU, ErrnoToXNU, ErrnoFromXNU — sanitize their argument
+// subtree and produce a value of the target domain.
+//
+// The pass is interprocedural in the chargecheck style: a whole-program
+// fixpoint assigns each integer-typed parameter a required domain when it
+// flows, untranslated, into a trap's argument payload (directly or
+// through other calls). Call sites passing a wrong-domain constant into a
+// required parameter are findings — e.g. kernel.SIGUSR1 into
+// libsystem.Kill, whose sig parameter feeds the XNU kill trap. Unresolved
+// and conflicting flows impose no requirement, so findings are
+// high-confidence.
+//
+// Two syntactic rules complete the pass:
+//
+//   - a wrap(...) table registration for the argument-translating
+//     syscalls (open, kill, sigaction) must install a non-nil transform —
+//     wrapping with nil forwards raw foreign numbers, the exact PR 6
+//     open bug shape;
+//   - an assignment into the iOS TLS errno field
+//     (Persona.TLS(persona.IOS).Errno) must route through ErrnoToXNU
+//     when the right-hand side carries an Errno-typed value.
+var XlateCheck = &Analyzer{
+	Name: "xlatecheck",
+	Doc: "raw errno/flag/signal constants must not cross the persona " +
+		"boundary untranslated; payload-carrying syscalls must be wrapped " +
+		"with an argument transform (the PR 6 open(O_CREAT) bug as a lint)",
+	Run: runXlateCheck,
+}
+
+// xlateDomain is a persona numbering domain.
+type xlateDomain int
+
+const (
+	domNone xlateDomain = iota
+	domLinux
+	domXNU
+)
+
+func (d xlateDomain) String() string {
+	switch d {
+	case domLinux:
+		return "Linux"
+	case domXNU:
+		return "XNU"
+	}
+	return "none"
+}
+
+func (d xlateDomain) opposite() xlateDomain {
+	switch d {
+	case domLinux:
+		return domXNU
+	case domXNU:
+		return domLinux
+	}
+	return domNone
+}
+
+// xformRequired names the syscalls whose arguments carry persona-numbered
+// payloads (flags for open, signal numbers for kill/sigaction): a table
+// wrapper for these must translate, never forward raw.
+var xformRequired = map[string]bool{
+	"open": true, "kill": true, "sigaction": true,
+}
+
+// translationHelpers maps helper names to the domain of their result; a
+// call to one also sanitizes its argument subtree.
+var translationHelpers = map[string]xlateDomain{
+	"SignalToXNU":   domXNU,
+	"ErrnoToXNU":    domXNU,
+	"SignalFromXNU": domLinux,
+	"ErrnoFromXNU":  domLinux,
+}
+
+// payloadConstDomain classifies a constant as a persona-numbered payload.
+func payloadConstDomain(c *types.Const) xlateDomain {
+	if c.Pkg() == nil {
+		return domNone
+	}
+	name := c.Name()
+	switch c.Pkg().Name() {
+	case "kernel":
+		if named, ok := c.Type().(*types.Named); ok && named.Obj().Name() == "Errno" {
+			return domLinux
+		}
+		if strings.HasPrefix(name, "SIG") || (strings.HasPrefix(name, "sig") && name != "sig") {
+			if name == "SIGNONE" || name == "signil" {
+				return domNone
+			}
+			return domLinux
+		}
+		if strings.HasPrefix(name, "O") && len(name) > 1 && name[1] >= 'A' && name[1] <= 'Z' {
+			return domLinux // OCreat-style open flag bits
+		}
+	case "abi":
+		const p = "XNUO"
+		if strings.HasPrefix(name, p) && len(name) > len(p) &&
+			name[len(p)] >= 'A' && name[len(p)] <= 'Z' {
+			return domXNU
+		}
+	}
+	return domNone
+}
+
+// trapDomain classifies a syscall-number expression by the declaring
+// package of the constant it resolves to.
+func trapDomain(pkg *Package, e ast.Expr) xlateDomain {
+	e = Unparen(e)
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[x.Sel]
+	default:
+		return domNone
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return domNone
+	}
+	switch c.Pkg().Name() {
+	case "kernel":
+		return domLinux
+	case "abi":
+		return domXNU
+	}
+	return domNone
+}
+
+// isTranslationCall reports whether call invokes a translation helper,
+// returning the produced domain.
+func isTranslationCall(pkg *Package, call *ast.CallExpr) (xlateDomain, bool) {
+	fn := Callee(pkg, call)
+	if fn == nil {
+		return domNone, false
+	}
+	d, ok := translationHelpers[fn.Name()]
+	return d, ok
+}
+
+// xlateTaint is one persona-numbered value found in an expression.
+type xlateTaint struct {
+	dom  xlateDomain
+	desc string
+	pos  token.Pos
+}
+
+// exprTaints walks e collecting persona-numbered payloads that are not
+// shielded by a translation helper: payload constants and helper results.
+func exprTaints(pkg *Package, e ast.Expr) []xlateTaint {
+	var out []xlateTaint
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if d, ok := isTranslationCall(pkg, x); ok {
+				out = append(out, xlateTaint{
+					dom:  d,
+					desc: "result of " + Callee(pkg, x).Name(),
+					pos:  x.Pos(),
+				})
+				return false // the helper sanitizes its own arguments
+			}
+		case *ast.Ident:
+			if c, ok := pkg.Info.Uses[x].(*types.Const); ok {
+				if d := payloadConstDomain(c); d != domNone {
+					out = append(out, xlateTaint{dom: d, desc: c.Name(), pos: x.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// paramDomains is the whole-program fact: for each function, the required
+// payload domain of each parameter (by index), or domNone when the
+// parameter never reaches a trap or reaches traps of both domains.
+type paramDomains map[*types.Func][]xlateDomain
+
+const xlateFactKey = "xlatecheck.paramdomains"
+
+// isBasicIntParam limits requirement tracking to plain integer-ish
+// parameters — the shape signal numbers, flags, and errnos travel in.
+func isBasicIntParam(v *types.Var) bool {
+	t := v.Type()
+	if named, ok := t.(*types.Named); ok {
+		t = named.Underlying()
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// mergeDomain folds a newly observed requirement into the existing one;
+// conflicting requirements collapse to domNone (the parameter serves both
+// personas, e.g. a shared helper) and stay there.
+func mergeDomain(old, add xlateDomain, conflicted map[*types.Var]bool, v *types.Var) xlateDomain {
+	if conflicted[v] || add == domNone {
+		return old
+	}
+	if old == domNone {
+		return add
+	}
+	if old != add {
+		conflicted[v] = true
+		return domNone
+	}
+	return old
+}
+
+// xlateParamDomains computes the parameter-requirement fixpoint.
+func xlateParamDomains(prog *Program) paramDomains {
+	return prog.Fact(xlateFactKey, func() any {
+		req := paramDomains{}
+		conflicted := map[*types.Var]bool{}
+
+		paramIndex := func(fn *types.Func) map[*types.Var]int {
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return nil
+			}
+			m := map[*types.Var]int{}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if isBasicIntParam(p) {
+					m[p] = i
+				}
+			}
+			return m
+		}
+		ensure := func(fn *types.Func) []xlateDomain {
+			if d, ok := req[fn]; ok {
+				return d
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			n := 0
+			if sig != nil {
+				n = sig.Params().Len()
+			}
+			d := make([]xlateDomain, n)
+			req[fn] = d
+			return d
+		}
+
+		// exprUsesParam reports whether e contains an untranslated use of
+		// one of fn's tracked parameters, returning the parameter.
+		usedParams := func(pkg *Package, e ast.Expr, params map[*types.Var]int) []*types.Var {
+			var out []*types.Var
+			ast.Inspect(e, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, isHelper := isTranslationCall(pkg, call); isHelper {
+						return false // translated: no raw requirement
+					}
+				}
+				if id, ok := n.(*ast.Ident); ok {
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						if _, tracked := params[v]; tracked {
+							out = append(out, v)
+						}
+					}
+				}
+				return true
+			})
+			return out
+		}
+
+		for changed := true; changed; {
+			changed = false
+			for fn, src := range prog.funcDecls {
+				if src.Decl.Body == nil {
+					continue
+				}
+				params := paramIndex(fn)
+				if len(params) == 0 {
+					continue
+				}
+				doms := ensure(fn)
+				ast.Inspect(src.Decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					// Direct trap: Syscall(num, args) — the args payload
+					// inherits the trap's domain.
+					if callee := Callee(src.Pkg, call); callee != nil {
+						if callee.Name() == "Syscall" && RecvTypeName(callee) == "Thread" && len(call.Args) == 2 {
+							d := trapDomain(src.Pkg, call.Args[0])
+							if d != domNone {
+								for _, v := range usedParams(src.Pkg, call.Args[1], params) {
+									i := params[v]
+									old := doms[i]
+									doms[i] = mergeDomain(old, d, conflicted, v)
+									if doms[i] != old {
+										changed = true
+									}
+								}
+							}
+							return true
+						}
+						// Transitive: a tracked param passed straight into a
+						// callee parameter with a known requirement.
+						if calleeDoms, ok := req[callee]; ok {
+							for i, arg := range call.Args {
+								// Method calls: req indices are parameter
+								// positions, matching call.Args for both
+								// functions and methods in go/types.
+								if i >= len(calleeDoms) || calleeDoms[i] == domNone {
+									continue
+								}
+								for _, v := range usedParams(src.Pkg, arg, params) {
+									j := params[v]
+									old := doms[j]
+									doms[j] = mergeDomain(old, calleeDoms[i], conflicted, v)
+									if doms[j] != old {
+										changed = true
+									}
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return req
+	}).(paramDomains)
+}
+
+func runXlateCheck(pass *Pass) error {
+	if !IsSimPackage(pass.Pkg.Path) {
+		return nil
+	}
+	req := xlateParamDomains(pass.Prog)
+	pkg := pass.Pkg
+
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var finds []finding
+	report := func(pos token.Pos, format string, args ...any) {
+		finds = append(finds, finding{pos, fmt.Sprintf(format, args...)})
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				// Rule 1: wrap(num, num, "name", nil) for a
+				// payload-carrying syscall.
+				if id, ok := Unparen(node.Fun).(*ast.Ident); ok && id.Name == "wrap" && len(node.Args) == 4 {
+					if name, ok := stringLit(node.Args[2]); ok && xformRequired[name] {
+						if isNilIdent(pkg, node.Args[3]) {
+							report(node.Pos(),
+								"syscall %q carries persona-numbered payloads but is wrapped with a nil transform: raw foreign numbers reach the Linux implementation (the PR 6 open(O_CREAT) divergence)",
+								name)
+						}
+					}
+					return true
+				}
+				callee := Callee(pkg, node)
+				if callee == nil {
+					return true
+				}
+				// Rule 2: direct trap payloads.
+				if callee.Name() == "Syscall" && RecvTypeName(callee) == "Thread" && len(node.Args) == 2 {
+					d := trapDomain(pkg, node.Args[0])
+					if d == domNone {
+						return true
+					}
+					for _, t := range exprTaints(pkg, node.Args[1]) {
+						if t.dom == d.opposite() {
+							report(t.pos,
+								"%s payload %s flows into a %s trap untranslated: route it through the %s-facing translation helper",
+								t.dom, t.desc, d, d)
+						}
+					}
+					return true
+				}
+				// Rule 3: interprocedural — wrong-domain payload into a
+				// requirement-carrying parameter.
+				if doms, ok := req[callee]; ok {
+					for i, arg := range node.Args {
+						if i >= len(doms) || doms[i] == domNone {
+							continue
+						}
+						for _, t := range exprTaints(pkg, arg) {
+							if t.dom == doms[i].opposite() {
+								report(t.pos,
+									"%s payload %s flows into %s parameter %d of %s, which feeds a %s trap: translate at the boundary",
+									t.dom, t.desc, doms[i], i, callee.Name(), doms[i])
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				// Rule 4: iOS TLS errno writes must be XNU-numbered.
+				checkTLSErrnoWrite(pkg, node, report)
+			}
+			return true
+		})
+	}
+
+	sort.SliceStable(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}
+
+// checkTLSErrnoWrite flags `<x>.TLS(persona.IOS).Errno = <rhs>` where rhs
+// carries an Errno-typed value with no ErrnoToXNU on the path.
+func checkTLSErrnoWrite(pkg *Package, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	for i, lhs := range as.Lhs {
+		sel, ok := Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Errno" {
+			continue
+		}
+		call, ok := Unparen(sel.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := Callee(pkg, call)
+		if fn == nil || fn.Name() != "TLS" || len(call.Args) != 1 {
+			continue
+		}
+		if !isIOSConst(pkg, call.Args[0]) {
+			continue
+		}
+		if i >= len(as.Rhs) {
+			continue
+		}
+		rhs := as.Rhs[i]
+		if exprHasErrnoValue(pkg, rhs) && !exprCallsHelper(pkg, rhs, "ErrnoToXNU") {
+			report(as.Pos(),
+				"canonical Errno value written to the iOS TLS errno field without ErrnoToXNU: an iOS thread reads Linux numbering (the errno-35 border crossing)")
+		}
+	}
+}
+
+// isIOSConst matches an argument resolving to a constant named IOS.
+func isIOSConst(pkg *Package, e ast.Expr) bool {
+	var obj types.Object
+	switch x := Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[x.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	return ok && c.Name() == "IOS"
+}
+
+// exprHasErrnoValue reports whether e contains a value of a named type
+// Errno (outside translation-helper calls).
+func exprHasErrnoValue(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isHelper := isTranslationCall(pkg, call); isHelper {
+				return false
+			}
+		}
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[ex]; ok {
+			if named, ok := tv.Type.(*types.Named); ok && named.Obj().Name() == "Errno" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprCallsHelper reports whether e contains a call to the named helper.
+func exprCallsHelper(pkg *Package, e ast.Expr, helper string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := Callee(pkg, call); fn != nil && fn.Name() == helper {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stringLit unwraps a quoted string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING || len(bl.Value) < 2 {
+		return "", false
+	}
+	return bl.Value[1 : len(bl.Value)-1], true
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(pkg *Package, e ast.Expr) bool {
+	id, ok := Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pkg.Info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil"
+}

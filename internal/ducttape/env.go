@@ -80,7 +80,7 @@ func (e *Env) NewLckMtx(name string) *LckMtx {
 func (m *LckMtx) Lock(t *kernel.Thread) {
 	t.Charge(m.env.lockCost)
 	for m.locked {
-		//lint:allow waketag lck_mtx_lock is uninterruptible; the loop re-checks ownership before proceeding
+		//lint:allow waketag: lck_mtx_lock is uninterruptible; the loop re-checks ownership before proceeding
 		m.waitq.Wait(t.Proc())
 	}
 	m.locked = true

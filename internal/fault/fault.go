@@ -106,6 +106,8 @@ type Rule struct {
 	Until time.Duration
 }
 
+//
+//hot:noalloc
 func (r Rule) match(key string) bool {
 	if r.Match == "" {
 		return true
@@ -183,6 +185,8 @@ func (in *Injector) Fired() uint64 {
 // the outcome of the first rule that fires, or ok=false when nothing does.
 // Eligible hits bump per-(rule, key) counters whether or not the rule fires,
 // so Nth/Every decisions depend only on the sequence of eligible operations.
+//
+//hot:noalloc
 func (in *Injector) Check(op Op, key string, now time.Duration) (Outcome, bool) {
 	if in == nil {
 		return Outcome{}, false
@@ -221,18 +225,24 @@ func (in *Injector) Check(op Op, key string, now time.Duration) (Outcome, bool) 
 }
 
 // Syscall consults OpSyscall rules for a "persona/name" key.
+//
+//hot:noalloc
 func (in *Injector) Syscall(now time.Duration, key string) (Outcome, bool) {
 	return in.Check(OpSyscall, key, now)
 }
 
 // Interrupt consults OpPark rules for a park/sleep reason and reports
 // whether the wait should be interrupted before blocking.
+//
+//hot:noalloc
 func (in *Injector) Interrupt(now time.Duration, reason string) bool {
 	_, ok := in.Check(OpPark, reason, now)
 	return ok
 }
 
 // MemMap consults OpMemMap rules for a mapping name.
+//
+//hot:noalloc
 func (in *Injector) MemMap(now time.Duration, name string) (Outcome, bool) {
 	return in.Check(OpMemMap, name, now)
 }
@@ -244,12 +254,16 @@ func (in *Injector) VFS(now time.Duration, op, path string) (Outcome, bool) {
 
 // Crash consults OpCrash rules for a task executable path and reports
 // whether the task should take a fatal signal at this dispatch.
+//
+//hot:noalloc
 func (in *Injector) Crash(now time.Duration, path string) (Outcome, bool) {
 	return in.Check(OpCrash, path, now)
 }
 
 // mix hashes a decision context to a uniform-ish uint64 with splitmix64.
 // Integer-only: no floats, no host entropy.
+//
+//hot:noalloc
 func mix(seed, rule uint64, key string, n uint64) uint64 {
 	x := seed
 	x = splitmix64(x + 0x9e3779b97f4a7c15*(rule+1))
@@ -258,6 +272,8 @@ func mix(seed, rule uint64, key string, n uint64) uint64 {
 	return x
 }
 
+//
+//hot:noalloc
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x ^= x >> 30
@@ -268,6 +284,8 @@ func splitmix64(x uint64) uint64 {
 	return x
 }
 
+//
+//hot:noalloc
 func fnv64(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {

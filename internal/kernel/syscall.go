@@ -291,11 +291,11 @@ func (k *Kernel) InstallLinuxTable() *SyscallTable {
 		return SyscallRet{Errno: errno} // reached only on failure
 	})
 	tb.Register(SysGetpid, "getpid", func(t *Thread, a *SyscallArgs) SyscallRet {
-		//lint:allow chargecheck getpid is the null syscall: its cost is exactly the dispatcher entry/exit charges (Fig. 5)
+		//lint:allow chargecheck: getpid is the null syscall: its cost is exactly the dispatcher entry/exit charges (Fig. 5)
 		return SyscallRet{R0: uint64(t.task.pid)}
 	})
 	tb.Register(SysGetppid, "getppid", func(t *Thread, a *SyscallArgs) SyscallRet {
-		//lint:allow chargecheck getppid is a null syscall like getpid: dispatcher entry/exit charges only
+		//lint:allow chargecheck: getppid is a null syscall like getpid: dispatcher entry/exit charges only
 		return SyscallRet{R0: uint64(t.task.PPID())}
 	})
 	tb.Register(SysKill, "kill", func(t *Thread, a *SyscallArgs) SyscallRet {
@@ -307,7 +307,7 @@ func (k *Kernel) InstallLinuxTable() *SyscallTable {
 	})
 	tb.Register(SysDup, "dup", func(t *Thread, a *SyscallArgs) SyscallRet {
 		fd, errno := t.task.fds.Dup(int(a.I[0]))
-		//lint:allow chargecheck dup is an fd-table-only syscall, modeled at dispatcher entry/exit cost (lmbench "simple syscall" class)
+		//lint:allow chargecheck: dup is an fd-table-only syscall, modeled at dispatcher entry/exit cost (lmbench "simple syscall" class)
 		return SyscallRet{R0: uint64(fd), Errno: errno}
 	})
 	tb.Register(SysIoctl, "ioctl", func(t *Thread, a *SyscallArgs) SyscallRet {

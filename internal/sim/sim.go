@@ -221,6 +221,8 @@ func (p *Proc) Now() time.Duration { return p.now }
 func (p *Proc) Sim() *Sim { return p.sim }
 
 // Advance charges d of virtual compute time to the Proc. Negative d panics.
+//
+//hot:noalloc
 func (p *Proc) Advance(d time.Duration) {
 	if d < 0 {
 		panic("sim: Advance with negative duration")
@@ -233,6 +235,8 @@ func (p *Proc) Advance(d time.Duration) {
 
 // Yield gives other runnable Procs with a clock at or before ours a chance
 // to run. It never advances time.
+//
+//hot:noalloc
 func (p *Proc) Yield() {
 	p.sim.maybePreempt(p)
 }
@@ -240,6 +244,8 @@ func (p *Proc) Yield() {
 // Sleep blocks the Proc until at least d of virtual time has passed. It
 // returns the wake tag: WakeNormal when the timer expired, or the tag passed
 // by an interrupting waker.
+//
+//hot:noalloc
 func (p *Proc) Sleep(d time.Duration) int {
 	if d < 0 {
 		d = 0
@@ -257,6 +263,8 @@ func (p *Proc) Sleep(d time.Duration) int {
 
 // Park blocks the Proc until another Proc calls Wake on it. The reason is
 // reported in deadlock errors and debug dumps. It returns the waker's tag.
+//
+//hot:noalloc
 func (p *Proc) Park(reason string) int {
 	if h := p.sim.interruptHook; h != nil && h(p, reason) {
 		return WakeInterrupted
@@ -274,6 +282,8 @@ func (p *Proc) Park(reason string) int {
 // tag is returned from the woken Proc's Park/Sleep. Waking a runnable or
 // done Proc is a no-op and returns false. Must be called by the running
 // Proc (not from outside the simulation).
+//
+//hot:noalloc
 func (p *Proc) Wake(target *Proc, tag int) bool {
 	return p.sim.wake(p.now, target, tag)
 }
@@ -299,6 +309,8 @@ type procHeap struct {
 	bySleep bool
 }
 
+//
+//hot:noalloc
 func (h *procHeap) key(p *Proc) time.Duration {
 	if h.bySleep {
 		return p.wakeAt
@@ -309,6 +321,8 @@ func (h *procHeap) key(p *Proc) time.Duration {
 func (h *procHeap) Len() int { return len(h.procs) }
 
 // less orders by (key, id); the id tiebreak makes scheduling deterministic.
+//
+//hot:noalloc
 func (h *procHeap) less(a, b *Proc) bool {
 	ka, kb := h.key(a), h.key(b)
 	if ka != kb {
@@ -317,6 +331,8 @@ func (h *procHeap) less(a, b *Proc) bool {
 	return a.id < b.id
 }
 
+//
+//hot:noalloc
 func (h *procHeap) up(i int) {
 	p := h.procs[i]
 	for i > 0 {
@@ -333,6 +349,8 @@ func (h *procHeap) up(i int) {
 	p.heapIndex = i
 }
 
+//
+//hot:noalloc
 func (h *procHeap) down(i int) {
 	n := len(h.procs)
 	p := h.procs[i]
@@ -356,12 +374,16 @@ func (h *procHeap) down(i int) {
 	p.heapIndex = i
 }
 
+//
+//hot:noalloc
 func (h *procHeap) push(p *Proc) {
 	p.heapIndex = len(h.procs)
 	h.procs = append(h.procs, p)
 	h.up(p.heapIndex)
 }
 
+//
+//hot:noalloc
 func (h *procHeap) pop() *Proc {
 	p := h.procs[0]
 	n := len(h.procs) - 1
@@ -379,6 +401,8 @@ func (h *procHeap) pop() *Proc {
 
 func (h *procHeap) peek() *Proc { return h.procs[0] }
 
+//
+//hot:noalloc
 func (h *procHeap) remove(p *Proc) {
 	i := p.heapIndex
 	if i < 0 || i >= len(h.procs) || h.procs[i] != p {
@@ -447,6 +471,8 @@ func (s *Sim) SetSink(sink Sink) { s.sink = sink }
 // deterministic for simulation results to stay reproducible.
 func (s *Sim) SetInterruptHook(h func(p *Proc, reason string) bool) { s.interruptHook = h }
 
+//
+//hot:noalloc
 func (s *Sim) emit(ev SchedEvent, p *Proc, detail string) {
 	if s.sink != nil {
 		s.sink.SchedEvent(ev, p.name, p.id, p.now, detail)
@@ -454,6 +480,8 @@ func (s *Sim) emit(ev SchedEvent, p *Proc, detail string) {
 }
 
 // blockDetail names what the Proc is blocking on for SchedBlock events.
+//
+//hot:noalloc
 func blockDetail(p *Proc) string {
 	switch p.state {
 	case StateParked:
@@ -522,6 +550,8 @@ func (s *Sim) procMain(p *Proc) {
 // yieldAndWait releases the token and blocks until this Proc is scheduled
 // again. The token goes directly to the next schedulable Proc (see
 // handoff), not back through the Run loop.
+//
+//hot:noalloc
 func (s *Sim) yieldAndWait(p *Proc) {
 	s.emit(SchedBlock, p, blockDetail(p))
 	if !s.handoffFrom(p) {
@@ -538,6 +568,8 @@ func (s *Sim) yieldAndWait(p *Proc) {
 // Control returns to the Run loop only when the simulation cannot proceed
 // from here — every non-daemon finished, nothing is schedulable
 // (potential deadlock), or a Proc panicked.
+//
+//hot:noalloc
 func (s *Sim) handoff() { s.handoffFrom(nil) }
 
 // handoffFrom implements handoff for a blocking Proc. When the next
@@ -545,6 +577,8 @@ func (s *Sim) handoff() { s.handoffFrom(nil) }
 // pops it straight back out of the sleep heap), sending on its own
 // unbuffered run channel would deadlock; instead it returns true and the
 // caller resumes without any channel operation at all.
+//
+//hot:noalloc
 func (s *Sim) handoffFrom(from *Proc) bool {
 	if s.panicValue == nil && s.nonDaemonLive > 0 {
 		if next := s.next(); next != nil {
@@ -564,6 +598,8 @@ func (s *Sim) handoffFrom(from *Proc) bool {
 
 // maybePreempt hands the token over if another Proc could run at an earlier
 // or equal clock. The current Proc stays runnable.
+//
+//hot:noalloc
 func (s *Sim) maybePreempt(p *Proc) {
 	// Same-proc fast path: when the running Proc would win the next
 	// scheduling decision anyway — no ready or sleeping Proc has a
@@ -583,6 +619,8 @@ func (s *Sim) maybePreempt(p *Proc) {
 
 // stillMin reports whether p beats every ready and sleeping Proc under the
 // scheduler's (clock, id) order — i.e. next() would pick p again.
+//
+//hot:noalloc
 func (s *Sim) stillMin(p *Proc) bool {
 	if len(s.ready.procs) > 0 {
 		q := s.ready.procs[0]
@@ -601,6 +639,8 @@ func (s *Sim) stillMin(p *Proc) bool {
 
 // wake transitions target out of parked/sleeping. Shared by Proc.Wake and
 // external wakes.
+//
+//hot:noalloc
 func (s *Sim) wake(at time.Duration, target *Proc, tag int) bool {
 	switch target.state {
 	case StateParked:
@@ -626,6 +666,8 @@ func (s *Sim) wake(at time.Duration, target *Proc, tag int) bool {
 }
 
 // next picks the Proc to run: the earliest of ready and sleep heaps.
+//
+//hot:noalloc
 func (s *Sim) next() *Proc {
 	var pick *Proc
 	fromSleep := false

@@ -48,18 +48,21 @@ func (q *WaitQueue) Name() string { return q.name }
 // twice, matching the old slice length).
 func (q *WaitQueue) Len() int { return q.size }
 
+//hot:noalloc
 func (q *WaitQueue) newNode(p *Proc) *waitNode {
 	n := q.free
 	if n != nil {
 		q.free = n.next
 		n.next = nil
 	} else {
+		//lint:allow hotalloc: freelist miss — each node is allocated once and recycled forever after
 		n = &waitNode{}
 	}
 	n.p = p
 	return n
 }
 
+//hot:noalloc
 func (q *WaitQueue) freeNode(n *waitNode) {
 	n.p = nil
 	n.prev = nil
@@ -71,6 +74,8 @@ func (q *WaitQueue) freeNode(n *waitNode) {
 // enqueue appends p at the tail and registers the entry in the oldest map
 // or, for a duplicate, at the end of p's nextSame chain (chains are as
 // short as the select fan-out, so the walk is effectively constant).
+//
+//hot:noalloc
 func (q *WaitQueue) enqueue(p *Proc) {
 	n := q.newNode(p)
 	if q.tail == nil {
@@ -82,6 +87,7 @@ func (q *WaitQueue) enqueue(p *Proc) {
 	q.tail = n
 	q.size++
 	if q.oldest == nil {
+		//lint:allow hotalloc: one-time lazy map — most queues never see a waiter
 		q.oldest = make(map[*Proc]*waitNode)
 	}
 	if old, ok := q.oldest[p]; ok {
@@ -95,6 +101,8 @@ func (q *WaitQueue) enqueue(p *Proc) {
 }
 
 // unlink detaches n from the FIFO list (not from the oldest map).
+//
+//hot:noalloc
 func (q *WaitQueue) unlink(n *waitNode) {
 	if n.prev != nil {
 		n.prev.next = n.next
@@ -112,6 +120,8 @@ func (q *WaitQueue) unlink(n *waitNode) {
 // removeOldest deletes p's oldest entry, reporting whether one existed.
 // This matches the old remove's first-occurrence semantics: the oldest
 // entry is always the earliest of p's entries in FIFO order.
+//
+//hot:noalloc
 func (q *WaitQueue) removeOldest(p *Proc) bool {
 	n, ok := q.oldest[p]
 	if !ok {
@@ -129,6 +139,8 @@ func (q *WaitQueue) removeOldest(p *Proc) bool {
 
 // Wait parks p on the queue until woken. It returns the waker's tag
 // (WakeNormal or WakeInterrupted).
+//
+//hot:noalloc
 func (q *WaitQueue) Wait(p *Proc) int {
 	q.enqueue(p)
 	tag := p.Park(q.reason)
@@ -140,6 +152,8 @@ func (q *WaitQueue) Wait(p *Proc) int {
 
 // WaitTimeout parks p until woken or until d elapses. It returns the wake
 // tag and whether the wait timed out.
+//
+//hot:noalloc
 func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) (tag int, timedOut bool) {
 	q.enqueue(p)
 	tag = p.Sleep(d)
@@ -152,11 +166,15 @@ func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) (tag int, timedOut boo
 // Enqueue registers p as a waiter without parking; used with Dequeue to
 // wait on several queues at once (select/poll). The caller parks itself
 // after enqueuing on every queue and dequeues from all of them on wakeup.
+//
+//hot:noalloc
 func (q *WaitQueue) Enqueue(p *Proc) {
 	q.enqueue(p)
 }
 
 // Dequeue removes p's oldest entry, reporting whether it was present.
+//
+//hot:noalloc
 func (q *WaitQueue) Dequeue(p *Proc) bool {
 	return q.removeOldest(p)
 }
@@ -165,6 +183,8 @@ func (q *WaitQueue) Dequeue(p *Proc) bool {
 // was empty. Entries whose Proc is no longer wakeable (already woken
 // through another queue) are discarded in passing, exactly as the slice
 // version popped them. waker must be the running Proc.
+//
+//hot:noalloc
 func (q *WaitQueue) WakeOne(waker *Proc, tag int) *Proc {
 	for q.head != nil {
 		n := q.head
@@ -186,6 +206,8 @@ func (q *WaitQueue) WakeOne(waker *Proc, tag int) *Proc {
 }
 
 // WakeAll wakes every parked waiter, returning how many were woken.
+//
+//hot:noalloc
 func (q *WaitQueue) WakeAll(waker *Proc, tag int) int {
 	n := 0
 	for q.WakeOne(waker, tag) != nil {

@@ -192,6 +192,8 @@ type Histogram struct {
 }
 
 // Observe adds one latency sample.
+//
+//hot:noalloc
 func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -281,6 +283,8 @@ func (s *Session) SetRingCapacity(n int) {
 // is the disabled state producers test for.
 func (s *Session) Enabled() bool { return s != nil }
 
+//
+//hot:noalloc
 func (s *Session) record(e Event) {
 	s.seq++
 	e.Seq = s.seq
@@ -301,6 +305,8 @@ func (s *Session) record(e Event) {
 }
 
 // SchedEvent implements sim.Sink.
+//
+//hot:noalloc
 func (s *Session) SchedEvent(ev sim.SchedEvent, proc string, id int, at time.Duration, detail string) {
 	if ev >= 0 && ev < sim.NumSchedEvents {
 		s.sched[ev]++
@@ -309,16 +315,21 @@ func (s *Session) SchedEvent(ev sim.SchedEvent, proc string, id int, at time.Dur
 }
 
 // SyscallEnter records a thread entering syscall dispatch.
+//
+//hot:noalloc
 func (s *Session) SyscallEnter(proc string, id int, p persona.Kind, num int, name string, at time.Duration) {
 	s.record(Event{At: at, Kind: EvSyscallEnter, Proc: proc, ProcID: id, Persona: p, Sysno: num, Name: name})
 }
 
 // SyscallExit records syscall completion and feeds the (persona, syscall)
 // latency histogram with end-start. errno is the raw errno value (0 = OK).
+//
+//hot:noalloc
 func (s *Session) SyscallExit(proc string, id int, p persona.Kind, num int, name string, errno int, start, end time.Duration) {
 	key := SyscallKey{Persona: p, Sysno: num}
 	st := s.sys[key]
 	if st == nil {
+		//lint:allow hotalloc: first sight of a (persona, syscall) key — one accumulator per key per session
 		st = &SyscallStats{Key: key, Name: name}
 		s.sys[key] = st
 	}
@@ -359,6 +370,8 @@ func (s *Session) Respawn(proc string, id int, name, detail string, at time.Dura
 }
 
 // Count adds n to a named counter.
+//
+//hot:noalloc
 func (s *Session) Count(name string, n uint64) { s.counter[name] += n }
 
 // Counter reads a named counter (0 if never counted).
