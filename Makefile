@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fixtures race bench bench-smoke soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke verify
+.PHONY: build test vet lint lint-fixtures race bench bench-smoke bench-ratchet profile soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke verify
 
 build:
 	$(GO) build ./...
@@ -36,11 +36,26 @@ bench:
 	$(GO) run ./cmd/simbench -out BENCH_simwall.json
 
 # bench-smoke is the 1-iteration harness run wired into verify: it proves
-# the harness itself still works without the repeated timing passes. The
-# output goes to a scratch file (gitignored) so verify never dirties the
-# committed BENCH_simwall.json snapshot.
+# the harness itself still works without the repeated timing passes, and
+# -maxswitchallocs 0 asserts the context-switch round still allocates
+# nothing (the floor the syscall fast path stands on). The output goes to
+# a scratch file (gitignored) so verify never dirties the committed
+# BENCH_simwall.json snapshot.
 bench-smoke:
-	$(GO) run ./cmd/simbench -iterations 1 -out BENCH_simwall.smoke.json
+	$(GO) run ./cmd/simbench -iterations 1 -maxswitchallocs 0 -out BENCH_simwall.smoke.json
+
+# bench-ratchet re-measures and fails unless ns/sim-syscall strictly
+# improved versus the committed snapshot — run this before regenerating
+# BENCH_simwall.json in a perf PR so the claimed win is machine-checked.
+bench-ratchet:
+	$(GO) run ./cmd/simbench -out BENCH_simwall.ratchet.json
+	$(GO) run ./cmd/benchdiff -ratchet BENCH_simwall.json BENCH_simwall.ratchet.json
+
+# profile writes CPU and allocation profiles of one full harness run for
+# the burn-down methodology (go tool pprof -top cpu.pprof, etc.).
+profile:
+	$(GO) run ./cmd/simbench -iterations 1 -cpuprofile cpu.pprof -memprofile mem.pprof -out BENCH_simwall.smoke.json
+	@echo "profile: wrote cpu.pprof mem.pprof (inspect with: go tool pprof -top cpu.pprof)"
 
 # soak runs the full fault-schedule matrix over the complete Fig. 5 + 6
 # batteries with cross-jobs determinism verification — the long-form

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold PCT] OLD.json NEW.json
+//	benchdiff [-threshold PCT] [-ratchet] OLD.json NEW.json
 //
 // The gate applies to the wall-clock metrics — the sequential and
 // parallel battery wall times — because those are what a scheduler or
@@ -11,6 +11,11 @@
 // are printed for context but do not fail the diff: they are derived
 // from the same wall times, and double-gating one regression twice
 // helps nobody. Default threshold: 10%.
+//
+// -ratchet additionally fails the diff unless ns/sim-syscall IMPROVED
+// (strictly decreased) versus OLD. A perf-optimization PR runs with the
+// ratchet against the committed snapshot so the claimed win is machine-
+// checked, then commits the regenerated snapshot as the next floor.
 package main
 
 import (
@@ -36,9 +41,10 @@ type doc struct {
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "max allowed wall-clock regression, percent")
+	ratchet := flag.Bool("ratchet", false, "fail unless ns/sim-syscall strictly improved vs OLD")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-ratchet] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldDoc, err := load(flag.Arg(0))
@@ -71,9 +77,21 @@ func main() {
 		flag.Arg(0), flag.Arg(1), *threshold, oldDoc.HostCPUs, newDoc.HostCPUs)
 	gate("battery wall jobs=1", oldDoc.BatteryWallNSJobs1, newDoc.BatteryWallNSJobs1)
 	gate("battery wall jobs=N", oldDoc.BatteryWallNSJobsN, newDoc.BatteryWallNSJobsN)
-	info("ns/sim-syscall",
-		fmt.Sprintf("%.0f", oldDoc.NSPerSimSyscall), fmt.Sprintf("%.0f", newDoc.NSPerSimSyscall),
-		delta(oldDoc.NSPerSimSyscall, newDoc.NSPerSimSyscall))
+	if *ratchet {
+		pct := delta(oldDoc.NSPerSimSyscall, newDoc.NSPerSimSyscall)
+		mark := "ok (improved)"
+		if !(newDoc.NSPerSimSyscall < oldDoc.NSPerSimSyscall) {
+			mark = "RATCHET: not improved"
+			failed = true
+		}
+		fmt.Printf("  %-24s %12s -> %12s  %+6.1f%%  %s\n", "ns/sim-syscall",
+			fmt.Sprintf("%.0f", oldDoc.NSPerSimSyscall), fmt.Sprintf("%.0f", newDoc.NSPerSimSyscall),
+			pct, mark)
+	} else {
+		info("ns/sim-syscall",
+			fmt.Sprintf("%.0f", oldDoc.NSPerSimSyscall), fmt.Sprintf("%.0f", newDoc.NSPerSimSyscall),
+			delta(oldDoc.NSPerSimSyscall, newDoc.NSPerSimSyscall))
+	}
 	info("sched events/sec",
 		fmt.Sprintf("%.0f", oldDoc.SchedEventsPerSec), fmt.Sprintf("%.0f", newDoc.SchedEventsPerSec),
 		delta(oldDoc.SchedEventsPerSec, newDoc.SchedEventsPerSec))

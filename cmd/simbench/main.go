@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -74,9 +75,44 @@ func main() {
 	iterations := flag.Int("iterations", 3, "wall-time iterations per point (best is kept)")
 	jobs := flag.Int("jobs", 0, "parallel worker count for the jobsN points (<=0: GOMAXPROCS)")
 	out := flag.String("out", "BENCH_simwall.json", "output file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the measurement run to this file")
+	maxSwitchAllocs := flag.Int64("maxswitchallocs", -1, "fail when switch_allocs_per_round exceeds this (<0: no gate)")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	doc, err := measure(*iterations, runner.Jobs(*jobs))
+	if *memprofile != "" {
+		// The alloc_space profile is what the burn-down methodology reads:
+		// cumulative allocations over the whole measurement run, not the
+		// (tiny) live heap at exit.
+		f, perr := os.Create(*memprofile)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", perr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if perr := pprof.Lookup("allocs").WriteTo(f, 0); perr != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", perr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 		os.Exit(1)
@@ -98,6 +134,14 @@ func main() {
 	fmt.Printf("simbench: %.0f ns/sim-syscall, %.0f sched events/sec, switch %.0f ns (%d allocs/round)\n",
 		doc.NSPerSimSyscall, doc.SchedEventsPerSec, doc.SwitchNS, doc.SwitchAllocsPerOp)
 	fmt.Printf("simbench: wrote %s\n", *out)
+	if *maxSwitchAllocs >= 0 && doc.SwitchAllocsPerOp > *maxSwitchAllocs {
+		// The context-switch round is the one path the fast-path work pins
+		// at zero heap traffic; a new allocation there silently taxes every
+		// simulated syscall, so the smoke gate fails loudly instead.
+		fmt.Fprintf(os.Stderr, "simbench: switch_allocs_per_round = %d, want <= %d\n",
+			doc.SwitchAllocsPerOp, *maxSwitchAllocs)
+		os.Exit(1)
+	}
 }
 
 func measure(iterations, jobs int) (*Doc, error) {

@@ -20,7 +20,7 @@ type env struct {
 	fs *vfs.FS
 }
 
-func newEnv(t *testing.T, profile kernel.Profile) *env {
+func newEnv(t testing.TB, profile kernel.Profile) *env {
 	t.Helper()
 	s := sim.New()
 	fs := vfs.New()
@@ -49,7 +49,7 @@ func newEnv(t *testing.T, profile kernel.Profile) *env {
 
 // runIOS runs body as an iOS-persona process (ELF vehicle for simplicity;
 // the persona is forced before body runs).
-func (e *env) runIOS(t *testing.T, body func(*kernel.Thread)) {
+func (e *env) runIOS(t testing.TB, body func(*kernel.Thread)) {
 	t.Helper()
 	e.k.Registry().MustRegister("ios-body", func(c *prog.Call) uint64 {
 		th := c.Ctx.(*kernel.Thread)

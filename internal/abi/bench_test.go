@@ -1,0 +1,56 @@
+package abi
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/persona"
+	"repro/internal/prog"
+)
+
+// BenchmarkSyscallDispatch times a null syscall (getpid) through the full
+// trap path — entry/persona/exit charging, table lookup, fault consult,
+// signal check — under each persona. The iOS number rides the XNU table
+// with its translation surcharge, so the two subbenchmarks bound the
+// per-dispatch host cost Figure 5's ns/sim-syscall decomposes into.
+func BenchmarkSyscallDispatch(b *testing.B) {
+	b.Run("linux", func(b *testing.B) { benchDispatch(b, false) })
+	b.Run("ios", func(b *testing.B) { benchDispatch(b, true) })
+}
+
+func benchDispatch(b *testing.B, ios bool) {
+	e := newEnv(b, kernel.ProfileCider)
+	ran := false
+	e.k.Registry().MustRegister("bench-null", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*kernel.Thread)
+		num := kernel.SysGetpid
+		if ios {
+			th.Persona.Switch(persona.IOS)
+			num = XNUGetpid
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			th.Syscall(num, nil)
+		}
+		b.StopTimer()
+		ran = true
+		return 0
+	})
+	bin, err := prog.StaticELF("bench-null")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.fs.WriteFile("/bin/bench-null", bin); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.k.StartProcess("/bin/bench-null", nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if !ran {
+		b.Fatal("bench body did not run")
+	}
+}

@@ -69,3 +69,63 @@ func CallsColdPath(p *Proc) {
 func unannotated() []int {
 	return make([]int, 1)
 }
+
+// Freelist pop-or-refill: the hot-object pooling idiom (WaitQueue waiters,
+// Mach IPC rights). The refill allocation is cold once the pool warms up,
+// so it rides under an allow; without one it must be flagged.
+type pooled struct {
+	next *pooled
+}
+
+type pool struct {
+	free *pooled
+}
+
+//hot:noalloc
+func (p *pool) GetAllowed() *pooled {
+	r := p.free
+	if r == nil {
+		//lint:allow hotalloc: fixture: freelist refill — steady state recycles
+		r = &pooled{}
+	} else {
+		p.free = r.next
+	}
+	r.next = nil
+	return r
+}
+
+//hot:noalloc
+func (p *pool) GetBare() *pooled {
+	r := p.free
+	if r == nil {
+		r = &pooled{} // want `hotalloc: allocation in //hot:noalloc GetBare: &composite literal`
+	} else {
+		p.free = r.next
+	}
+	r.next = nil
+	return r
+}
+
+//hot:noalloc
+func (p *pool) Put(r *pooled) {
+	r.next = p.free
+	p.free = r
+}
+
+// Interning: a map probe keyed by string(b) is compiled to an
+// allocation-free lookup, but the analyzer cannot know that — the probe
+// needs an allow, and the materializing conversion is a real allocation
+// that must be flagged when bare.
+type interner map[string]string
+
+//hot:noalloc
+func (it interner) LookupAllowed(b []byte) (string, bool) {
+	//lint:allow hotalloc: fixture: map index on string(b) is an allocation-free lookup
+	s, ok := it[string(b)]
+	return s, ok
+}
+
+//hot:noalloc
+func (it interner) MaterializeBare(b []byte) string {
+	return string(b) // want `hotalloc: allocation in //hot:noalloc MaterializeBare: string/\[\]byte conversion`
+}

@@ -237,6 +237,7 @@ func NewSystem(cfg Config, opts ...Options) (*System, error) {
 	sys := &System{Config: cfg, Sim: s, Registry: reg, opts: o}
 
 	device := o.Device
+	var err error
 	var root vfs.FileSystem
 	var profile kernel.Profile
 	switch cfg {
@@ -245,8 +246,7 @@ func NewSystem(cfg Config, opts ...Options) (*System, error) {
 			device = hw.Nexus7()
 		}
 		profile = kernel.ProfileLinuxVanilla
-		sys.AndroidFS = vfs.New()
-		if err := buildAndroidFS(sys.AndroidFS, reg); err != nil {
+		if sys.AndroidFS, err = newAndroidFS(); err != nil {
 			return nil, err
 		}
 		root = sys.AndroidFS
@@ -255,12 +255,10 @@ func NewSystem(cfg Config, opts ...Options) (*System, error) {
 			device = hw.Nexus7()
 		}
 		profile = kernel.ProfileCider
-		sys.AndroidFS = vfs.New()
-		if err := buildAndroidFS(sys.AndroidFS, reg); err != nil {
+		if sys.AndroidFS, err = newAndroidFS(); err != nil {
 			return nil, err
 		}
-		sys.IOSFS = vfs.New()
-		if err := buildIOSFS(sys.IOSFS, reg); err != nil {
+		if sys.IOSFS, err = newIOSFS(); err != nil {
 			return nil, err
 		}
 		// "Cider overlays a file system hierarchy on the existing Android
@@ -271,8 +269,7 @@ func NewSystem(cfg Config, opts ...Options) (*System, error) {
 			device = hw.IPadMini()
 		}
 		profile = kernel.ProfileXNUNative
-		sys.IOSFS = vfs.New()
-		if err := buildIOSFS(sys.IOSFS, reg); err != nil {
+		if sys.IOSFS, err = newIOSFS(); err != nil {
 			return nil, err
 		}
 		root = sys.IOSFS

@@ -95,7 +95,7 @@ func IOSDylibs() []string {
 // buildIOSFS lays down the iOS filesystem image: the dylib set, dyld, the
 // iOS shell, and the directory skeleton apps expect (/Documents and
 // friends come from the app sandbox, created at install time).
-func buildIOSFS(fs *vfs.FS, reg *prog.Registry) error {
+func buildIOSFS(fs *vfs.FS) error {
 	for _, dir := range []string{
 		"/usr/lib/system", "/System/Library/Frameworks",
 		"/System/Library/PrivateFrameworks", "/System/Library/Caches",
@@ -177,7 +177,7 @@ func AndroidSystemLibs() []string {
 }
 
 // buildAndroidFS lays down the Android filesystem image.
-func buildAndroidFS(fs *vfs.FS, reg *prog.Registry) error {
+func buildAndroidFS(fs *vfs.FS) error {
 	for _, dir := range []string{
 		"/system/bin", "/system/lib", "/system/app", "/system/framework",
 		"/data/app", "/data/data", "/data/local/tmp", "/sdcard", "/tmp",

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// The iOS and Android filesystem images are pure functions of package
+// constants — 115 dylibs, the HAL .so set, dyld, the shells — yet they used
+// to be regenerated from scratch for every booted System, which profiling
+// showed was the single largest share of benchmark wall time (~45% of a
+// Fig. 5 battery, ~90MB of Mach-O bytes re-synthesized per cell). Each
+// image is now built once per process, frozen, and cloned per System:
+// Clone copies only the directory skeleton and shares file bytes
+// copy-on-write, so per-boot cost drops to a tree copy. Freezing makes
+// in-place writes through any clone safe (they copy first), and the
+// templates themselves are never handed out, so nothing can mutate them.
+//
+// None of this touches virtual time: image construction never charged
+// simulated cycles, so a cloned boot is bit-identical to a rebuilt one
+// (the determinism and soak digest tests pin this).
+var (
+	iosImageOnce sync.Once
+	iosImageFS   *vfs.FS
+	iosImageErr  error
+
+	androidImageOnce sync.Once
+	androidImageFS   *vfs.FS
+	androidImageErr  error
+)
+
+// newIOSFS returns a fresh iOS filesystem image (a clone of the template).
+func newIOSFS() (*vfs.FS, error) {
+	iosImageOnce.Do(func() {
+		fs := vfs.New()
+		if err := buildIOSFS(fs); err != nil {
+			iosImageErr = err
+			return
+		}
+		fs.Freeze()
+		iosImageFS = fs
+	})
+	if iosImageErr != nil {
+		return nil, iosImageErr
+	}
+	return iosImageFS.Clone(), nil
+}
+
+// newAndroidFS returns a fresh Android filesystem image.
+func newAndroidFS() (*vfs.FS, error) {
+	androidImageOnce.Do(func() {
+		fs := vfs.New()
+		if err := buildAndroidFS(fs); err != nil {
+			androidImageErr = err
+			return
+		}
+		fs.Freeze()
+		androidImageFS = fs
+	})
+	if androidImageErr != nil {
+		return nil, androidImageErr
+	}
+	return androidImageFS.Clone(), nil
+}

@@ -223,40 +223,69 @@ func (w *WaitEvent) WakeupOne(t *kernel.Thread, event any) bool {
 // foreign code is written against. (XNU's Mach IPC uses recursive queuing
 // structures that had to be rewritten for Linux — see internal/xnu's
 // message queues, which use this flat queue instead.)
+//
+// The backing is a slice with an explicit head index rather than the old
+// reslice-on-dequeue (items = items[1:]): resliced capacity is gone
+// forever, so a steady Enqueue/Dequeue rhythm — every Mach message on
+// every port — reallocated continually. With the head index the buffer
+// reaches steady state and ping-pong traffic allocates nothing.
 type Queue[T any] struct {
 	items []T
+	head  int
 }
 
 // Enqueue is queue_enter (tail insert).
-func (q *Queue[T]) Enqueue(v T) { q.items = append(q.items, v) }
+//
+//hot:noalloc
+func (q *Queue[T]) Enqueue(v T) {
+	if q.head > 0 && len(q.items) == cap(q.items) {
+		// Compact the consumed prefix instead of growing.
+		n := copy(q.items, q.items[q.head:])
+		clearTail(q.items, n)
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, v) // amortized growth to the queue's steady-state depth
+}
 
 // Dequeue is dequeue_head.
+//
+//hot:noalloc
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items[q.head]
+	q.items[q.head] = zero // release for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return v, true
 }
 
 // Peek returns the head without removing it.
+//
+//hot:noalloc
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }
 
 // Len is queue_empty's complement.
-func (q *Queue[T]) Len() int { return len(q.items) }
+//
+//hot:noalloc
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Remove deletes the first element for which match returns true.
 func (q *Queue[T]) Remove(match func(T) bool) bool {
-	for i, v := range q.items {
-		if match(v) {
+	for i := q.head; i < len(q.items); i++ {
+		if match(q.items[i]) {
 			q.items = append(q.items[:i], q.items[i+1:]...)
 			return true
 		}
@@ -266,7 +295,16 @@ func (q *Queue[T]) Remove(match func(T) bool) bool {
 
 // Each iterates the queue in order.
 func (q *Queue[T]) Each(fn func(T)) {
-	for _, v := range q.items {
+	for _, v := range q.items[q.head:] {
 		fn(v)
+	}
+}
+
+// clearTail zeroes the slots at and beyond n so dequeued references do not
+// keep their objects alive.
+func clearTail[T any](items []T, n int) {
+	var zero T
+	for i := n; i < len(items); i++ {
+		items[i] = zero
 	}
 }

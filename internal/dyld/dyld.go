@@ -20,6 +20,7 @@ package dyld
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/kernel"
@@ -195,6 +196,46 @@ func run(t *kernel.Thread, cfg Config, args []uint64) uint64 {
 	return entry(&prog.Call{Ctx: t, Args: args})
 }
 
+// imageCache maps a parsed dylib (one *macho.File per distinct binary, via
+// macho.ParseShared) to its load-time metadata: the export table and the
+// exported-symbol count the per-symbol bind charges are computed from. The
+// metadata is pure — a function of the bytes and the install path — and a
+// LoadedImage is immutable after construction, so every exec of every
+// booted System shares one copy per dylib instead of rebuilding a 100+
+// entry symbol map each time. Virtual-time charges are NOT cached: the
+// caller still charges parse, per-segment map, per-symbol bind, and init
+// costs identically on every load, so simulated latencies are unchanged.
+var imageCache sync.Map // *macho.File -> *imageEntry
+
+type imageEntry struct {
+	path  string
+	nsyms int
+	img   *LoadedImage
+}
+
+func imageFor(f *macho.File, path string) (img *LoadedImage, nsyms int) {
+	if v, ok := imageCache.Load(f); ok {
+		if e := v.(*imageEntry); e.path == path {
+			return e.img, e.nsyms
+		}
+		// Same bytes installed under a different name: build fresh, keep
+		// the first entry.
+		return buildImage(f, path)
+	}
+	img, nsyms = buildImage(f, path)
+	imageCache.Store(f, &imageEntry{path: path, nsyms: nsyms, img: img})
+	return img, nsyms
+}
+
+func buildImage(f *macho.File, path string) (*LoadedImage, int) {
+	syms := f.ExportedSymbols()
+	img := &LoadedImage{Path: path, Exports: make(map[string]string, len(syms))}
+	for _, sym := range syms {
+		img.Exports[sym.Name] = prog.SymbolKey(path, sym.Name)
+	}
+	return img, len(syms)
+}
+
 // loadAll maps every transitive dylib dependency.
 func loadAll(t *kernel.Thread, cs costs, images *Images, roots []string) error {
 	tk := t.Task()
@@ -218,7 +259,7 @@ func loadAll(t *kernel.Thread, cs costs, images *Images, roots []string) error {
 		// reads, so only the metadata pages cost storage time.
 		t.Charge(k.Device().Storage.OpLatency)
 		t.Charge(cs.parse)
-		f, perr := macho.Parse(node.Data())
+		f, perr := macho.ParseShared(node.Data())
 		if perr != nil || f.FileType != macho.TypeDylib {
 			return fmt.Errorf("dyld: %s is not a dylib", path)
 		}
@@ -240,10 +281,11 @@ func loadAll(t *kernel.Thread, cs costs, images *Images, roots []string) error {
 				return merr
 			}
 		}
-		img := &LoadedImage{Path: path, Exports: make(map[string]string)}
-		for _, sym := range f.ExportedSymbols() {
+		img, nsyms := imageFor(f, path)
+		// One bind charge per exported symbol, exactly as when the export
+		// map was built inline — the cache must not change virtual time.
+		for i := 0; i < nsyms; i++ {
 			t.Charge(cs.bindSym)
-			img.Exports[sym.Name] = prog.SymbolKey(path, sym.Name)
 		}
 		if tr := k.Tracer(); tr != nil {
 			tr.Count(trace.CounterDyldBinds, uint64(len(img.Exports)))
@@ -273,6 +315,44 @@ func registerImageHandlers(st *libsystem.State, cs costs) {
 	)
 }
 
+// manifestCache maps a serialized cache manifest (keyed like ParseShared,
+// by backing-array identity, which pins the bytes so keys can't be reused)
+// to its decoded image table. Every exec in the shared-cache configuration
+// attaches the same manifest; decoding the JSON and rebuilding 100+ export
+// maps per exec was pure host overhead with no virtual-time component.
+var manifestCache sync.Map // *byte -> *manifestEntry
+
+type manifestEntry struct {
+	n        int
+	manifest cacheManifest
+	images   []*LoadedImage
+}
+
+func decodeManifest(data []byte) (*manifestEntry, bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	key := &data[0]
+	if v, ok := manifestCache.Load(key); ok {
+		if e := v.(*manifestEntry); e.n == len(data) {
+			return e, true
+		}
+	}
+	e := &manifestEntry{n: len(data)}
+	if jerr := json.Unmarshal(data, &e.manifest); jerr != nil {
+		return nil, false
+	}
+	for _, ci := range e.manifest.Images {
+		img := &LoadedImage{Path: ci.Path, Exports: make(map[string]string, len(ci.Exports))}
+		for _, sym := range ci.Exports {
+			img.Exports[sym] = prog.SymbolKey(ci.Path, sym)
+		}
+		e.images = append(e.images, img)
+	}
+	manifestCache.Store(key, e)
+	return e, true
+}
+
 // attachSharedCache maps the prelinked cache as a single submap region and
 // installs its image table without touching the filesystem per library.
 func attachSharedCache(t *kernel.Thread, cs costs, images *Images) bool {
@@ -281,28 +361,24 @@ func attachSharedCache(t *kernel.Thread, cs costs, images *Images) bool {
 	if err != nil {
 		return false
 	}
-	var manifest cacheManifest
-	if jerr := json.Unmarshal(node.Data(), &manifest); jerr != nil {
+	e, ok := decodeManifest(node.Data())
+	if !ok {
 		return false
 	}
 	t.Charge(cs.cacheAttach)
-	r, merr := t.Task().Mem().Map(0, manifest.TotalBytes, mem.ProtRead|mem.ProtExec, "dyld_shared_cache", false)
+	r, merr := t.Task().Mem().Map(0, e.manifest.TotalBytes, mem.ProtRead|mem.ProtExec, "dyld_shared_cache", false)
 	if merr != nil {
 		return false
 	}
 	if tr := k.Tracer(); tr != nil {
 		tr.Count(trace.CounterDyldCacheAttach, 1)
-		tr.Count(trace.CounterDyldImages, uint64(len(manifest.Images)))
+		tr.Count(trace.CounterDyldImages, uint64(len(e.manifest.Images)))
 	}
 	r.Submap = true // nested map: fork never copies these PTEs
 	st := libsystem.ForTask(t.Task())
-	for _, ci := range manifest.Images {
-		img := &LoadedImage{Path: ci.Path, Exports: make(map[string]string)}
-		for _, sym := range ci.Exports {
-			img.Exports[sym] = prog.SymbolKey(ci.Path, sym)
-		}
+	for _, img := range e.images {
 		images.list = append(images.list, img)
-		images.byPath[ci.Path] = img
+		images.byPath[img.Path] = img
 	}
 	// Prelinking consolidates initializers and teardown hooks.
 	groups := 8
@@ -323,7 +399,7 @@ func BuildSharedCache(root vfs.FileSystem, libs []string) error {
 		if err != nil {
 			return err
 		}
-		f, perr := macho.Parse(node.Data())
+		f, perr := macho.ParseShared(node.Data())
 		if perr != nil {
 			return perr
 		}

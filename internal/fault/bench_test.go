@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkFaultConsultEmptyPlan times the consult every syscall pays when
+// no fault schedule is loaded: with the per-op rule index the empty case
+// is a nil-slice length test, no key hashing, no map touch — and 0
+// allocs/op.
+func BenchmarkFaultConsultEmptyPlan(b *testing.B) {
+	in := NewInjector(Plan{Name: "empty"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if in.Has(OpSyscall) {
+			b.Fatal("empty plan claims syscall rules")
+		}
+		if _, ok := in.Check(OpSyscall, "getpid", time.Duration(i)); ok {
+			b.Fatal("empty plan fired")
+		}
+	}
+}
+
+// BenchmarkFaultConsultOtherOp times the indexed miss: the plan has rules,
+// but none for the op being consulted, so the consult must stay as cheap
+// as the empty plan.
+func BenchmarkFaultConsultOtherOp(b *testing.B) {
+	in := NewInjector(Plan{
+		Name:  "vfs-only",
+		Rules: []Rule{{Op: OpVFS, Match: "open:", Errno: 5, Every: 3}},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if in.Has(OpSyscall) {
+			b.Fatal("plan claims syscall rules")
+		}
+		if _, ok := in.Check(OpSyscall, "getpid", time.Duration(i)); ok {
+			b.Fatal("fired for op with no rules")
+		}
+	}
+}

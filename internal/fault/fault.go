@@ -149,7 +149,11 @@ type Outcome struct {
 // harnesses give each simulated system its own Injector (the per-key hit
 // counters are part of the deterministic state).
 type Injector struct {
-	plan  Plan
+	plan Plan
+	// byOp indexes plan rule positions per op, in plan order, so Check
+	// walks only the rules that could ever match the operation — the
+	// common no-rules-for-this-op case is a nil-slice length test.
+	byOp  [numOps][]int
 	hits  []map[string]uint64 // per-rule eligible-hit counters, keyed by key
 	fired []uint64            // per-rule fire counts
 	total uint64
@@ -167,7 +171,22 @@ func NewInjector(plan Plan) *Injector {
 	for i := range in.hits {
 		in.hits[i] = make(map[string]uint64)
 	}
+	for i := range plan.Rules {
+		op := plan.Rules[i].Op
+		if op >= 0 && op < numOps {
+			in.byOp[op] = append(in.byOp[op], i)
+		}
+	}
 	return in
+}
+
+// Has reports whether the plan carries any rule for op. Injection sites use
+// it to skip building decision keys (string concatenation) when no rule
+// could ever consume them.
+//
+//hot:noalloc
+func (in *Injector) Has(op Op) bool {
+	return in != nil && op >= 0 && op < numOps && len(in.byOp[op]) > 0
 }
 
 // Plan returns the injector's schedule.
@@ -188,12 +207,18 @@ func (in *Injector) Fired() uint64 {
 //
 //hot:noalloc
 func (in *Injector) Check(op Op, key string, now time.Duration) (Outcome, bool) {
-	if in == nil {
+	if in == nil || op < 0 || op >= numOps {
 		return Outcome{}, false
 	}
-	for i := range in.plan.Rules {
+	rules := in.byOp[op]
+	if len(rules) == 0 {
+		// Empty-plan fast path: the uninjected common case is one slice
+		// length test, no key matching and no counter bumps.
+		return Outcome{}, false
+	}
+	for _, i := range rules {
 		r := &in.plan.Rules[i]
-		if r.Op != op || !r.match(key) {
+		if !r.match(key) {
 			continue
 		}
 		if now < r.After || (r.Until > 0 && now >= r.Until) {

@@ -24,10 +24,12 @@ type MachOLoader struct {
 // Name implements BinFmt.
 func (l *MachOLoader) Name() string { return "binfmt_macho" }
 
-// Recognize implements BinFmt.
+// Recognize implements BinFmt. Binfmt probing runs on every exec, so it
+// sniffs the eight header bytes it needs instead of decoding the image;
+// Load re-validates with a full parse.
 func (l *MachOLoader) Recognize(data []byte) bool {
-	f, err := macho.Parse(data)
-	return err == nil && f.FileType == macho.TypeExecute
+	filetype, ok := macho.Sniff(data)
+	return ok && filetype == macho.TypeExecute
 }
 
 // UserData keys through which the loader hands dyld its work order (the
@@ -43,7 +45,7 @@ const (
 
 // Load implements BinFmt.
 func (l *MachOLoader) Load(t *Thread, path string, data []byte, argv []string) (prog.Func, Errno) {
-	f, err := macho.Parse(data)
+	f, err := macho.ParseShared(data)
 	if err != nil {
 		return nil, ENOEXEC
 	}
@@ -150,7 +152,7 @@ func (l *MachOLoader) resolveDylinker(t *Thread, dylinker string) (string, Errno
 		return "", ErrnoFromVFS(err)
 	}
 	t.charge(t.k.device.Storage.ReadTime(node.Size()))
-	df, perr := macho.Parse(node.Data())
+	df, perr := macho.ParseShared(node.Data())
 	if perr != nil {
 		return "", ENOEXEC
 	}

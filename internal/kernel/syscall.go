@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/persona"
 	"repro/internal/vfs"
 )
@@ -84,51 +85,101 @@ type SyscallTable struct {
 	// table — the XNU table carries the trap-demux/translation costs.
 	EntryExtra time.Duration
 	ExitExtra  time.Duration
-	handlers   map[int]SyscallHandler
-	names      map[int]string
+	// dense is the dispatch array for the contiguous low syscall-number
+	// range: dispatch is an index and a nil check, no hashing. ABI numbers
+	// cluster near zero; the only outlier is Cider's set_persona
+	// (983045), which lives in the fallback maps.
+	dense        []SyscallHandler
+	denseNames   []string
+	outliers     map[int]SyscallHandler
+	outlierNames map[int]string
 }
+
+// maxDense bounds the dense array: numbers at or above this (set_persona's
+// unused-slot encoding) go to the outlier maps rather than growing a
+// megabyte of nil handler slots.
+const maxDense = 4096
 
 // NewSyscallTable creates an empty table.
 func NewSyscallTable(name string) *SyscallTable {
 	return &SyscallTable{
-		Name:     name,
-		handlers: make(map[int]SyscallHandler),
-		names:    make(map[int]string),
+		Name:         name,
+		outliers:     make(map[int]SyscallHandler),
+		outlierNames: make(map[int]string),
 	}
 }
 
 // Register installs a handler for a syscall number.
 func (tb *SyscallTable) Register(num int, name string, h SyscallHandler) {
-	tb.handlers[num] = h
-	tb.names[num] = name
+	if num >= 0 && num < maxDense {
+		if num >= len(tb.dense) {
+			dense := make([]SyscallHandler, num+1)
+			copy(dense, tb.dense)
+			tb.dense = dense
+			names := make([]string, num+1)
+			copy(names, tb.denseNames)
+			tb.denseNames = names
+		}
+		tb.dense[num] = h
+		tb.denseNames[num] = name
+		return
+	}
+	tb.outliers[num] = h
+	tb.outlierNames[num] = name
 }
 
 // Lookup returns the handler for num.
+//
+//hot:noalloc
 func (tb *SyscallTable) Lookup(num int) (SyscallHandler, bool) {
-	h, ok := tb.handlers[num]
+	if uint(num) < uint(len(tb.dense)) {
+		h := tb.dense[num]
+		return h, h != nil
+	}
+	h, ok := tb.outliers[num]
 	return h, ok
 }
 
 // NameOf returns the registered name of a syscall number.
 func (tb *SyscallTable) NameOf(num int) string {
-	if n, ok := tb.names[num]; ok {
+	if uint(num) < uint(len(tb.denseNames)) && tb.dense[num] != nil {
+		return tb.denseNames[num]
+	}
+	if n, ok := tb.outlierNames[num]; ok {
 		return n
 	}
 	return fmt.Sprintf("sys_%d", num)
 }
 
 // Len returns the number of registered handlers.
-func (tb *SyscallTable) Len() int { return len(tb.handlers) }
+func (tb *SyscallTable) Len() int {
+	n := len(tb.outliers)
+	for _, h := range tb.dense {
+		if h != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Syscall is the kernel trap entry: every simulated user-space trap funnels
 // through here. It charges entry/exit costs, performs Cider's per-entry
 // persona check, dispatches through the calling thread's persona table, and
 // delivers pending signals on the return path.
+// emptySyscallArgs normalizes nil args without a per-call allocation.
+// Handlers treat their args as read-only (they are the copied-in user
+// registers), so sharing one zero value across all argless traps is safe.
+var emptySyscallArgs = &SyscallArgs{}
+
 func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 	k := t.k
 	if a == nil {
-		a = &SyscallArgs{}
+		a = emptySyscallArgs
 	}
+	// The persona table is fetched once and reused for trace naming,
+	// dispatch, and fault keying; persona cannot change between here and
+	// dispatch (only the handler itself — set_persona — switches it).
+	table := k.tables[t.Persona.Current()]
 	// Trace bookkeeping observes virtual time but never charges it. The
 	// persona and name are captured at entry: set_persona switches the
 	// thread's persona mid-call, and attribution belongs to the table that
@@ -141,33 +192,35 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 	if tr != nil {
 		trStart = t.proc.Now()
 		trPersona = t.Persona.Current()
-		if tb := k.tables[trPersona]; tb != nil {
-			trName = tb.NameOf(num)
+		if table != nil {
+			trName = table.NameOf(num)
 		} else {
 			trName = fmt.Sprintf("sys_%d", num)
 		}
 		tr.SyscallEnter(t.proc.Name(), t.proc.ID(), trPersona, num, trName, trStart)
 	}
-	t.charge(k.costs.SyscallEntry)
+	// Entry costs are summed into one charge. The per-hop amounts are
+	// unchanged — "extra persona checking and handling code run on every
+	// syscall entry" (the 8.5% null-syscall overhead of Section 6.2) and the
+	// table's trap-demux extra still accrue — but the scheduler sees one
+	// Advance instead of three, one preemption checkpoint per trap side.
+	// No state changes or trace emissions ever sat between these charges,
+	// so every Proc's virtual clock (and every figure) is bit-identical.
+	entryCost := k.costs.SyscallEntry
 	if k.PersonaAware() {
-		// "Extra persona checking and handling code run on every syscall
-		// entry" — the 8.5% null-syscall overhead (Section 6.2).
-		t.charge(k.costs.PersonaCheck)
+		entryCost += k.costs.PersonaCheck
 	}
-	table := k.tables[t.Persona.Current()]
 	if table == nil {
 		// No ABI provisioned for this persona on this kernel (e.g. an iOS
 		// binary trapping into vanilla Linux).
-		t.charge(k.costs.SyscallExit)
+		t.charge(entryCost + k.costs.SyscallExit)
 		if tr != nil {
 			tr.SyscallExit(t.proc.Name(), t.proc.ID(), trPersona, num, trName,
 				int(ENOSYS), trStart, t.proc.Now())
 		}
 		return SyscallRet{R0: ^uint64(0), Errno: ENOSYS}
 	}
-	if table.EntryExtra > 0 {
-		t.charge(table.EntryExtra)
-	}
+	t.charge(entryCost + table.EntryExtra)
 	h, ok := table.Lookup(num)
 	var ret SyscallRet
 	injected := false
@@ -177,31 +230,36 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 		// handler; the signal is delivered on this trap's return path
 		// (checkSignals below), where the exception bridge and default
 		// disposition apply as for any organic fault.
-		if out, fire := in.Crash(t.proc.Now(), t.task.path); fire {
-			if out.Delay > 0 {
-				t.charge(out.Delay)
+		if in.Has(fault.OpCrash) {
+			if out, fire := in.Crash(t.proc.Now(), t.task.path); fire {
+				if out.Delay > 0 {
+					t.charge(out.Delay)
+				}
+				sig := out.Errno
+				if sig <= 0 || sig >= nsig {
+					sig = sigSEGV
+				}
+				t.sigPending = append(t.sigPending, sig)
+				ret = SyscallRet{R0: ^uint64(0), Errno: EINTR}
+				injected = true
 			}
-			sig := out.Errno
-			if sig <= 0 || sig >= nsig {
-				sig = sigSEGV
-			}
-			t.sigPending = append(t.sigPending, sig)
-			ret = SyscallRet{R0: ^uint64(0), Errno: EINTR}
-			injected = true
 		}
-	}
-	if in := k.fault; in != nil && ok && !injected {
 		// Fault injection happens at dispatch, after entry costs: an
 		// injected errno still pays the full trap cost (plus any modeled
 		// latency spike), exactly like a real early-EINTR return would.
-		key := t.Persona.Current().String() + "/" + table.NameOf(num)
-		if out, fire := in.Syscall(t.proc.Now(), key); fire {
-			if out.Delay > 0 {
-				t.charge(out.Delay)
-			}
-			if out.Errno != 0 {
-				ret = SyscallRet{R0: ^uint64(0), Errno: Errno(out.Errno)}
-				injected = true
+		// The "persona/name" decision key is only materialized when the
+		// plan actually carries syscall rules; the common uninjected run
+		// never concatenates strings here.
+		if !injected && in.Has(fault.OpSyscall) {
+			key := t.Persona.Current().String() + "/" + table.NameOf(num)
+			if out, fire := in.Syscall(t.proc.Now(), key); fire {
+				if out.Delay > 0 {
+					t.charge(out.Delay)
+				}
+				if out.Errno != 0 {
+					ret = SyscallRet{R0: ^uint64(0), Errno: Errno(out.Errno)}
+					injected = true
+				}
 			}
 		}
 	}
@@ -214,10 +272,8 @@ func (t *Thread) Syscall(num int, a *SyscallArgs) SyscallRet {
 		ret = h(t, a)
 		t.inSyscall = false
 	}
-	if table.ExitExtra > 0 {
-		t.charge(table.ExitExtra)
-	}
-	t.charge(k.costs.SyscallExit)
+	// Exit costs batched the same way as entry costs.
+	t.charge(table.ExitExtra + k.costs.SyscallExit)
 	if ret.Errno != OK {
 		// Post errno to the current persona's TLS area, in that persona's
 		// own numbering.

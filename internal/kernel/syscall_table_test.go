@@ -1,0 +1,81 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// TestSyscallTableSparse exercises the dense-array/outlier-map split
+// directly: registered numbers hit, holes and out-of-range numbers miss,
+// and the set_persona outlier never grows the dense array.
+func TestSyscallTableSparse(t *testing.T) {
+	tb := NewSyscallTable("test")
+	h := func(*Thread, *SyscallArgs) SyscallRet { return SyscallRet{} }
+	tb.Register(0, "zero", h)
+	tb.Register(20, "getpid", h)
+	tb.Register(maxDense-1, "edge", h)
+	tb.Register(SysSetPersona, "set_persona", h)
+
+	for _, num := range []int{0, 20, maxDense - 1, SysSetPersona} {
+		if _, ok := tb.Lookup(num); !ok {
+			t.Errorf("Lookup(%d) missed a registered syscall", num)
+		}
+	}
+	// Holes inside the dense range, numbers past it, and negatives all
+	// miss — the dense path must not read a stale or out-of-bounds slot.
+	for _, num := range []int{1, 19, 21, maxDense, maxDense + 7, SysSetPersona - 1, SysSetPersona + 1, 1 << 30, -1, -maxDense} {
+		if _, ok := tb.Lookup(num); ok {
+			t.Errorf("Lookup(%d) hit an unregistered syscall", num)
+		}
+	}
+	if len(tb.dense) != maxDense {
+		t.Errorf("dense length = %d, want %d (outlier must not grow it)", len(tb.dense), maxDense)
+	}
+	if got := tb.Len(); got != 4 {
+		t.Errorf("Len() = %d, want 4", got)
+	}
+	if got := tb.NameOf(20); got != "getpid" {
+		t.Errorf("NameOf(20) = %q", got)
+	}
+	if got := tb.NameOf(SysSetPersona); got != "set_persona" {
+		t.Errorf("NameOf(set_persona) = %q", got)
+	}
+	// Unregistered numbers fall back to the numeric form, including dense
+	// holes (a nil slot must not yield the neighbouring name).
+	for _, tc := range []struct {
+		num  int
+		want string
+	}{{19, "sys_19"}, {maxDense, "sys_4096"}, {-3, "sys_-3"}} {
+		if got := tb.NameOf(tc.num); got != tc.want {
+			t.Errorf("NameOf(%d) = %q, want %q", tc.num, got, tc.want)
+		}
+	}
+}
+
+// TestSyscallDispatchENOSYS drives sparse and out-of-range numbers through
+// the real trap path: every miss must come back ENOSYS — identically for
+// dense-range holes, beyond-dense numbers, and negatives — and the thread
+// must keep running afterwards.
+func TestSyscallDispatchENOSYS(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	errnos := map[int]Errno{}
+	var after uint64
+	e.install(t, "/bin/enosys", "enosys", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		for _, num := range []int{3999, maxDense - 1, maxDense, maxDense + 100, 999999, -5} {
+			errnos[num] = th.Syscall(num, nil).Errno
+		}
+		after = th.Syscall(SysGetpid, nil).R0
+		return 0
+	})
+	e.run(t, "/bin/enosys", nil)
+	for num, errno := range errnos {
+		if errno != ENOSYS {
+			t.Errorf("Syscall(%d) errno = %v, want ENOSYS", num, errno)
+		}
+	}
+	if after == 0 {
+		t.Error("getpid after ENOSYS storm failed; thread state corrupted")
+	}
+}

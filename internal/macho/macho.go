@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Magic32 is the 32-bit little-endian Mach-O magic (MH_MAGIC).
@@ -512,7 +513,12 @@ func Parse(b []byte) (*File, error) {
 			if fileoff+filesize > len(b) {
 				return nil, fmt.Errorf("macho: segment %q data out of range", seg.Name)
 			}
-			seg.Data = append([]byte(nil), b[fileoff:fileoff+filesize]...)
+			// Full-capacity subslice, not a copy: parsing is read-only, and
+			// every consumer (loaders, dyld, the exec path) copies segment
+			// bytes into its own backing before mutating. Aliasing the input
+			// makes Parse allocation-free in the data dimension, which
+			// matters because boot parses ~90MB of dylib images.
+			seg.Data = b[fileoff : fileoff+filesize : fileoff+filesize]
 			nsects := int(le.Uint32(body[48:]))
 			so := segCmdSize
 			for s := 0; s < nsects; s++ {
@@ -583,6 +589,59 @@ func Parse(b []byte) (*File, error) {
 			})
 		}
 	}
+	return f, nil
+}
+
+// Sniff reports whether b starts with a Mach-O header, and that header's
+// filetype, without decoding any load commands. Binary-format detection
+// (Recognize in the loaders) runs on every exec; it only needs these eight
+// header bytes, not a full parse.
+func Sniff(b []byte) (filetype uint32, ok bool) {
+	if len(b) < headerSize || le.Uint32(b[0:]) != Magic32 {
+		return 0, false
+	}
+	return le.Uint32(b[12:]), true
+}
+
+// sharedFiles caches ParseShared results keyed by the identity of the input
+// buffer's backing array. Keying on the *byte pins that array alive for the
+// life of the entry, so a key can never be recycled for different bytes.
+// The population is bounded by the number of distinct binaries in the
+// process — dominated by the template dylib images every booted System now
+// shares (see internal/core's filesystem templates).
+var sharedFiles sync.Map // *byte -> *sharedEntry
+
+type sharedEntry struct {
+	n int
+	f *File
+}
+
+// ParseShared is Parse for callers that re-decode the same immutable image
+// over and over (dyld loads the same 100+ dylibs for every exec of every
+// booted System). It returns one cached *File per distinct input buffer;
+// the caller must treat the result — and the buffer — as immutable.
+// Rewriting a file in the simulated VFS installs a fresh data slice
+// (vfs.SetData), which misses the cache and re-parses, so stale hits would
+// require mutating a binary's bytes in place through Data(), which the VFS
+// contract already forbids.
+func ParseShared(b []byte) (*File, error) {
+	if len(b) == 0 {
+		return Parse(b)
+	}
+	key := &b[0]
+	if v, ok := sharedFiles.Load(key); ok {
+		if e := v.(*sharedEntry); e.n == len(b) {
+			return e.f, nil
+		}
+		// Same backing array, different length (a resliced prefix):
+		// rare enough to just parse unshared.
+		return Parse(b)
+	}
+	f, err := Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	sharedFiles.Store(key, &sharedEntry{n: len(b), f: f})
 	return f, nil
 }
 

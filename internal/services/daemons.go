@@ -161,8 +161,12 @@ func launchdMain(t *kernel.Thread) uint64 {
 		superviseLoop(nt, children)
 	})
 
-	// Serve the bootstrap registry.
+	// Serve the bootstrap registry. Service names arrive as message bytes
+	// on every register; interning hands back the same string each time a
+	// respawned service re-registers, so steady-state registry traffic
+	// stops allocating name strings.
 	names := make(map[string]*xnu.CarriedRight)
+	interned := make(internTable)
 	for {
 		msg, kr := lc.MachReceive(bootstrap, -1)
 		if kr != xnu.KernSuccess {
@@ -171,7 +175,7 @@ func launchdMain(t *kernel.Thread) uint64 {
 		switch msg.ID {
 		case MsgBootstrapRegister:
 			if len(msg.RightNames) == 1 {
-				name := string(msg.Body)
+				name := interned.get(msg.Body)
 				right, _ := ipc.MakeSendRight(t, msg.RightNames[0])
 				if right != nil {
 					// A respawned service re-registers here, replacing its
@@ -324,6 +328,7 @@ func notifydMain(t *kernel.Thread) uint64 {
 		return 1
 	}
 	subs := make(map[string][]xnu.PortName)
+	interned := make(internTable)
 	for {
 		msg, kr := lc.MachReceive(port, -1)
 		if kr != xnu.KernSuccess {
@@ -332,11 +337,11 @@ func notifydMain(t *kernel.Thread) uint64 {
 		switch msg.ID {
 		case MsgNotifyRegister:
 			if len(msg.RightNames) == 1 {
-				name := string(msg.Body)
+				name := interned.get(msg.Body)
 				subs[name] = append(subs[name], msg.RightNames[0])
 			}
 		case MsgNotifyPost:
-			name := string(msg.Body)
+			name := interned.get(msg.Body)
 			for _, p := range subs[name] {
 				// Best effort, bounded: notifications never block notifyd.
 				_ = ipc

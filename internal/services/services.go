@@ -58,6 +58,28 @@ const (
 // CrashLogDir is where crashreporterd writes its reports.
 const CrashLogDir = "/var/log/crashes"
 
+// internTable deduplicates the short, recurring strings that daemons pull
+// out of message bodies — bootstrap service names, notification keys. The
+// set of distinct names is tiny and stable, so after warm-up every
+// register/post resolves to an already-interned string without touching
+// the heap (the map probe on raw bytes compiles to an allocation-free
+// lookup).
+type internTable map[string]string
+
+// get returns the canonical string for b, interning it on first sight.
+//
+//hot:noalloc
+func (it internTable) get(b []byte) string {
+	//lint:allow hotalloc: map index on string(b) compiles to an allocation-free lookup
+	if s, ok := it[string(b)]; ok {
+		return s
+	}
+	//lint:allow hotalloc: first sighting of a name — every later message reuses this string
+	s := string(b)
+	it[s] = s
+	return s
+}
+
 // BootstrapRegister publishes a receive right under name with launchd.
 func BootstrapRegister(lc *libsystem.C, name string, recv xnu.PortName) error {
 	ipc, ok := xnu.FromKernel(lc.T.Kernel())

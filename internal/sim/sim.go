@@ -177,9 +177,14 @@ type Proc struct {
 	parkReason string
 	// run carries the scheduler's run token to the Proc.
 	run chan struct{}
-	// heapIndex is the Proc's position in the ready/sleep heaps.
+	// heapIndex is the Proc's position in the ready heap.
 	heapIndex int
-	fn        func(*Proc)
+	// twNext/twPrev/twLevel/twSlot thread the Proc through the sleep timer
+	// wheel's intrusive slot lists; twLevel is -1 while not sleeping.
+	twNext, twPrev *Proc
+	twLevel        int8
+	twSlot         int8
+	fn             func(*Proc)
 	// onExit callbacks run (in the Proc's context) after fn returns.
 	onExit []func(*Proc)
 	// daemon marks the Proc as a background service: the simulation ends
@@ -423,9 +428,12 @@ func (h *procHeap) remove(p *Proc) {
 
 // Sim is a discrete-event simulator instance.
 type Sim struct {
-	nextID   int
-	ready    *procHeap
-	sleepers *procHeap
+	nextID int
+	ready  *procHeap
+	// sleepers holds Procs in timed waits. It is a timer wheel, not a heap:
+	// most sleeps are cancelled by a Wake before expiry, and the wheel makes
+	// both arm and cancel O(1) (see timerwheel.go).
+	sleepers *timerWheel
 	parked   map[int]*Proc
 	// yield returns control to Run when no Proc can take the token
 	// directly (simulation finished, deadlocked, or panicking); ordinary
@@ -452,7 +460,7 @@ type Sim struct {
 func New() *Sim {
 	return &Sim{
 		ready:    &procHeap{},
-		sleepers: &procHeap{bySleep: true},
+		sleepers: newTimerWheel(),
 		parked:   make(map[int]*Proc),
 		yield:    make(chan struct{}),
 	}
@@ -504,6 +512,7 @@ func (s *Sim) Spawn(name string, fn func(*Proc)) *Proc {
 		state:     StateRunnable,
 		run:       make(chan struct{}),
 		heapIndex: -1,
+		twLevel:   -1,
 		fn:        fn,
 	}
 	s.nextID++
@@ -628,8 +637,7 @@ func (s *Sim) stillMin(p *Proc) bool {
 			return false
 		}
 	}
-	if len(s.sleepers.procs) > 0 {
-		q := s.sleepers.procs[0]
+	if q := s.sleepers.peek(); q != nil {
 		if q.wakeAt < p.now || (q.wakeAt == p.now && q.id < p.id) {
 			return false
 		}
@@ -674,8 +682,7 @@ func (s *Sim) next() *Proc {
 	if s.ready.Len() > 0 {
 		pick = s.ready.peek()
 	}
-	if s.sleepers.Len() > 0 {
-		sl := s.sleepers.peek()
+	if sl := s.sleepers.peek(); sl != nil {
 		if pick == nil || sl.wakeAt < pick.now || (sl.wakeAt == pick.now && sl.id < pick.id) {
 			pick = sl
 			fromSleep = true
@@ -685,7 +692,7 @@ func (s *Sim) next() *Proc {
 		return nil
 	}
 	if fromSleep {
-		s.sleepers.pop()
+		s.sleepers.popMin()
 		pick.now = pick.wakeAt
 		pick.wakeTag = WakeNormal
 	} else {

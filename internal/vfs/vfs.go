@@ -104,8 +104,12 @@ type Node struct {
 	kind     Kind
 	children map[string]*Node
 	data     []byte
-	target   string // symlink target
-	dev      Device
+	// shared marks data as copy-on-write: the slice is owned by a frozen
+	// template tree (see FS.Freeze/Clone) and must be replaced, never
+	// written in place.
+	shared bool
+	target string // symlink target
+	dev    Device
 	// mount, when non-nil, redirects traversal into another filesystem.
 	mount FileSystem
 }
@@ -127,16 +131,25 @@ func (n *Node) Size() int64 { return int64(len(n.data)) }
 func (n *Node) Data() []byte { return n.data }
 
 // SetData replaces the file contents.
-func (n *Node) SetData(b []byte) { n.data = b }
+func (n *Node) SetData(b []byte) {
+	n.data = b
+	n.shared = false
+}
 
 // WriteData writes b at offset off, growing the file as needed, and returns
-// the new size.
+// the new size. Shared (template-owned) contents are copied before the
+// first write, so writes through a cloned tree never reach the template.
 func (n *Node) WriteData(off int64, b []byte) int64 {
 	need := off + int64(len(b))
-	if need > int64(len(n.data)) {
-		nd := make([]byte, need)
+	if need > int64(len(n.data)) || n.shared {
+		size := need
+		if int64(len(n.data)) > size {
+			size = int64(len(n.data))
+		}
+		nd := make([]byte, size)
 		copy(nd, n.data)
 		n.data = nd
+		n.shared = false
 	}
 	copy(n.data[off:], b)
 	return int64(len(n.data))
@@ -202,11 +215,75 @@ func Split(p string) (dir, leaf string) {
 
 const maxSymlinks = 16
 
+// pathIsClean reports whether p is already in Clean form: absolute, no
+// empty, ".", or ".." components, no trailing slash. Such paths can be
+// walked by index without Clean/Split allocations.
+//
+//hot:noalloc
+func pathIsClean(p string) bool {
+	if len(p) < 2 || p[0] != '/' {
+		return false
+	}
+	start := 1
+	for i := 1; i <= len(p); i++ {
+		if i < len(p) && p[i] != '/' {
+			continue
+		}
+		seg := p[start:i]
+		if len(seg) == 0 || seg == "." || seg == ".." {
+			return false
+		}
+		start = i + 1
+	}
+	return true
+}
+
+// fastWalk resolves an already-clean path through plain directories with no
+// allocations: components are substrings of p (a Go map lookup with a
+// substring key does not allocate). The moment resolution needs anything
+// structural — a symlink, a mount point, or the exact ErrNotDir error text —
+// it reports ok=false and the caller retries on the general path. Lookups on
+// a booted system are overwhelmingly clean absolute paths to plain files,
+// so this is the hot case.
+//
+//hot:noalloc
+func (fs *FS) fastWalk(p string, followLast bool) (n *Node, err error, ok bool) {
+	if !pathIsClean(p) {
+		return nil, nil, false
+	}
+	cur := fs.root
+	i := 1
+	for i <= len(p) {
+		j := i
+		for j < len(p) && p[j] != '/' {
+			j++
+		}
+		if cur.kind != KindDir {
+			return nil, nil, false
+		}
+		next, found := cur.children[p[i:j]]
+		if !found {
+			//lint:allow hotalloc: miss path — the error carries the path
+			return nil, &ErrNotFound{Path: p}, true
+		}
+		last := j >= len(p)
+		if next.mount != nil || (next.kind == KindSymlink && (followLast || !last)) {
+			return nil, nil, false
+		}
+		cur = next
+		i = j + 1
+	}
+	return cur, nil, true
+}
+
 // walk resolves p to a node. If followLast is false, a trailing symlink is
 // returned rather than followed (lstat/unlink semantics).
 func (fs *FS) walk(p string, followLast bool, depth int) (*Node, error) {
 	if depth > maxSymlinks {
 		return nil, &ErrLoop{Path: p}
+	}
+	if n, err, ok := fs.fastWalk(p, followLast); ok {
+		return n, err
 	}
 	p = Clean(p)
 	cur := fs.root
@@ -441,6 +518,51 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 	}
 	n.SetData(append([]byte(nil), data...))
 	return nil
+}
+
+// Freeze marks every file's contents as shared, turning the tree into a
+// copy-on-write template: subsequent writes through this FS or any Clone
+// copy the data first. Call it once, after building and before the first
+// Clone; it is not safe to run concurrently with other operations.
+func (fs *FS) Freeze() {
+	fs.root.freeze()
+}
+
+func (n *Node) freeze() {
+	if n.data != nil {
+		n.shared = true
+	}
+	for _, c := range n.children {
+		c.freeze()
+	}
+}
+
+// Clone returns an independent copy of the tree. Node structure (directories,
+// names, symlinks) is deep-copied; file contents are shared copy-on-write
+// with the source, so cloning a frozen multi-megabyte image costs only the
+// directory skeleton. Mount points and the FaultHook are not carried over:
+// templates are cloned before mounts and hooks are attached.
+func (fs *FS) Clone() *FS {
+	return &FS{root: fs.root.clone()}
+}
+
+func (n *Node) clone() *Node {
+	c := &Node{name: n.name, kind: n.kind, target: n.target, dev: n.dev}
+	if n.data != nil {
+		c.data = n.data
+		// The copy always treats the bytes as shared, even when the source
+		// was never frozen: writes through the clone must not reach the
+		// source. (Writes through an unfrozen source remain visible to
+		// clones — Freeze first.)
+		c.shared = true
+	}
+	if n.children != nil {
+		c.children = make(map[string]*Node, len(n.children))
+		for name, child := range n.children {
+			c.children[name] = child.clone()
+		}
+	}
+	return c
 }
 
 // ReadFile returns a copy of the file contents at p.

@@ -151,6 +151,8 @@ type right struct {
 	port *Port
 	typ  RightType
 	refs int
+	// freeNext chains recycled rights on the owning Space's freelist.
+	freeNext *right
 }
 
 // Space is a task's port name space (ipc_space_t).
@@ -158,10 +160,42 @@ type Space struct {
 	task     *kernel.Task
 	names    map[PortName]*right
 	nextName PortName
+	// free heads the recycled-right chain. Every message that carries a
+	// reply port or a port right inserts a right into the receiver's space
+	// and most are deallocated one RPC later, so without recycling this is
+	// a per-message heap allocation (same pattern as the WaitQueue waiter
+	// pool in internal/sim/waitq.go).
+	free *right
 }
 
 // Names returns the number of live names (diagnostics).
 func (s *Space) Names() int { return len(s.names) }
+
+// newRight takes a right from the freelist, refilling from the heap only
+// when it is empty.
+//
+//hot:noalloc
+func (s *Space) newRight(p *Port, t RightType) *right {
+	r := s.free
+	if r == nil {
+		//lint:allow hotalloc: freelist refill — steady state recycles
+		r = &right{}
+	} else {
+		s.free = r.freeNext
+	}
+	r.port, r.typ, r.refs, r.freeNext = p, t, 1, nil
+	return r
+}
+
+// freeRight returns a right removed from the name table to the freelist.
+// Callers must not retain the pointer past this call.
+//
+//hot:noalloc
+func (s *Space) freeRight(r *right) {
+	r.port = nil
+	r.freeNext = s.free
+	s.free = r
+}
 
 // insert adds a right under a fresh name.
 func (s *Space) insert(p *Port, t RightType) PortName {
@@ -176,7 +210,7 @@ func (s *Space) insert(p *Port, t RightType) PortName {
 	}
 	n := s.nextName
 	s.nextName += 4 // Mach names stride by 4 (index<<2 | gen)
-	s.names[n] = &right{port: p, typ: t, refs: 1}
+	s.names[n] = s.newRight(p, t)
 	return n
 }
 
@@ -260,7 +294,7 @@ func (ipc *IPC) SpaceFor(tk *kernel.Task) *Space {
 	if !ok {
 		s = &Space{task: tk, names: make(map[PortName]*right), nextName: 0x207}
 		if ipc.bootstrap != nil {
-			s.names[BootstrapName] = &right{port: ipc.bootstrap, typ: RightSend, refs: 1}
+			s.names[BootstrapName] = s.newRight(ipc.bootstrap, RightSend)
 		}
 		ipc.spaces[tk] = s
 	}
@@ -273,7 +307,7 @@ func (ipc *IPC) SetBootstrapPort(p *Port) {
 	ipc.bootstrap = p
 	for _, s := range ipc.spaces {
 		if _, ok := s.names[BootstrapName]; !ok {
-			s.names[BootstrapName] = &right{port: p, typ: RightSend, refs: 1}
+			s.names[BootstrapName] = s.newRight(p, RightSend)
 		}
 	}
 }
@@ -315,8 +349,10 @@ func (ipc *IPC) PortDestroy(t *kernel.Thread, name PortName) KernReturn {
 	if r.typ != RightReceive {
 		return KernInvalidRight
 	}
-	delete(ipc.spaces[t.Task()].names, name)
+	s := ipc.spaces[t.Task()]
+	delete(s.names, name)
 	ipc.destroyPort(t.Proc(), r.port)
+	s.freeRight(r)
 	return KernSuccess
 }
 
@@ -443,7 +479,9 @@ func (ipc *IPC) PortDeallocate(t *kernel.Thread, name PortName) KernReturn {
 	}
 	r.refs--
 	if r.refs == 0 {
-		delete(ipc.spaces[t.Task()].names, name)
+		s := ipc.spaces[t.Task()]
+		delete(s.names, name)
+		s.freeRight(r)
 	}
 	return KernSuccess
 }
