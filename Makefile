@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fixtures race bench bench-smoke bench-ratchet profile soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke verify
+.PHONY: build test vet lint lint-fixtures race bench bench-smoke bench-ratchet profile soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke replay-smoke explore verify
 
 build:
 	$(GO) build ./...
@@ -91,7 +91,27 @@ diffcheck:
 diffcheck-smoke:
 	$(GO) run ./cmd/cider diffcheck --seeds 60
 
+# replay-smoke is the record/replay round trip wired into verify: record
+# two soak cells (the decision-heavy mach cell and one lmbench cell),
+# write each artifact through the canonical encoder, reload, re-execute
+# in isolation, and assert the replayed digest is bit-identical to the
+# recorded one (see DESIGN.md "Record/replay and schedule exploration").
+replay-smoke:
+	$(GO) run ./cmd/cider replay -smoke
+
+# explore is the bounded DPOR-lite run: every soak schedule's cells and
+# every diffcheck persona pair re-execute under seeded perturbations of
+# each ambiguous scheduler decision (equal-time next-pick, wake order,
+# preemption ties); any invariant violation or persona divergence is
+# delta-debug minimized and written out as a one-command replay
+# artifact. Deterministic for fixed rounds — rerunning reproduces the
+# same schedules, findings and digests.
+explore:
+	$(GO) run ./cmd/cider soak --explore 5
+	$(GO) run ./cmd/cider diffcheck --explore 3 --seeds 60
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# ciderlint, pass the full test suite under the race detector, and run
-# the bench, soak, and diffcheck harnesses once end to end.
-verify: build vet lint lint-fixtures race bench-smoke soak-smoke soak-smoke-crash diffcheck-smoke
+# ciderlint, pass the full test suite under the race detector, run the
+# bench, soak, and diffcheck harnesses once end to end, and prove the
+# record/replay round trip is bit-identical.
+verify: build vet lint lint-fixtures race bench-smoke soak-smoke soak-smoke-crash diffcheck-smoke replay-smoke

@@ -18,27 +18,42 @@
 //	                       decomposition; --json emits one machine-readable
 //	                       document with both
 //	cider soak [--jobs N] [--quick] [--full] [--schedule NAME] [--verify]
+//	           [--explore N] [--artifact-dir DIR]
 //	                       run the Fig. 5 battery (plus a dedicated Mach IPC
 //	                       workload; --full adds Fig. 6) under the
 //	                       deterministic fault-schedule matrix and check the
 //	                       error-path invariants: identical digests at any
 //	                       jobs level, leak-free kernels, no deadlocks;
 //	                       --verify re-runs each schedule at jobs=1 and
-//	                       jobs=N and compares digests
+//	                       jobs=N and compares digests; --explore N runs N
+//	                       seeded perturbations of every ambiguous scheduler
+//	                       decision per schedule (DPOR-lite) and writes a
+//	                       minimized replay artifact per failure
+//	cider replay [--smoke] <artifact.json>
+//	                       re-execute a recorded soak/diffcheck cell from a
+//	                       replay artifact, bit-identically and in
+//	                       isolation, and assert digest equality against
+//	                       the recorded run; --smoke records one cell,
+//	                       replays it, and asserts round-trip digest
+//	                       equality (the verify gate)
 //	cider crashes          boot the service tree, crash two iOS apps with
 //	                       fatal faults, and print the crash reports
 //	                       crashreporterd wrote to /var/log/crashes plus
 //	                       the exception/supervision counters
 //	cider diffcheck [--seeds N] [--jobs N] [--corpus DIR] [--no-minimize]
-//	                [--update-allowlist]
+//	                [--update-allowlist] [--explore N] [--artifact-dir DIR]
 //	                       run the differential persona oracle: execute N
 //	                       seeded programs under both personas and diff the
 //	                       canonicalized results; unallowlisted divergences
-//	                       are minimized and reported (exit nonzero), and
-//	                       --corpus writes each diverging program's text to
-//	                       DIR; --update-allowlist prints suggested
-//	                       allowlist entries (the Why citation still has to
-//	                       be written by hand — that is the policy)
+//	                       are minimized and reported (exit nonzero) with a
+//	                       replay artifact each, and --corpus writes each
+//	                       diverging program's text to DIR;
+//	                       --update-allowlist prints suggested allowlist
+//	                       entries (the Why citation still has to be
+//	                       written by hand — that is the policy);
+//	                       --explore N re-runs every persona pair under N
+//	                       perturbed schedules and writes a minimized
+//	                       replay artifact per residual divergence
 package main
 
 import (
@@ -58,6 +73,7 @@ import (
 	"repro/internal/libsystem"
 	"repro/internal/lmbench"
 	"repro/internal/prog"
+	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/services"
 	"repro/internal/sim"
@@ -85,10 +101,31 @@ func main() {
 		full := fs.Bool("full", false, "also run the Fig. 6 PassMark battery")
 		schedule := fs.String("schedule", "", "run a single named schedule (default: whole matrix)")
 		verify := fs.Bool("verify", false, "run each schedule at jobs=1 and jobs=N and compare digests")
+		explore := fs.Int("explore", 0, "run N seeded schedule perturbations per schedule (DPOR-lite)")
+		artifactDir := fs.String("artifact-dir", "", "directory for failure replay artifacts (default: temp dir)")
 		if err := fs.Parse(args[1:]); err != nil {
 			os.Exit(2)
 		}
-		err = runSoak(*jobs, *quick, *full, *schedule, *verify)
+		if *explore > 0 {
+			err = runSoakExplore(*jobs, *quick, *full, *schedule, *explore, *artifactDir)
+		} else {
+			err = runSoak(*jobs, *quick, *full, *schedule, *verify, *artifactDir)
+		}
+	case len(args) > 0 && args[0] == "replay":
+		fs := flag.NewFlagSet("replay", flag.ExitOnError)
+		smoke := fs.Bool("smoke", false, "record one cell, replay it, assert digest equality")
+		if err := fs.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+		if *smoke {
+			err = runReplaySmoke()
+		} else {
+			if fs.NArg() != 1 {
+				err = fmt.Errorf("replay: usage: cider replay [--smoke] <artifact.json>")
+			} else {
+				err = runReplay(fs.Arg(0))
+			}
+		}
 	case len(args) > 0 && args[0] == "crashes":
 		err = runCrashes()
 	case len(args) > 0 && args[0] == "diffcheck":
@@ -98,10 +135,16 @@ func main() {
 		corpus := fs.String("corpus", "", "directory to write diverging programs to")
 		noMin := fs.Bool("no-minimize", false, "skip delta-debug minimization of divergences")
 		suggest := fs.Bool("update-allowlist", false, "print suggested allowlist entries for residual divergences")
+		explore := fs.Int("explore", 0, "run N perturbed schedules per persona pair (DPOR-lite)")
+		artifactDir := fs.String("artifact-dir", "", "directory for replay artifacts (default: OS temp dir)")
 		if err := fs.Parse(args[1:]); err != nil {
 			os.Exit(2)
 		}
-		err = runDiffcheck(*seeds, *jobs, *corpus, !*noMin, *suggest)
+		if *explore > 0 {
+			err = runDiffcheckExplore(*seeds, *jobs, *explore, *artifactDir)
+		} else {
+			err = runDiffcheck(*seeds, *jobs, *corpus, !*noMin, *suggest, *artifactDir)
+		}
 	default:
 		err = runDemo(hasFlag(args, "--trace"))
 	}
@@ -341,7 +384,7 @@ func runCrashes() error {
 // invariants: deterministic digests, leak-free kernels, no deadlocks.
 // Benchmark cells failing under injection is expected and reported as a
 // count, not an error; a finding (leak or deadlock) exits nonzero.
-func runSoak(jobs int, quick, full bool, schedule string, verify bool) error {
+func runSoak(jobs int, quick, full bool, schedule string, verify bool, artifactDir string) error {
 	scheds := soak.Schedules()
 	if schedule != "" {
 		s, ok := soak.ScheduleByName(schedule)
@@ -350,7 +393,7 @@ func runSoak(jobs int, quick, full bool, schedule string, verify bool) error {
 		}
 		scheds = []soak.Schedule{s}
 	}
-	opts := soak.Options{Jobs: jobs, Full: full}
+	opts := soak.Options{Jobs: jobs, Full: full, ArtifactDir: artifactDir}
 	if quick {
 		opts.Tests = soak.QuickTests()
 	}
@@ -403,13 +446,168 @@ func runSoak(jobs int, quick, full bool, schedule string, verify bool) error {
 	return nil
 }
 
+// runSoakExplore drives the DPOR-lite schedule explorer: every soak
+// cell re-runs under N seeded perturbations of the scheduler's
+// ambiguous decisions, and any invariant violation arrives as a
+// minimized replay artifact.
+func runSoakExplore(jobs int, quick, full bool, schedule string, rounds int, artifactDir string) error {
+	scheds := soak.Schedules()
+	if schedule != "" {
+		s, ok := soak.ScheduleByName(schedule)
+		if !ok {
+			return fmt.Errorf("soak: unknown schedule %q", schedule)
+		}
+		scheds = []soak.Schedule{s}
+	}
+	opts := soak.Options{Jobs: jobs, Full: full, ArtifactDir: artifactDir}
+	if quick {
+		opts.Tests = soak.QuickTests()
+	}
+	fmt.Printf("== soak explore: %d schedule(s) x %d perturbation seed(s) ==\n", len(scheds), rounds)
+	fmt.Printf("%-14s %-18s %9s %10s %10s  %s\n",
+		"schedule", "digest", "cell-runs", "decisions", "perturbed", "verdict")
+	bad := false
+	for _, s := range scheds {
+		r := soak.Explore(s, opts, rounds)
+		verdict := "ok"
+		if len(r.Findings) > 0 {
+			verdict = fmt.Sprintf("%d FINDING(S)", len(r.Findings))
+			bad = true
+		}
+		fmt.Printf("%-14s %016x %9d %10d %10d  %s\n",
+			r.Schedule, r.Digest, r.CellRuns, r.Decisions, r.Perturbed, verdict)
+		for _, f := range r.Findings {
+			fmt.Printf("    finding: %s\n", f)
+		}
+	}
+	if bad {
+		return fmt.Errorf("soak: explore found invariant violations")
+	}
+	return nil
+}
+
+// runReplay re-executes one recorded cell from an artifact file and
+// asserts digest equality against the recorded run.
+func runReplay(path string) error {
+	a, err := replay.Load(path)
+	if err != nil {
+		return err
+	}
+	switch a.Kind {
+	case replay.KindSoak:
+		rep, rerr := soak.ReplayCell(a)
+		if rerr != nil {
+			return rerr
+		}
+		return reportReplay(a, rep.Digest, rep.DecisionCount, rep.Findings)
+	case replay.KindDiffcheck:
+		rep, rerr := diffcheck.ReplayArtifact(a)
+		if rerr != nil {
+			return rerr
+		}
+		return reportReplay(a, rep.Digest, rep.DecisionCount, rep.Findings)
+	}
+	return fmt.Errorf("replay: unknown artifact kind %q", a.Kind)
+}
+
+// reportReplay prints the replay outcome and fails on digest mismatch.
+func reportReplay(a *replay.Artifact, digest, decisions uint64, findings []string) error {
+	want, err := a.DigestValue()
+	if err != nil {
+		return err
+	}
+	label := a.Schedule
+	if a.Kind == replay.KindDiffcheck {
+		label = fmt.Sprintf("seed %#x", a.Seed)
+	}
+	ref := ""
+	if a.Cell != nil {
+		ref = " cell " + a.Cell.String()
+	}
+	fmt.Printf("== replay: %s %s%s ==\n", a.Kind, label, ref)
+	fmt.Printf("  decisions: %d recorded, %d replayed (%d non-canonical)\n",
+		a.DecisionCount, decisions, len(a.Decisions))
+	for _, f := range findings {
+		fmt.Printf("  finding: %s\n", f)
+	}
+	if digest != want {
+		fmt.Printf("  digest: %016x, recorded %016x\n", digest, want)
+		return fmt.Errorf("replay: digest mismatch: replayed %016x, recorded %016x", digest, want)
+	}
+	fmt.Printf("  digest: %016x == recorded (bit-identical)\n", digest)
+	if a.DecisionCount != 0 && decisions != a.DecisionCount {
+		return fmt.Errorf("replay: decision count diverged: replayed %d, recorded %d", decisions, a.DecisionCount)
+	}
+	return nil
+}
+
+// runReplaySmoke is the verify-gate round trip: record one soak cell,
+// write the artifact through the encoder, reload it, replay the cell,
+// and assert the digests match bit for bit. It exercises the same
+// record/encode/decode/replay path a real failure repro uses.
+func runReplaySmoke() error {
+	s, ok := soak.ScheduleByName("eintr-storm")
+	if !ok {
+		return fmt.Errorf("replay: eintr-storm schedule missing")
+	}
+	cells := []replay.CellRef{
+		{Bench: "mach"},
+		{Bench: "lmbench", Config: lmbench.ConfigCiderIOS, Test: "null syscall"},
+	}
+	for _, ref := range cells {
+		a, rec := soak.RecordCell(s, ref, nil, 0)
+		dir, err := os.MkdirTemp("", "cider-replay-smoke")
+		if err != nil {
+			return err
+		}
+		path := dir + "/artifact.json"
+		if err := a.WriteFile(path); err != nil {
+			return err
+		}
+		b, err := replay.Load(path)
+		if err != nil {
+			return err
+		}
+		rep, err := soak.ReplayCell(b)
+		if err != nil {
+			return err
+		}
+		if rep.Digest != rec.Digest {
+			return fmt.Errorf("replay smoke: %s: replayed %016x, recorded %016x",
+				ref, rep.Digest, rec.Digest)
+		}
+		fmt.Printf("replay smoke: %s under %s: %d decisions, digest %016x == replayed (bit-identical)\n",
+			ref, s.Name, rec.DecisionCount, rec.Digest)
+		os.RemoveAll(dir)
+	}
+	return nil
+}
+
+// runDiffcheckExplore drives the persona oracle under DPOR-lite
+// schedule exploration: every seed's persona pair re-runs under N
+// perturbed schedules, and any residual divergence arrives as a
+// minimized replay artifact.
+func runDiffcheckExplore(seeds, jobs, rounds int, artifactDir string) error {
+	fmt.Printf("== diffcheck explore: %d seeds x %d perturbation round(s) ==\n", seeds, rounds)
+	rep, err := diffcheck.Explore(diffcheck.Options{Seeds: seeds, Jobs: jobs, ArtifactDir: artifactDir}, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pair-runs=%d decisions=%d perturbed=%d digest=%016x findings=%d\n",
+		rep.PairRuns, rep.Decisions, rep.Perturbed, rep.Digest, len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Printf("  finding: %s\n", f)
+	}
+	return rep.Err()
+}
+
 // runDiffcheck drives the differential persona oracle and reports. A
 // residual (unallowlisted) divergence exits nonzero; the allowlist hits
 // are printed so a quiet run still shows the oracle exercised the
 // deliberate deviations.
-func runDiffcheck(seeds, jobs int, corpus string, minimize, suggest bool) error {
+func runDiffcheck(seeds, jobs int, corpus string, minimize, suggest bool, artifactDir string) error {
 	fmt.Printf("== diffcheck: %d seeded programs, Android vs iOS persona ==\n", seeds)
-	rep, err := diffcheck.Run(diffcheck.Options{Seeds: seeds, Jobs: jobs, Minimize: minimize})
+	rep, err := diffcheck.Run(diffcheck.Options{Seeds: seeds, Jobs: jobs, Minimize: minimize, ArtifactDir: artifactDir})
 	if err != nil {
 		return err
 	}

@@ -129,3 +129,35 @@ func (it interner) LookupAllowed(b []byte) (string, bool) {
 func (it interner) MaterializeBare(b []byte) string {
 	return string(b) // want `hotalloc: allocation in //hot:noalloc MaterializeBare: string/\[\]byte conversion`
 }
+
+// Decision interception (the record/replay hook pattern): the Decider
+// is consulted through an interface value, which the analyzer assumes
+// allocation-free — the policy implementation (recorder, explorer)
+// owns its own allocation discipline. Candidate enumeration reuses a
+// scratch slice, so the append rides the amortized-growth exemption
+// and the whole decided path stays hot-clean without an allow.
+type decider interface {
+	Decide(kind int, where string, n int) int
+}
+
+type sched struct {
+	d     decider
+	cands []*Proc
+}
+
+//hot:noalloc
+func (s *sched) pickDecided(a, b *Proc) *Proc {
+	s.cands = s.cands[:0]
+	s.cands = append(s.cands, a, b)
+	idx := s.d.Decide(0, "ready", len(s.cands))
+	if idx < 0 || idx >= len(s.cands) {
+		idx = 0
+	}
+	return s.cands[idx]
+}
+
+//hot:noalloc
+func (s *sched) pickDecidedBare(a, b *Proc) *Proc {
+	cands := []*Proc{a, b} // want `hotalloc: allocation in //hot:noalloc pickDecidedBare: slice literal`
+	return cands[s.d.Decide(0, "ready", len(cands))]
+}

@@ -1,0 +1,27 @@
+// Fixture: the record/replay layer is a simulation package — decision
+// recording, schedule exploration, and artifact digests must be pure
+// functions of (seed, virtual time, decision order). A host-clock or
+// ambient-randomness read here silently breaks bit-identical replay:
+// the artifact would replay a different schedule than it recorded.
+package replay
+
+import (
+	"math/rand"
+	"time"
+)
+
+func StampArtifact() time.Time {
+	return time.Now() // want `wallclock: wall-clock leak: time\.Now`
+}
+
+func RandomExploreSeed() uint64 {
+	return rand.Uint64() // want `wallclock: nondeterminism leak: math/rand\.Uint64`
+}
+
+// The sanctioned idiom: explore seeds come from an explicit counter or
+// caller-provided seed, and perturbation is a seeded hash of it.
+func SeededChoice(seed, pos uint64, n int) int {
+	x := seed*0x9e3779b97f4a7c15 ^ pos
+	x ^= x >> 31
+	return int(x % uint64(n))
+}

@@ -23,7 +23,7 @@ var simPackageNames = map[string]bool{
 	"bionic": true, "dalvik": true, "core": true, "mem": true,
 	"prog": true, "iokit": true, "abi": true, "persona": true,
 	"vfs": true, "trace": true, "ducttape": true, "ciderpress": true,
-	"fault": true, "soak": true, "diffcheck": true,
+	"fault": true, "soak": true, "diffcheck": true, "replay": true,
 }
 
 // IsSimPackage reports whether an import path denotes a simulation package

@@ -68,12 +68,18 @@ type Divergence struct {
 	Program string
 	// Minimized is the reduced program's text when minimization ran.
 	Minimized string
+	// Artifact is the replay artifact path for this seed's recorded
+	// schedule, when recording was on.
+	Artifact string
 }
 
 func (d Divergence) String() string {
 	s := fmt.Sprintf("seed=%#x class=%s sig=%q\n  %s", d.Seed, d.Class, d.Sig, d.Detail)
 	if d.Minimized != "" {
 		s += "\n  minimized:\n" + indent(d.Minimized, "    ")
+	}
+	if d.Artifact != "" {
+		s += "\n  reproduce with: cider replay " + d.Artifact
 	}
 	return s
 }

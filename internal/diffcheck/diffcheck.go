@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/replay"
 	"repro/internal/runner"
 )
 
@@ -43,6 +44,13 @@ type Options struct {
 	// MinimizeBudget caps two-cell reruns per minimized divergence;
 	// 0 means a default sized for generated programs.
 	MinimizeBudget int
+	// NoRecord disables scheduler-decision recording (recording is on by
+	// default; the canonical schedule's choice log is empty, so it cannot
+	// change results).
+	NoRecord bool
+	// ArtifactDir is where replay artifacts for diverging seeds are
+	// written; empty means the OS temp dir.
+	ArtifactDir string
 }
 
 // Report is a run's deterministic summary: identical for the same
@@ -78,7 +86,25 @@ func Run(o Options) (*Report, error) {
 		seed := uint64(i + 1)
 		p := Generate(seed)
 		plan := PlanFor(seed)
-		divs, hits := Filter(CompareProgram(seed, p, plan), allow)
+		var divs []Divergence
+		var hits map[string]int
+		if o.NoRecord {
+			divs, hits = Filter(CompareProgram(seed, p, plan), allow)
+		} else {
+			recA, recI := replay.NewRecorder(nil), replay.NewRecorder(nil)
+			pr := runPair(seed, p, plan, recA, recI)
+			divs, hits = Filter(pr.divs, allow)
+			if len(divs) > 0 {
+				a := buildArtifact(seed, 0, recA.Choices(), recI.Choices(),
+					recA.Count()+recI.Count(), pr.digest, divs[0].Sig)
+				path := artifactPath(o.ArtifactDir, seed, 0)
+				if werr := a.WriteFile(path); werr == nil {
+					for j := range divs {
+						divs[j].Artifact = path
+					}
+				}
+			}
+		}
 		for j := range divs {
 			divs[j].Program = p.Text()
 			if o.Minimize {

@@ -1,0 +1,101 @@
+package diffcheck
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/replay"
+)
+
+// TestRecordReplayFiftySeeds is the tentpole criterion on the persona
+// oracle: fifty seeds' pair runs each record to an artifact that —
+// after a full encode/decode round trip through the file format —
+// replays to the exact same pair digest and decision count.
+func TestRecordReplayFiftySeeds(t *testing.T) {
+	dir := t.TempDir()
+	for seed := uint64(1); seed <= 50; seed++ {
+		p := Generate(seed)
+		plan := PlanFor(seed)
+		recA, recI := replay.NewRecorder(nil), replay.NewRecorder(nil)
+		pr := runPair(seed, p, plan, recA, recI)
+		a := buildArtifact(seed, 0, recA.Choices(), recI.Choices(),
+			recA.Count()+recI.Count(), pr.digest, "")
+		path := filepath.Join(dir, "art.json")
+		if err := a.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		b, err := replay.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReplayArtifact(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Digest != pr.digest {
+			t.Errorf("seed %d: replayed digest %016x, recorded %016x", seed, rep.Digest, pr.digest)
+		}
+		if rep.DecisionCount != recA.Count()+recI.Count() {
+			t.Errorf("seed %d: replayed %d decisions, recorded %d",
+				seed, rep.DecisionCount, recA.Count()+recI.Count())
+		}
+	}
+}
+
+// TestPairDigestJobsInvariant pins exploration (and with it the pair
+// digest) to host parallelism: jobs=1 and jobs=4 must agree, and two
+// identical runs must agree (explorer determinism).
+func TestPairDigestJobsInvariant(t *testing.T) {
+	opts := Options{Seeds: 24, Jobs: 1, ArtifactDir: t.TempDir()}
+	a, err := Explore(opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Jobs = 4
+	c, err := Explore(opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*ExploreReport{b, c} {
+		if r.Digest != a.Digest {
+			t.Errorf("explore digest diverged: %016x vs %016x", r.Digest, a.Digest)
+		}
+		if r.Decisions != a.Decisions || r.Perturbed != a.Perturbed || r.PairRuns != a.PairRuns {
+			t.Errorf("explore totals diverged: %+v vs %+v", r, a)
+		}
+		if len(r.Findings) != len(a.Findings) {
+			t.Errorf("explore findings diverged: %v vs %v", r.Findings, a.Findings)
+		}
+	}
+}
+
+// TestRecordingDoesNotChangeReport pins canonical equivalence on the
+// oracle: Run with recording (the default) and with NoRecord produce
+// byte-identical reports.
+func TestRecordingDoesNotChangeReport(t *testing.T) {
+	r1, err := Run(Options{Seeds: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Options{Seeds: 16, NoRecord: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Text() != r2.Text() {
+		t.Fatalf("recording changed the report:\n%s\nvs\n%s", r1.Text(), r2.Text())
+	}
+}
+
+// TestReplayArtifactValidation pins artifact validation.
+func TestReplayArtifactValidation(t *testing.T) {
+	if _, err := ReplayArtifact(&replay.Artifact{Version: replay.ArtifactVersion, Kind: replay.KindSoak}); err == nil {
+		t.Error("soak artifact accepted by diffcheck replay")
+	}
+	if _, err := ReplayArtifact(&replay.Artifact{Version: replay.ArtifactVersion, Kind: replay.KindDiffcheck}); err == nil {
+		t.Error("artifact without seed accepted")
+	}
+}

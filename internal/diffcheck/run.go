@@ -366,11 +366,20 @@ const progKey = "diffcheck-main"
 // RunCell executes p in a fresh minimal Cider cell under the given
 // persona and fault plan and collects the comparison inputs.
 func RunCell(p *Program, ios bool, plan fault.Plan) *CellResult {
+	return RunCellDecided(p, ios, plan, nil)
+}
+
+// RunCellDecided is RunCell with a scheduler decision policy attached to
+// the cell's simulator before anything runs: a replay.Recorder to log
+// the schedule, a replay.Explorer to perturb it, or a replay.Replayer
+// to pin it to a recorded artifact. nil runs the canonical schedule.
+func RunCellDecided(p *Program, ios bool, plan fault.Plan, dec sim.Decider) *CellResult {
 	res := &CellResult{Persona: persona.Android}
 	if ios {
 		res.Persona = persona.IOS
 	}
 	sm := sim.New()
+	sm.SetDecider(dec)
 	k, err := kernel.New(sm, kernel.Config{
 		Profile: kernel.ProfileCider, Device: hw.Nexus7(),
 		Root: vfs.New(), Registry: prog.NewRegistry(),

@@ -73,37 +73,39 @@ func (o Op) String() string {
 // [After, Until). Among eligible hits it fires on the Nth hit (if Nth > 0),
 // else pseudo-randomly one-in-Every (if Every > 1), else on every hit —
 // subject to the Count cap.
+// Rules carry JSON tags so a Plan embeds verbatim in replay artifacts
+// (internal/replay); Delay/After/Until serialize as nanosecond integers.
 type Rule struct {
 	// Op selects the injection point class.
-	Op Op
+	Op Op `json:"op"`
 	// Match filters keys: "" matches any key, a trailing '*' matches by
 	// prefix, a leading '*' matches by suffix ("*/read" hits every
 	// persona's read), anything else matches exactly.
-	Match string
+	Match string `json:"match,omitempty"`
 	// Errno is the injected error. Its interpretation is per-op: syscall
 	// rules use kernel errno numbers, VFS rules ENOSPC vs anything-else=EIO,
 	// Mach rules any non-zero means "interrupted". Zero with a Delay makes
 	// a pure latency-spike rule.
-	Errno int
+	Errno int `json:"errno,omitempty"`
 	// Delay is virtual time charged to the victim when the rule fires
 	// (latency spike). Ignored for OpPark.
-	Delay time.Duration
+	Delay time.Duration `json:"delay,omitempty"`
 	// QLimit, for OpMachSend, overrides the destination port's queue limit
 	// for that send (queue-overflow pressure). 0 leaves the limit alone.
-	QLimit int
+	QLimit int `json:"qlimit,omitempty"`
 	// Every fires the rule pseudo-randomly on roughly one in Every eligible
 	// hits (seeded, deterministic). 0 or 1 fires on every eligible hit.
-	Every uint64
+	Every uint64 `json:"every,omitempty"`
 	// Nth, when non-zero, fires exactly on the Nth eligible hit of each key
 	// (1-based) and overrides Every. This is what targeted regression tests
 	// use to fail "the i-th Map call".
-	Nth uint64
+	Nth uint64 `json:"nth,omitempty"`
 	// Count caps the total number of times this rule fires. 0 is unlimited.
-	Count uint64
+	Count uint64 `json:"count,omitempty"`
 	// After makes the rule eligible only at virtual times >= After.
-	After time.Duration
+	After time.Duration `json:"after,omitempty"`
 	// Until, when non-zero, makes the rule ineligible at times >= Until.
-	Until time.Duration
+	Until time.Duration `json:"until,omitempty"`
 }
 
 //
@@ -123,14 +125,16 @@ func (r Rule) match(key string) bool {
 	return r.Match == key
 }
 
-// Plan is a named, seeded fault schedule.
+// Plan is a named, seeded fault schedule. A Plan is plain data with
+// stable JSON form: replay artifacts embed the exact plan a failing run
+// used, and decoding it back yields a bit-identical injector.
 type Plan struct {
 	// Name labels the schedule in soak reports and traces.
-	Name string
+	Name string `json:"name"`
 	// Seed drives every pseudo-random (Every-based) decision.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Rules are consulted in order; the first rule that fires wins.
-	Rules []Rule
+	Rules []Rule `json:"rules,omitempty"`
 }
 
 // Outcome is what a fired rule injects.

@@ -1,0 +1,221 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/replay"
+)
+
+// Schedule-exploration stress for the kernel's multi-waiter wake paths:
+// pipe readers contending on one buffer and selectors contending on one
+// readiness event (the ISSUE's "select rescan ordering" candidate).
+// Round 0 is the canonical schedule; later rounds perturb every
+// ambiguous scheduler decision (equal-time next-pick, wake order,
+// preemption ties) with a seeded Explorer. The invariants must hold
+// under every legal order: no byte lost or duplicated, no reader or
+// selector wedged, no leak.
+
+const exploreRounds = 12
+
+// TestExploreMultiReaderPipe blocks three forked readers on one empty
+// pipe while the parent dribbles bytes in and then closes. Whatever
+// wake order the explorer picks, the byte count must balance and every
+// reader must terminate via EOF.
+func TestExploreMultiReaderPipe(t *testing.T) {
+	const readers = 3
+	const payload = 24
+	for round := 0; round <= exploreRounds; round++ {
+		var rec *replay.Recorder
+		if round > 0 {
+			rec = replay.NewRecorder(&replay.Explorer{Seed: uint64(round)})
+		} else {
+			rec = replay.NewRecorder(nil)
+		}
+		e := newEnv(t, ProfileLinuxVanilla)
+		e.sim.SetDecider(rec)
+
+		total := 0
+		eofs := 0
+		e.install(t, "/bin/mrp", "mrp", func(c *prog.Call) uint64 {
+			th := c.Ctx.(*Thread)
+			p := th.Syscall(SysPipe, nil)
+			rfd, wfd := p.R0, p.R1
+			var pids []uint64
+			for r := 0; r < readers; r++ {
+				ret := th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+					ct.Syscall(SysClose, &SyscallArgs{I: [6]uint64{wfd}})
+					buf := make([]byte, 4)
+					for {
+						n := ct.Syscall(SysRead, &SyscallArgs{I: [6]uint64{rfd}, Buf: buf})
+						if n.Errno != 0 {
+							t.Errorf("round %d: read errno %v", round, n.Errno)
+							break
+						}
+						if n.R0 == 0 {
+							eofs++
+							break
+						}
+						total += int(n.R0)
+					}
+					ct.Syscall(SysExit, nil)
+				}})
+				pids = append(pids, ret.R0)
+			}
+			for i := 0; i < payload; i++ {
+				w := th.Syscall(SysWrite, &SyscallArgs{I: [6]uint64{wfd}, Buf: []byte{byte(i)}})
+				if w.Errno != 0 || w.R0 != 1 {
+					t.Errorf("round %d: write %d: n=%d errno=%v", round, i, w.R0, w.Errno)
+				}
+			}
+			th.Syscall(SysClose, &SyscallArgs{I: [6]uint64{wfd}})
+			th.Syscall(SysClose, &SyscallArgs{I: [6]uint64{rfd}})
+			for _, pid := range pids {
+				th.Syscall(SysWait4, &SyscallArgs{I: [6]uint64{pid}})
+			}
+			return 0
+		})
+		e.run(t, "/bin/mrp", nil)
+		if total != payload || eofs != readers {
+			t.Fatalf("round %d: read %d/%d bytes, %d/%d EOFs (lost wakeup or lost byte)",
+				round, total, payload, eofs, readers)
+		}
+		if err := e.k.LeakCheck(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestExploreSelectRescanOrdering parks three forked selectors in
+// blocking select on the same pipe read end. Each write wakes the herd;
+// the rescan-and-read race is resolved in whatever order the explorer
+// picks, and losers must re-park cleanly. The writer's close is the
+// final readiness event: every selector must observe EOF and exit.
+func TestExploreSelectRescanOrdering(t *testing.T) {
+	const selectors = 3
+	const payload = 9
+	for round := 0; round <= exploreRounds; round++ {
+		var rec *replay.Recorder
+		if round > 0 {
+			rec = replay.NewRecorder(&replay.Explorer{Seed: uint64(round)})
+		} else {
+			rec = replay.NewRecorder(nil)
+		}
+		e := newEnv(t, ProfileLinuxVanilla)
+		e.sim.SetDecider(rec)
+
+		total := 0
+		eofs := 0
+		e.install(t, "/bin/msel", "msel", func(c *prog.Call) uint64 {
+			th := c.Ctx.(*Thread)
+			p := th.Syscall(SysPipe, nil)
+			rfd, wfd := p.R0, p.R1
+			var pids []uint64
+			for s := 0; s < selectors; s++ {
+				ret := th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+					ct.Syscall(SysClose, &SyscallArgs{I: [6]uint64{wfd}})
+					buf := make([]byte, 2)
+					for {
+						sel := ct.Syscall(SysSelect, &SyscallArgs{Select: &SelectRequest{
+							ReadFDs: []int{int(rfd)}, Timeout: -1,
+						}})
+						if sel.Errno != 0 {
+							t.Errorf("round %d: select errno %v", round, sel.Errno)
+							break
+						}
+						// The herd raced here: another selector may have
+						// consumed the byte already. Poll before committing
+						// to a blocking read; a loser re-parks in select.
+						poll := ct.Syscall(SysSelect, &SyscallArgs{Select: &SelectRequest{
+							ReadFDs: []int{int(rfd)}, Timeout: 0,
+						}})
+						if poll.R0 == 0 {
+							continue
+						}
+						n := ct.Syscall(SysRead, &SyscallArgs{I: [6]uint64{rfd}, Buf: buf})
+						if n.Errno != 0 {
+							t.Errorf("round %d: read errno %v", round, n.Errno)
+							break
+						}
+						if n.R0 == 0 {
+							eofs++
+							break
+						}
+						total += int(n.R0)
+					}
+					ct.Syscall(SysExit, nil)
+				}})
+				pids = append(pids, ret.R0)
+			}
+			for i := 0; i < payload; i++ {
+				th.Syscall(SysWrite, &SyscallArgs{I: [6]uint64{wfd}, Buf: []byte{byte(i)}})
+			}
+			th.Syscall(SysClose, &SyscallArgs{I: [6]uint64{wfd}})
+			th.Syscall(SysClose, &SyscallArgs{I: [6]uint64{rfd}})
+			for _, pid := range pids {
+				th.Syscall(SysWait4, &SyscallArgs{I: [6]uint64{pid}})
+			}
+			return 0
+		})
+		e.run(t, "/bin/msel", nil)
+		if total != payload || eofs != selectors {
+			t.Fatalf("round %d: read %d/%d bytes, %d/%d EOFs (rescan lost a wakeup)",
+				round, total, payload, eofs, selectors)
+		}
+		if err := e.k.LeakCheck(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestExploreWait4SiblingOrder forks four children that exit at the
+// same virtual instant and reaps them in pid order; which zombie the
+// parent's wait4 wakeup pairs with is schedule-ambiguous. Every explored
+// order must reap all four with their own exit statuses.
+func TestExploreWait4SiblingOrder(t *testing.T) {
+	const kids = 4
+	for round := 0; round <= exploreRounds; round++ {
+		var rec *replay.Recorder
+		if round > 0 {
+			rec = replay.NewRecorder(&replay.Explorer{Seed: uint64(round)})
+		} else {
+			rec = replay.NewRecorder(nil)
+		}
+		e := newEnv(t, ProfileLinuxVanilla)
+		e.sim.SetDecider(rec)
+
+		var statuses []int
+		e.install(t, "/bin/mwait", "mwait", func(c *prog.Call) uint64 {
+			th := c.Ctx.(*Thread)
+			var pids []uint64
+			for k := 0; k < kids; k++ {
+				status := 10 + k
+				ret := th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+					ct.Syscall(SysExit, &SyscallArgs{I: [6]uint64{uint64(status)}})
+				}})
+				pids = append(pids, ret.R0)
+			}
+			for _, pid := range pids {
+				w := th.Syscall(SysWait4, &SyscallArgs{I: [6]uint64{pid}})
+				if w.Errno != 0 {
+					t.Errorf("round %d: wait4(%d): %v", round, pid, w.Errno)
+					continue
+				}
+				statuses = append(statuses, int(w.R1))
+			}
+			return 0
+		})
+		e.run(t, "/bin/mwait", nil)
+		if len(statuses) != kids {
+			t.Fatalf("round %d: reaped %d/%d children", round, len(statuses), kids)
+		}
+		for k, st := range statuses {
+			if st != 10+k {
+				t.Fatalf("round %d: child %d status %d, want %d", round, k, st, 10+k)
+			}
+		}
+		if err := e.k.LeakCheck(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package replay
+
+// MinimizeChoices shrinks a failing schedule's non-canonical choice log
+// to a shorter one that still reproduces the failure, using the same
+// greedy delta-debug shape as internal/diffcheck's program minimizer:
+// sweep back-to-front reverting one choice at a time to canonical, keep
+// the removal if reproduces still reports the failure, and repeat until
+// a full sweep removes nothing or the trial budget runs out.
+//
+// reproduces re-executes the cell under the trial choice log and
+// reports whether the original failure class still occurs. Trials that
+// diverge from the recorded execution are expected — the Replayer
+// clamps out-of-range choices — and simply return false.
+//
+// The result is a copy; choices is not mutated.
+func MinimizeChoices(choices []Choice, budget int, reproduces func([]Choice) bool) []Choice {
+	cur := append([]Choice(nil), choices...)
+	if budget <= 0 {
+		budget = 64
+	}
+	for {
+		shrunk := false
+		for i := len(cur) - 1; i >= 0 && budget > 0; i-- {
+			trial := make([]Choice, 0, len(cur)-1)
+			trial = append(trial, cur[:i]...)
+			trial = append(trial, cur[i+1:]...)
+			budget--
+			if reproduces(trial) {
+				cur = trial
+				shrunk = true
+			}
+		}
+		if !shrunk || budget <= 0 {
+			return cur
+		}
+	}
+}

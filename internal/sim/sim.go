@@ -71,6 +71,10 @@ type ErrDeadlock struct {
 	// Proc — parked daemons included, since they are often the other end
 	// of the lost wakeup — with its park reason and virtual clock.
 	Procs []ParkedProc
+	// Decisions holds the last few scheduler decisions before the
+	// deadlock, newest last, when a decision-logging Decider (see
+	// DecisionLister) was installed; nil otherwise.
+	Decisions []string
 }
 
 // ParkedProc is one blocked Proc's entry in a deadlock report.
@@ -105,6 +109,12 @@ func (e *ErrDeadlock) Report() string {
 		}
 		fmt.Fprintf(&b, "  proc %d %q%s parked at %v waiting on %s\n",
 			p.ID, p.Name, mark, p.At, p.Reason)
+	}
+	if len(e.Decisions) > 0 {
+		fmt.Fprintf(&b, "last %d scheduler decision(s) before deadlock (oldest first):\n", len(e.Decisions))
+		for _, d := range e.Decisions {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
 	}
 	return b.String()
 }
@@ -451,6 +461,12 @@ type Sim struct {
 	// Sleep; returning true makes the wait return WakeInterrupted
 	// immediately without blocking or advancing time (fault injection).
 	interruptHook func(p *Proc, reason string) bool
+	// decider, when non-nil, resolves ambiguous scheduling choices (see
+	// decider.go). The nil check is the entire disabled-path cost.
+	decider Decider
+	// decCands is nextDecided's candidate scratch (reused, no per-pick
+	// allocation).
+	decCands []*Proc
 	// panicValue propagates a Proc panic out of Run.
 	panicValue any
 	panicProc  string
@@ -610,6 +626,10 @@ func (s *Sim) handoffFrom(from *Proc) bool {
 //
 //hot:noalloc
 func (s *Sim) maybePreempt(p *Proc) {
+	if s.decider != nil {
+		s.maybePreemptDecided(p)
+		return
+	}
 	// Same-proc fast path: when the running Proc would win the next
 	// scheduling decision anyway — no ready or sleeping Proc has a
 	// strictly earlier clock, or an equal clock with a smaller id — the
@@ -621,9 +641,7 @@ func (s *Sim) maybePreempt(p *Proc) {
 	if s.stillMin(p) {
 		return
 	}
-	p.state = StateRunnable
-	s.ready.push(p)
-	s.yieldAndWait(p)
+	s.preempt(p)
 }
 
 // stillMin reports whether p beats every ready and sleeping Proc under the
@@ -677,6 +695,9 @@ func (s *Sim) wake(at time.Duration, target *Proc, tag int) bool {
 //
 //hot:noalloc
 func (s *Sim) next() *Proc {
+	if s.decider != nil {
+		return s.nextDecided()
+	}
 	var pick *Proc
 	fromSleep := false
 	if s.ready.Len() > 0 {
@@ -732,7 +753,11 @@ func (s *Sim) Run() error {
 			}
 			sort.Strings(names)
 			sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].ID < snapshot[j].ID })
-			return &ErrDeadlock{Parked: names, Procs: snapshot}
+			e := &ErrDeadlock{Parked: names, Procs: snapshot}
+			if dl, ok := s.decider.(DecisionLister); ok {
+				e.Decisions = dl.RecentDecisions()
+			}
+			return e
 		}
 		p.state = StateRunning
 		s.current = p

@@ -34,6 +34,9 @@ type WaitQueue struct {
 	oldest map[*Proc]*waitNode
 	// free recycles nodes through their next field.
 	free *waitNode
+	// decCands is wakeOneDecided's candidate scratch (reused, no
+	// per-wake allocation; only ever grows under a Decider).
+	decCands []*waitNode
 }
 
 // NewWaitQueue creates a wait queue with a diagnostic name.
@@ -186,11 +189,53 @@ func (q *WaitQueue) Dequeue(p *Proc) bool {
 //
 //hot:noalloc
 func (q *WaitQueue) WakeOne(waker *Proc, tag int) *Proc {
+	if d := waker.sim.decider; d != nil && q.size > 1 {
+		return q.wakeOneDecided(waker, tag, d)
+	}
 	for q.head != nil {
 		n := q.head
 		p := n.p
 		// The head is necessarily p's oldest entry: oldest-map targets
 		// appear in FIFO order before their nextSame successors.
+		q.unlink(n)
+		if n.nextSame != nil {
+			q.oldest[p] = n.nextSame
+		} else {
+			delete(q.oldest, p)
+		}
+		q.freeNode(n)
+		if waker.Wake(p, tag) {
+			return p
+		}
+	}
+	return nil
+}
+
+// wakeOneDecided is WakeOne with the wake order handed to the Decider:
+// the distinct waiting Procs are enumerated oldest-first (a Proc
+// enqueued more than once is one candidate, via its oldest entry) and
+// the Decider picks which to wake. Unwakeable picks are discarded and
+// the choice re-made among the remainder, so a WakeAll expressed as
+// repeated WakeOne calls still enumerates every wake permutation.
+//
+//hot:noalloc
+func (q *WaitQueue) wakeOneDecided(waker *Proc, tag int, d Decider) *Proc {
+	for q.head != nil {
+		q.decCands = q.decCands[:0]
+		for n := q.head; n != nil; n = n.next {
+			if q.oldest[n.p] == n {
+				q.decCands = append(q.decCands, n)
+			}
+		}
+		idx := 0
+		if len(q.decCands) > 1 {
+			idx = d.Decide(DecisionWake, q.name, len(q.decCands), waker.now)
+			if idx < 0 || idx >= len(q.decCands) {
+				idx = len(q.decCands) - 1
+			}
+		}
+		n := q.decCands[idx]
+		p := n.p
 		q.unlink(n)
 		if n.nextSame != nil {
 			q.oldest[p] = n.nextSame

@@ -16,23 +16,15 @@
 package soak
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ducttape"
 	"repro/internal/fault"
-	"repro/internal/hw"
-	"repro/internal/kernel"
 	"repro/internal/lmbench"
-	"repro/internal/passmark"
-	"repro/internal/prog"
+	"repro/internal/replay"
+	"repro/internal/runner"
 	"repro/internal/services"
-	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/vfs"
-	"repro/internal/xnu"
 )
 
 // Schedule is one named fault plan in the soak matrix.
@@ -185,6 +177,15 @@ type Options struct {
 	Full bool
 	// Tests selects the lmbench subset; nil means the full battery.
 	Tests []lmbench.Test
+	// NoRecord disables per-cell scheduler-decision recording. Recording
+	// is on by default so every failing cell arrives with a one-command
+	// replay artifact; the canonical run's choice log is empty (the
+	// Recorder takes every canonical choice), so recording cannot change
+	// results — only failure diagnostics.
+	NoRecord bool
+	// ArtifactDir is where failing cells' replay artifacts are written;
+	// "" means the host temp dir.
+	ArtifactDir string
 }
 
 // Result is one schedule's soak outcome.
@@ -213,8 +214,13 @@ type Result struct {
 	// and `cider stats`-style tooling.
 	Counters map[string]uint64
 	// Findings are hard invariant violations: deadlocks and leaks.
-	// Empty findings means the schedule passed.
+	// Empty findings means the schedule passed. When recording is on
+	// (the default), each failing cell's findings are followed by a
+	// "reproduce with: cider replay <path>" line naming its artifact.
 	Findings []string
+	// Artifacts lists the replay artifact files written for failing
+	// cells, in cell order.
+	Artifacts []string
 }
 
 // Err folds findings into an error (nil when the schedule passed).
@@ -237,319 +243,77 @@ func joinIndent(ss []string) string {
 }
 
 // RunSchedule runs one schedule's battery set and audits the invariants.
+//
+// Every cell — each (configuration, test) lmbench pair, each passmark
+// configuration, and the Mach IPC cell — runs as an isolated System,
+// sharded across opts.Jobs host workers and merged in canonical cell
+// order, so the schedule digest is a fold of per-cell digests and any
+// single cell can be re-executed (or replayed from an artifact)
+// bit-identically on its own. Unless opts.NoRecord is set, each cell
+// records its scheduler decisions, and any cell with findings emits a
+// replay artifact whose path is appended to the findings.
 func RunSchedule(s Schedule, opts Options) *Result {
 	tests := opts.Tests
 	if tests == nil {
 		tests = lmbench.AllTests()
 	}
 	res := &Result{Schedule: s.Name}
-	d := newDigest()
-	d.str(s.Name)
-	d.u64(s.Plan.Seed)
-
-	cells := lmbench.Cells(tests)
-	systems := make([]*core.System, len(cells))
-	rep, err := lmbench.RunFigure5Opts(tests, lmbench.Options{
-		Jobs: opts.Jobs,
-		OnSystem: func(c lmbench.Cell, sys *core.System) {
-			sys.EnableTrace()
-			sys.EnableFaults(s.Plan)
-			if s.Services {
-				bootCellServices(sys)
-			}
-			systems[c.Index] = sys
-		},
+	refs := CellRefs(tests, opts.Full)
+	outcomes, _ := runner.Map(len(refs), opts.Jobs, func(i int) (cellOutcome, error) {
+		if opts.NoRecord {
+			return runCellRef(s, refs[i], nil), nil
+		}
+		rec := replay.NewRecorder(nil)
+		o := runCellRef(s, refs[i], rec)
+		o.fromRecorder(rec)
+		return o, nil
 	})
-	res.Cells += len(cells)
-	ld := newDigest()
-	if err != nil {
-		d.str("lmbench-err:" + err.Error())
-		ld.str("lmbench-err:" + err.Error())
-		var dl *sim.ErrDeadlock
-		if errors.As(err, &dl) {
-			res.Findings = append(res.Findings, fmt.Sprintf("lmbench deadlocked under %q: %v", s.Name, err))
-		}
-	} else {
-		for _, t := range tests {
-			d.str(t.Name)
-			ld.str(t.Name)
-			for _, conf := range lmbench.Configurations() {
-				d.u64(uint64(rep.Latency[t.Name][conf.Name]))
-				ld.u64(uint64(rep.Latency[t.Name][conf.Name]))
-				if rep.Failed[t.Name][conf.Name] {
-					d.u64(1)
-					ld.u64(1)
-					res.FailedCells++
-				} else {
-					d.u64(0)
-					ld.u64(0)
-				}
-			}
-		}
-	}
-	res.LatencyDigest = ld.sum()
-	res.auditCells(d, systems)
-
-	if opts.Full {
-		confs := passmark.Configurations()
-		pmSystems := make([]*core.System, len(confs))
-		pmRep, pmErr := passmark.RunFigure6Opts(passmark.AllTests(), passmark.Options{
-			Jobs: opts.Jobs,
-			OnSystem: func(c passmark.Cell, sys *core.System) {
-				sys.EnableTrace()
-				sys.EnableFaults(s.Plan)
-				pmSystems[c.Index] = sys
-			},
-		})
-		res.Cells += len(confs)
-		if pmErr != nil {
-			d.str("passmark-err:" + pmErr.Error())
-			var dl *sim.ErrDeadlock
-			if errors.As(pmErr, &dl) {
-				res.Findings = append(res.Findings, fmt.Sprintf("passmark deadlocked under %q: %v", s.Name, pmErr))
-			}
-		} else {
-			for _, t := range passmark.AllTests() {
-				d.str(t.Name)
-				for _, conf := range confs {
-					d.u64(uint64(int64(pmRep.Score[t.Name][conf.Name] * 1e6)))
-					if pmRep.Errors[t.Name][conf.Name] != nil {
-						d.u64(1)
-						res.FailedCells++
-					} else {
-						d.u64(0)
-					}
-				}
-			}
-		}
-		res.auditCells(d, pmSystems)
-	}
-
-	res.runMachCell(s, d)
-
-	res.Digest = d.sum()
+	res.merge(s, refs, outcomes, opts, 0)
 	return res
 }
 
-// runMachCell drives a purpose-built Mach IPC workload under the
-// schedule. The Fig. 5/6 batteries never call mach_msg (iOS benchmark
-// syscalls ride the BSD half of the XNU table), so the soak matrix
-// exercises the duct-taped subsystem directly: cross-task messaging
-// under queue pressure, interrupted sends/receives with bounded retry,
-// dead-name notifications, and task-exit teardown of a space still
-// holding live receive rights.
-func (r *Result) runMachCell(s Schedule, d *digest) {
-	sm := sim.New()
-	k, err := kernel.New(sm, kernel.Config{
-		Profile: kernel.ProfileCider, Device: hw.Nexus7(),
-		Root: vfs.New(), Registry: prog.NewRegistry(),
-	})
-	if err != nil {
-		r.Findings = append(r.Findings, fmt.Sprintf("mach cell: boot: %v", err))
-		return
-	}
-	k.InstallLinuxTable()
-	k.RegisterBinFmt(&kernel.ELFLoader{})
-	ipc, err := xnu.InstallIPC(k, ducttape.NewEnv(k))
-	if err != nil {
-		r.Findings = append(r.Findings, fmt.Sprintf("mach cell: ipc: %v", err))
-		return
-	}
-	tr := trace.NewSession("mach-cell")
-	sm.SetSink(tr)
-	k.SetTracer(tr)
-	in := fault.NewInjector(s.Plan)
-	in.OnInject = func(op fault.Op, key string, out fault.Outcome, now time.Duration) {
-		proc, id := "", 0
-		if cur := sm.Current(); cur != nil {
-			proc, id = cur.Name(), cur.ID()
-		}
-		tr.Fault(proc, id, op.String(), key, out.Errno, now)
-	}
-	k.EnableFaults(in)
-
-	const msgs = 48
-	const tick = 100 * time.Microsecond
-	var sent, received, retries, gaveUp uint64
-	var notified bool
-	serverReady := false
-	ready := sim.NewWaitQueue("soak-ready")
-
-	spawn := func(key string, body func(*kernel.Thread)) error {
-		k.Registry().MustRegister(key, func(c *prog.Call) uint64 {
-			body(c.Ctx.(*kernel.Thread))
-			return 0
-		})
-		bin, berr := prog.StaticELF(key)
-		if berr != nil {
-			return berr
-		}
-		if werr := k.Root().(*vfs.FS).WriteFile("/bin/"+key, bin); werr != nil {
-			return werr
-		}
-		_, serr := k.StartProcess("/bin/"+key, nil)
-		return serr
-	}
-
-	err = spawn("soak-mach-server", func(th *kernel.Thread) {
-		port, kr := ipc.PortAllocate(th)
-		if kr != xnu.KernSuccess {
-			return
-		}
-		cr, _ := ipc.MakeSendRight(th, port)
-		ipc.SetBootstrapPort(cr.Port)
-		serverReady = true
-		ready.WakeAll(th.Proc(), sim.WakeNormal)
-		// Bounded receive loop: injected interrupts and timeouts retry,
-		// but the loop always terminates even if the client gives up.
-		for attempts := 0; received < msgs && attempts < msgs*8; attempts++ {
-			msg, rkr := ipc.Receive(th, port, 2*tick)
-			if rkr == xnu.KernSuccess {
-				received++
-				_ = msg
-			} else {
-				retries++
-				th.Charge(tick / 4)
-			}
-		}
-		// Exit without destroying the port: task-exit teardown must reap
-		// the receive right and fail any still-blocked sender.
-	})
-	if err == nil {
-		err = spawn("soak-mach-client", func(th *kernel.Thread) {
-			for !serverReady {
-				// An injected interrupt just re-checks the flag and
-				// re-parks; the loop condition is the real gate.
-				if ready.Wait(th.Proc()) == sim.WakeInterrupted {
-					continue
-				}
-			}
-			for i := 0; i < msgs; i++ {
-				ok := false
-				for attempts := 0; attempts < 8; attempts++ {
-					kr := ipc.Send(th, xnu.BootstrapName,
-						&xnu.Message{ID: int32(i), Body: []byte("soak")}, 2*tick)
-					if kr == xnu.KernSuccess {
-						ok = true
-						break
-					}
-					retries++
-					th.Charge(tick / 4)
-				}
-				if ok {
-					sent++
-				} else {
-					gaveUp++
-				}
-			}
-		})
-	}
-	if err == nil {
-		err = spawn("soak-mach-notify", func(th *kernel.Thread) {
-			watched, kr := ipc.PortAllocate(th)
-			if kr != xnu.KernSuccess {
-				return
-			}
-			notify, kr := ipc.PortAllocate(th)
-			if kr != xnu.KernSuccess {
-				return
-			}
-			if kr = ipc.RequestDeadNameNotification(th, watched, notify); kr != xnu.KernSuccess {
-				return
-			}
-			ipc.PortDestroy(th, watched)
-			for attempts := 0; attempts < 8; attempts++ {
-				msg, rkr := ipc.Receive(th, notify, 2*tick)
-				if rkr == xnu.KernSuccess && msg.ID == xnu.MsgDeadNameNotification {
-					notified = true
-					break
-				}
-				th.Charge(tick / 4)
-			}
-		})
-	}
-	if err != nil {
-		r.Findings = append(r.Findings, fmt.Sprintf("mach cell: spawn: %v", err))
-		return
-	}
-	r.Cells++
-	if rerr := sm.Run(); rerr != nil {
-		d.str("mach-err:" + rerr.Error())
-		var dl *sim.ErrDeadlock
-		if errors.As(rerr, &dl) {
-			r.Findings = append(r.Findings, fmt.Sprintf("mach cell deadlocked under %q: %v", s.Name, rerr))
-		}
-		return
-	}
-	if s.Name == "clean" {
-		// Without faults the workload must complete perfectly; under
-		// injection partial completion is the point.
-		if sent != msgs || received != msgs || !notified {
-			r.Findings = append(r.Findings, fmt.Sprintf(
-				"mach cell: clean run incomplete: sent=%d received=%d notified=%v", sent, received, notified))
-		}
-	}
-	d.str("mach-cell")
-	d.u64(sent)
-	d.u64(received)
-	d.u64(retries)
-	d.u64(gaveUp)
-	if notified {
-		d.u64(1)
-	} else {
-		d.u64(0)
-	}
-	fired := in.Fired()
-	r.Injected += fired
-	d.u64(fired)
-	digestSession(d, tr)
-	r.collectCounters(tr)
-	if lerr := k.LeakCheck(); lerr != nil {
-		r.Findings = append(r.Findings, fmt.Sprintf("mach cell (%s): %v", s.Name, lerr))
-	}
-}
-
-// auditCells digests each cell's trace and injection state, runs the
-// post-battery leak check, and audits the supervision counters: every
-// crash launchd observed must be answered by a respawn or a deliberate
-// throttle, with at most one crash still in flight when the simulation
-// wound down (the benchmark exiting ends the run mid-backoff).
-func (r *Result) auditCells(d *digest, systems []*core.System) {
-	for i, sys := range systems {
+// merge folds per-cell outcomes (in canonical order) into the Result
+// and emits replay artifacts for failing cells.
+func (r *Result) merge(s Schedule, refs []replay.CellRef, outcomes []cellOutcome, opts Options, exploreSeed uint64) {
+	d := newDigest()
+	d.str(s.Name)
+	d.u64(s.Plan.Seed)
+	ld := newDigest()
+	for i := range outcomes {
+		o := &outcomes[i]
 		d.u64(uint64(i))
-		if sys == nil {
-			d.str("cell-missing")
-			continue
+		d.u64(o.digest)
+		if o.latPresent {
+			ld.u64(o.latPart)
 		}
-		if sys.Fault != nil {
-			fired := sys.Fault.Fired()
-			r.Injected += fired
-			d.u64(fired)
+		r.Cells++
+		r.FailedCells += o.failed
+		r.Injected += o.injected
+		if o.counters != nil {
+			if r.Counters == nil {
+				r.Counters = map[string]uint64{}
+			}
+			for k, v := range o.counters {
+				r.Counters[k] += v
+			}
 		}
-		digestSession(d, sys.Trace)
-		r.collectCounters(sys.Trace)
-		if crashes, respawns, throttled := supervisionCounters(sys.Trace); crashes > respawns+throttled+1 {
-			r.Findings = append(r.Findings, fmt.Sprintf(
-				"cell %d (%s): supervision lost services: %d crashes vs %d respawns + %d throttled",
-				i, sys.Config, crashes, respawns, throttled))
-		}
-		if err := sys.Kernel.LeakCheck(); err != nil {
-			r.Findings = append(r.Findings, fmt.Sprintf("cell %d (%s): %v", i, sys.Config, err))
+		if len(o.findings) > 0 {
+			r.Findings = append(r.Findings, o.findings...)
+			if !opts.NoRecord {
+				a := artifactForOutcome(s, o, exploreSeed)
+				path := artifactPath(opts.ArtifactDir, s.Name, o.ref, exploreSeed)
+				if werr := a.WriteFile(path); werr != nil {
+					r.Findings = append(r.Findings, fmt.Sprintf("cell %s: artifact write failed: %v", o.ref, werr))
+				} else {
+					r.Findings = append(r.Findings, fmt.Sprintf(
+						"cell %s: reproduce with: cider replay %s", o.ref, path))
+					r.Artifacts = append(r.Artifacts, path)
+				}
+			}
 		}
 	}
-}
-
-// collectCounters folds one cell's trace counters into the result total.
-func (r *Result) collectCounters(tr *trace.Session) {
-	if tr == nil {
-		return
-	}
-	if r.Counters == nil {
-		r.Counters = map[string]uint64{}
-	}
-	for _, c := range tr.Counters() {
-		r.Counters[c.Name] += c.Value
-	}
+	r.Digest = d.sum()
+	r.LatencyDigest = ld.sum()
 }
 
 // supervisionCounters reads one cell's launchd KeepAlive counters.

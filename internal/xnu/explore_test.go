@@ -1,0 +1,208 @@
+package xnu
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/replay"
+)
+
+// Schedule-exploration stress for the Mach IPC multi-waiter paths: the
+// ISSUE candidates "xnu wake order on multi-waiter ports". Wake order
+// among distinct waiters is a genuinely ambiguous scheduler decision
+// (sim.DecisionWake); the kernel must deliver every message and hold
+// every teardown invariant under ANY legal order, not just the FIFO
+// order the canonical schedule happens to take. Round 0 runs the
+// canonical schedule; each later round perturbs every ambiguous
+// decision with a seeded Explorer.
+
+// exploreRounds is sized so the wake-order decision at the contended
+// port is exercised with many distinct permutations while the test
+// stays tier-1 cheap.
+const exploreRounds = 12
+
+// stopID marks the shutdown message each receiver exits on.
+const stopID int32 = -99
+
+// TestExploreMultiWaiterPortDelivery parks three receiver threads on
+// one port while a sender pushes work messages and then one stop per
+// receiver. Under every explored wake order: every message is consumed
+// exactly once, every receiver terminates (no lost wakeups), and
+// teardown leaks nothing.
+func TestExploreMultiWaiterPortDelivery(t *testing.T) {
+	const workers = 3
+	const work = 12
+	for round := 0; round <= exploreRounds; round++ {
+		var inner *replay.Explorer
+		if round > 0 {
+			inner = &replay.Explorer{Seed: uint64(round)}
+		}
+		var rec *replay.Recorder
+		if inner != nil {
+			rec = replay.NewRecorder(inner)
+		} else {
+			rec = replay.NewRecorder(nil)
+		}
+		h := newHarness(t)
+		h.s.SetDecider(rec)
+
+		received := 0
+		stops := 0
+		h.runProcs(t, func(th *kernel.Thread) {
+			port, kr := h.ipc.PortAllocate(th)
+			if kr != KernSuccess {
+				t.Fatalf("round %d: alloc: %v", round, kr)
+			}
+			for w := 0; w < workers; w++ {
+				th.SpawnThread("recv", func(rt *kernel.Thread) {
+					for {
+						msg, kr := h.ipc.Receive(rt, port, -1)
+						if kr != KernSuccess {
+							t.Errorf("round %d: receive: %#x", round, kr)
+							return
+						}
+						if msg.ID == stopID {
+							stops++
+							return
+						}
+						received++
+					}
+				})
+			}
+			for i := 0; i < work; i++ {
+				if kr := h.ipc.Send(th, port, &Message{ID: int32(i)}, -1); kr != KernSuccess {
+					t.Fatalf("round %d: send %d: %v", round, i, kr)
+				}
+			}
+			for w := 0; w < workers; w++ {
+				if kr := h.ipc.Send(th, port, &Message{ID: stopID}, -1); kr != KernSuccess {
+					t.Fatalf("round %d: stop %d: %v", round, w, kr)
+				}
+			}
+		})
+		if received != work || stops != workers {
+			t.Fatalf("round %d: received %d/%d, stops %d/%d (lost or duplicated wakeup)",
+				round, received, work, stops, workers)
+		}
+		if err := h.k.LeakCheck(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round > 0 && len(rec.Choices()) == 0 {
+			t.Fatalf("round %d: explorer took no non-canonical choices — no contention reached", round)
+		}
+	}
+}
+
+// TestExploreMultiSenderQueueLimit inverts the contention: the port's
+// queue limit blocks three sender threads at once, a single receiver
+// drains, and the wake order among blocked senders is explored. Every
+// sent message must arrive exactly once regardless of which sender each
+// freed queue slot goes to.
+func TestExploreMultiSenderQueueLimit(t *testing.T) {
+	const senders = 3
+	const perSender = 8
+	for round := 0; round <= exploreRounds; round++ {
+		var rec *replay.Recorder
+		if round > 0 {
+			rec = replay.NewRecorder(&replay.Explorer{Seed: uint64(round)})
+		} else {
+			rec = replay.NewRecorder(nil)
+		}
+		h := newHarness(t)
+		h.s.SetDecider(rec)
+
+		received := 0
+		h.runProcs(t, func(th *kernel.Thread) {
+			port, kr := h.ipc.PortAllocate(th)
+			if kr != KernSuccess {
+				t.Fatalf("round %d: alloc: %v", round, kr)
+			}
+			for s := 0; s < senders; s++ {
+				th.SpawnThread("send", func(st *kernel.Thread) {
+					for i := 0; i < perSender; i++ {
+						if kr := h.ipc.Send(st, port, &Message{ID: int32(i)}, -1); kr != KernSuccess {
+							t.Errorf("round %d: send: %#x", round, kr)
+							return
+						}
+					}
+				})
+			}
+			for received < senders*perSender {
+				if _, kr := h.ipc.Receive(th, port, -1); kr != KernSuccess {
+					t.Fatalf("round %d: receive: %#x", round, kr)
+				}
+				received++
+			}
+		})
+		if received != senders*perSender {
+			t.Fatalf("round %d: received %d, want %d", round, received, senders*perSender)
+		}
+		if err := h.k.LeakCheck(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestExplorePortSetMultiWaiter parks two threads on a port set fed by
+// two member ports; wake order within the set's shared wait queue is
+// explored. All messages must be drained and the set torn down clean.
+func TestExplorePortSetMultiWaiter(t *testing.T) {
+	const work = 10
+	for round := 0; round <= exploreRounds; round++ {
+		var rec *replay.Recorder
+		if round > 0 {
+			rec = replay.NewRecorder(&replay.Explorer{Seed: uint64(round)})
+		} else {
+			rec = replay.NewRecorder(nil)
+		}
+		h := newHarness(t)
+		h.s.SetDecider(rec)
+
+		received := 0
+		stops := 0
+		h.runProcs(t, func(th *kernel.Thread) {
+			set := h.ipc.PortSetAllocate(th)
+			pa, _ := h.ipc.PortAllocate(th)
+			pb, _ := h.ipc.PortAllocate(th)
+			if kr := h.ipc.PortSetAdd(th, set, pa); kr != KernSuccess {
+				t.Fatalf("round %d: set add a: %v", round, kr)
+			}
+			if kr := h.ipc.PortSetAdd(th, set, pb); kr != KernSuccess {
+				t.Fatalf("round %d: set add b: %v", round, kr)
+			}
+			for w := 0; w < 2; w++ {
+				th.SpawnThread("setrecv", func(rt *kernel.Thread) {
+					for {
+						msg, kr := h.ipc.ReceiveSet(rt, set, -1)
+						if kr != KernSuccess {
+							t.Errorf("round %d: set receive: %#x", round, kr)
+							return
+						}
+						if msg.ID == stopID {
+							stops++
+							return
+						}
+						received++
+					}
+				})
+			}
+			ports := [2]PortName{pa, pb}
+			for i := 0; i < work; i++ {
+				if kr := h.ipc.Send(th, ports[i%2], &Message{ID: int32(i)}, -1); kr != KernSuccess {
+					t.Fatalf("round %d: send %d: %v", round, i, kr)
+				}
+			}
+			for w := 0; w < 2; w++ {
+				if kr := h.ipc.Send(th, ports[w], &Message{ID: stopID}, -1); kr != KernSuccess {
+					t.Fatalf("round %d: stop %d: %v", round, w, kr)
+				}
+			}
+		})
+		if received != work || stops != 2 {
+			t.Fatalf("round %d: received %d/%d, stops %d/2", round, received, work, stops)
+		}
+		if err := h.k.LeakCheck(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
