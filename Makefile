@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fixtures race bench bench-smoke bench-ratchet profile soak soak-smoke soak-smoke-crash diffcheck diffcheck-smoke replay-smoke explore verify
+.PHONY: build test vet lint lint-fixtures race bench bench-smoke bench-ratchet profile soak soak-smoke soak-smoke-crash soak-smoke-pressure diffcheck diffcheck-smoke replay-smoke explore verify
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,15 @@ soak-smoke:
 soak-smoke-crash:
 	$(GO) run ./cmd/cider soak -quick -verify -schedule daemon-crash
 
+# soak-smoke-pressure is the resource-governance smoke: the
+# mem-pressure-storm schedule drives the memorystatus ladder (notify,
+# shed, jetsam in band order) while the benchmark runs foreground;
+# the digest must stay jobs-invariant, the foreground must survive,
+# kills must actually fire, and launchd must respawn reaped daemons
+# without charging its crash-loop budget.
+soak-smoke-pressure:
+	$(GO) run ./cmd/cider soak -quick -verify -schedule mem-pressure-storm
+
 # diffcheck runs the differential persona oracle at full depth: 200
 # seeded programs, each executed under both personas and diffed after
 # normalization; any unallowlisted divergence is minimized, reported,
@@ -114,4 +123,4 @@ explore:
 # ciderlint, pass the full test suite under the race detector, run the
 # bench, soak, and diffcheck harnesses once end to end, and prove the
 # record/replay round trip is bit-identical.
-verify: build vet lint lint-fixtures race bench-smoke soak-smoke soak-smoke-crash diffcheck-smoke replay-smoke
+verify: build vet lint lint-fixtures race bench-smoke soak-smoke soak-smoke-crash soak-smoke-pressure diffcheck-smoke replay-smoke

@@ -700,6 +700,31 @@ func runStats(asJSON bool, jobs int) error {
 
 	base := runs[0].null
 
+	// The resource-governance counters: one bounded run of the
+	// mem-pressure-storm and fd-exhaustion schedules, merged. These are
+	// the `cider stats` jetsam numbers — how many kills per band, how
+	// many pressure notifications, how many rlimit rejections — produced
+	// by the same machinery the soak gate verifies.
+	governance, err := soak.GovernanceCounters(jobs)
+	if err != nil {
+		return err
+	}
+	governanceKeys := func() []string {
+		keys := make([]string, 0, len(governance))
+		for k := range governance {
+			switch {
+			case strings.HasPrefix(k, "jetsam."),
+				strings.HasPrefix(k, "pressure."),
+				strings.HasPrefix(k, "rlimit."),
+				k == trace.CounterLaunchdJetsam,
+				k == trace.CounterLaunchdRespawns:
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
 	if asJSON {
 		// One machine-scrapable document: per-config trace summaries plus
 		// the null-syscall decomposition, so CI and the bench harness can
@@ -716,7 +741,14 @@ func runStats(asJSON bool, jobs int) error {
 		doc := struct {
 			Baseline string       `json:"baseline"`
 			Configs  []statConfig `json:"configs"`
+			// Governance carries the jetsam/pressure/rlimit counters from
+			// one bounded resource-governance soak run.
+			Governance map[string]uint64 `json:"governance"`
 		}{Baseline: runs[0].conf.Name}
+		doc.Governance = map[string]uint64{}
+		for _, k := range governanceKeys() {
+			doc.Governance[k] = governance[k]
+		}
 		for _, r := range runs {
 			sc := statConfig{
 				Config:        r.conf.Name,
@@ -739,6 +771,12 @@ func runStats(asJSON bool, jobs int) error {
 		fmt.Print(r.session.Text())
 		fmt.Println()
 	}
+
+	fmt.Println("==== resource governance (jetsam / pressure / rlimits) ====")
+	for _, k := range governanceKeys() {
+		fmt.Printf("  %-32s %d\n", k, governance[k])
+	}
+	fmt.Println()
 
 	// The Fig. 5 decomposition: null-syscall overhead relative to vanilla
 	// Android — the paper reports ~8.5% for the Android persona (one extra

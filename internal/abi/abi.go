@@ -64,6 +64,8 @@ const (
 	XNUSelect     = 93
 	XNUSocketpair = 135
 	XNUCreat      = 8 // via open(O_CREAT) on real XNU; kept for symmetry
+	XNUGetrlimit  = 194
+	XNUSetrlimit  = 195
 	// XNUPosixSpawn is posix_spawn, "a flexible method of starting a
 	// thread or new application" with no Linux equivalent; Cider builds it
 	// from clone + exec (Section 4.1).
@@ -88,6 +90,25 @@ const (
 	// XNUOTrunc and XNUOExcl are translated alongside for completeness.
 	XNUOTrunc = 0x400
 	XNUOExcl  = 0x800
+)
+
+// XNU rlimit resource numbers (bsd/sys/resource.h). They do not coincide
+// with Linux's: XNU RLIMIT_NOFILE is 8 where Linux says 7, and XNU
+// conflates RLIMIT_RSS/RLIMIT_AS into one number (5). The getrlimit and
+// setrlimit wrappers renumber before calling the Linux implementation —
+// resource numbers are persona-domain payloads, like signal numbers.
+const (
+	// XNURLimitCPU through XNURLimitCore coincide with Linux numbering.
+	XNURLimitCPU   = 0
+	XNURLimitFSize = 1
+	XNURLimitData  = 2
+	XNURLimitStack = 3
+	XNURLimitCore  = 4
+	// XNURLimitAS is RLIMIT_AS == RLIMIT_RSS on XNU.
+	XNURLimitAS      = 5
+	XNURLimitMemlock = 6
+	XNURLimitNProc   = 7
+	XNURLimitNoFile  = 8
 )
 
 // Mach trap numbers (osfmk/kern/syscall_sw.c, negated as XNU does).
@@ -243,6 +264,23 @@ func installXNU(k *kernel.Kernel, native bool) *kernel.SyscallTable {
 		a.I[0] = uint64(kernel.SignalFromXNU(int(a.I[0])))
 		if tr := t.Kernel().Tracer(); tr != nil {
 			tr.Count(trace.CounterSignalXNUSend, 1)
+		}
+	})
+
+	// getrlimit/setrlimit: the resource number arrives in XNU numbering;
+	// renumber to the canonical (Linux) value before invoking the Linux
+	// implementation. The limit values themselves are plain byte counts
+	// in both ABIs and pass through.
+	wrap(XNUGetrlimit, kernel.SysGetrlimit, "getrlimit", func(t *kernel.Thread, a *kernel.SyscallArgs) {
+		a.I[0] = uint64(kernel.RlimitFromXNU(int(a.I[0])))
+		if tr := t.Kernel().Tracer(); tr != nil {
+			tr.Count(trace.CounterRlimitXlate, 1)
+		}
+	})
+	wrap(XNUSetrlimit, kernel.SysSetrlimit, "setrlimit", func(t *kernel.Thread, a *kernel.SyscallArgs) {
+		a.I[0] = uint64(kernel.RlimitFromXNU(int(a.I[0])))
+		if tr := t.Kernel().Tracer(); tr != nil {
+			tr.Count(trace.CounterRlimitXlate, 1)
 		}
 	})
 

@@ -1,0 +1,67 @@
+package abi
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// Rlimit resource numbers are persona-domain payloads: XNU says
+// RLIMIT_NOFILE is 8 where Linux says 7, and XNU conflates RLIMIT_RSS and
+// RLIMIT_AS into one number (5). The XNU table wrappers must renumber at
+// the boundary — an untranslated number silently reads or caps the wrong
+// resource.
+
+func TestRlimitNumberingRoundTrip(t *testing.T) {
+	cases := []struct{ linux, xnu int }{
+		{kernel.RLimitCPU, XNURLimitCPU},
+		{kernel.RLimitFSize, XNURLimitFSize},
+		{kernel.RLimitData, XNURLimitData},
+		{kernel.RLimitStack, XNURLimitStack},
+		{kernel.RLimitCore, XNURLimitCore},
+		{kernel.RLimitAS, XNURLimitAS},
+		{kernel.RLimitMemlock, XNURLimitMemlock},
+		{kernel.RLimitNProc, XNURLimitNProc},
+		{kernel.RLimitNoFile, XNURLimitNoFile},
+	}
+	for _, c := range cases {
+		if got := kernel.RlimitToXNU(c.linux); got != c.xnu {
+			t.Errorf("RlimitToXNU(%d) = %d, want %d", c.linux, got, c.xnu)
+		}
+		if got := kernel.RlimitFromXNU(c.xnu); got != c.linux {
+			t.Errorf("RlimitFromXNU(%d) = %d, want %d", c.xnu, got, c.linux)
+		}
+	}
+	// The deliberate non-bijection: canonical RSS also lands on XNU 5,
+	// whose inverse resolves to AS (the limit XNU enforces there).
+	if got := kernel.RlimitToXNU(kernel.RLimitRSS); got != XNURLimitAS {
+		t.Errorf("RlimitToXNU(RSS) = %d, want %d", got, XNURLimitAS)
+	}
+}
+
+func TestXNURlimitSyscallsTranslate(t *testing.T) {
+	e := newEnv(t, kernel.ProfileCider)
+	var cur, max uint64
+	var after kernel.RLimit
+	var badSet kernel.Errno
+	e.runIOS(t, func(th *kernel.Thread) {
+		// getrlimit with XNU's NOFILE number (8) must read the canonical
+		// NOFILE slot (7), not MEMLOCK (what untranslated 8 would hit).
+		r := th.Syscall(XNUGetrlimit, &kernel.SyscallArgs{I: [6]uint64{XNURLimitNoFile}})
+		cur, max = r.R0, r.R1
+		// setrlimit through the XNU number must land on the same slot.
+		th.Syscall(XNUSetrlimit, &kernel.SyscallArgs{I: [6]uint64{XNURLimitNoFile, 128, 2048}})
+		after = th.Task().Rlimit(kernel.RLimitNoFile)
+		badSet = th.Syscall(XNUSetrlimit, &kernel.SyscallArgs{I: [6]uint64{XNURLimitNoFile, 10, 5}}).Errno
+	})
+	if cur != kernel.DefaultNoFileCur || max != kernel.DefaultNoFileMax {
+		t.Fatalf("XNU getrlimit(NOFILE) = (%d, %d), want boot defaults (%d, %d)",
+			cur, max, kernel.DefaultNoFileCur, kernel.DefaultNoFileMax)
+	}
+	if after.Cur != 128 || after.Max != 2048 {
+		t.Fatalf("canonical NOFILE after XNU setrlimit = %+v, want {128 2048}", after)
+	}
+	if badSet != kernel.EINVAL {
+		t.Fatalf("XNU setrlimit(cur > max) = %v, want EINVAL", badSet)
+	}
+}

@@ -210,6 +210,18 @@ func runChargeCheck(pass *Pass) error {
 							checkHop(lit, "dyld "+fn.Name()+" hook")
 						}
 					}
+				case fn.Name() == "OnPressure" && RecvTypeName(fn) == "Memorystatus":
+					// Memory-pressure delivery is modeled work: the handler a
+					// runtime registers runs in the context of whichever
+					// thread crossed the watermark and must charge its
+					// delivery cost there (the kernel charges the per-handler
+					// notify hop; the runtime charges its dispatch/trim
+					// delivery on top).
+					for _, arg := range node.Args {
+						if lit, ok := Unparen(arg).(*ast.FuncLit); ok {
+							checkHop(lit, "memory-pressure handler")
+						}
+					}
 				case fn.Name() == "SetExceptionBridge" && RecvTypeName(fn) == "Kernel":
 					// Exception delivery is modeled work: the bridge consulted
 					// on a fatal fault must accrue the exception-message cost.

@@ -120,6 +120,18 @@ func waitFor(t *kernel.Thread) uint64 {
 	return 1
 }
 
+// Memory-pressure handlers are hops: delivery runs in the context of
+// whichever thread crossed the watermark, and the runtime's dispatch cost
+// must be charged there.
+func InstallPressure(ms *kernel.Memorystatus, tk *kernel.Task, t *kernel.Thread) {
+	ms.OnPressure(tk, func(level int) {
+		t.Charge(2) // delivery cost: clean
+	})
+	ms.OnPressure(tk, func(level int) { // want `chargecheck: memory-pressure handler accrues no virtual-time cost`
+		_ = pidOf(t)
+	})
+}
+
 // Engine mimics the diplomat: Wrap-returned closures are hops and must
 // accrue cost somewhere in their body.
 type Engine struct{ calls int }

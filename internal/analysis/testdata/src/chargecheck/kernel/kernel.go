@@ -35,3 +35,12 @@ func (h *Hooks) AtExit(f func(*Thread)) { h.exit = append(h.exit, f) }
 type Kernel struct{ bridge func(*Thread, int) bool }
 
 func (k *Kernel) SetExceptionBridge(b func(*Thread, int) bool) { k.bridge = b }
+
+// Task and Memorystatus mimic the memory-pressure registration point.
+type Task struct{ pid int }
+
+type Memorystatus struct{ handlers []func(level int) }
+
+func (ms *Memorystatus) OnPressure(tk *Task, fn func(level int)) {
+	ms.handlers = append(ms.handlers, fn)
+}

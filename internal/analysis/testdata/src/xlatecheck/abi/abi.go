@@ -5,10 +5,13 @@ package abi
 
 import "xlatecheck/kernel"
 
-// XNU-domain trap numbers and flag bits.
+// XNU-domain trap numbers, flag bits, and rlimit resource numbers (XNU
+// says RLIMIT_NOFILE is 8 where Linux says 7).
 const (
-	XNUKillTrap = 37
-	XNUOCreat   = 0x200
+	XNUKillTrap     = 37
+	XNUOCreat       = 0x200
+	XNUSetrlimit    = 195
+	XNURLimitNoFile = 8
 )
 
 // wrap mirrors the real abi package's forwarding closure shape:
@@ -30,6 +33,12 @@ func install() {
 
 	// kill with a real transform is the fixed shape.
 	wrap(37, 62, "kill", func(a *uint64) { *a = uint64(kernel.SignalFromXNU(int(*a))) })
+
+	// rlimit resource numbers are persona payloads too: a nil transform
+	// would read or cap the wrong resource (XNU 8 is NOFILE, Linux 8 is
+	// MEMLOCK).
+	wrap(194, 191, "getrlimit", nil) // want `xlatecheck: syscall "getrlimit" carries persona-numbered payloads but is wrapped with a nil transform`
+	wrap(195, 75, "setrlimit", func(a *uint64) { *a = uint64(kernel.RlimitFromXNU(int(*a))) })
 }
 
 // Kill feeds its sig parameter into an XNU trap, so call sites must pass
@@ -66,4 +75,30 @@ func generic(t *kernel.Thread, n int) {
 // requirement, no finding.
 func ConflictFree(t *kernel.Thread) {
 	generic(t, kernel.SIGUSR1)
+}
+
+// Setrlimit feeds its res parameter into the XNU setrlimit trap, so call
+// sites must pass XNU resource numbering.
+func Setrlimit(t *kernel.Thread, res int) {
+	t.Syscall(XNUSetrlimit, uint64(res))
+}
+
+// RlimitDirectBad passes a canonical resource number into an XNU trap.
+func RlimitDirectBad(t *kernel.Thread) {
+	t.Syscall(XNUSetrlimit, uint64(kernel.RLimitNoFile)) // want `xlatecheck: Linux payload RLimitNoFile flows into a XNU trap untranslated`
+}
+
+// RlimitDirectGood renumbers at the boundary.
+func RlimitDirectGood(t *kernel.Thread) {
+	t.Syscall(XNUSetrlimit, uint64(kernel.RlimitToXNU(kernel.RLimitNoFile)))
+}
+
+// RlimitReverseBad forwards an XNU resource number to the Linux trap.
+func RlimitReverseBad(t *kernel.Thread) {
+	t.Syscall(kernel.SysSetrlimit, uint64(XNURLimitNoFile)) // want `xlatecheck: XNU payload XNURLimitNoFile flows into a Linux trap untranslated`
+}
+
+// RlimitInfinityFree: RLIM_INFINITY is domain-free and crosses freely.
+func RlimitInfinityFree(t *kernel.Thread) {
+	t.Syscall(XNUSetrlimit, kernel.RLimInfinity)
 }

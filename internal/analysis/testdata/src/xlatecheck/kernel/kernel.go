@@ -17,10 +17,18 @@ const (
 	OCreat  = 0x40
 )
 
+// Canonical rlimit resource numbers are Linux payloads; RLimInfinity is
+// the same bit pattern in both personas and carries no domain.
+const (
+	RLimitNoFile = 7
+	RLimInfinity = ^uint64(0)
+)
+
 // Linux-domain trap numbers.
 const (
-	SysOpen = 5
-	SysKill = 37
+	SysOpen      = 5
+	SysKill      = 37
+	SysSetrlimit = 75
 )
 
 // Thread is the trap entry point; a 2-arg Syscall matches the real
@@ -35,6 +43,8 @@ func SignalToXNU(sig int) int   { return sig }
 func SignalFromXNU(sig int) int { return sig }
 func ErrnoToXNU(e Errno) int    { return int(e) }
 func ErrnoFromXNU(x int) Errno  { return Errno(x) }
+func RlimitToXNU(res int) int   { return res }
+func RlimitFromXNU(res int) int { return res }
 
 // Persona/TLS stand-ins for the errno border-crossing rule.
 const IOS = 1

@@ -17,3 +17,14 @@ func RaiseBad(t *kernel.Thread) {
 func RaiseGood(t *kernel.Thread) {
 	abi.Kill(t, 1, kernel.SignalToXNU(kernel.SIGUSR1))
 }
+
+// LimitBad hands a canonical rlimit resource number to the XNU-facing
+// wrapper: abi.Setrlimit's requirement crosses packages like Kill's.
+func LimitBad(t *kernel.Thread) {
+	abi.Setrlimit(t, kernel.RLimitNoFile) // want `xlatecheck: Linux payload RLimitNoFile flows into XNU parameter 1 of Setrlimit`
+}
+
+// LimitGood renumbers first.
+func LimitGood(t *kernel.Thread) {
+	abi.Setrlimit(t, kernel.RlimitToXNU(kernel.RLimitNoFile))
+}

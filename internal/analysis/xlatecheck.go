@@ -19,8 +19,10 @@ import (
 // (DESIGN.md pins both as part of the ABI contract):
 //
 //   - linux (canonical) payloads: kernel-package constants of the Errno
-//     type, the SIG*/sig* signal numbers, and the O* open-flag bits.
-//   - xnu payloads: abi-package XNUO* open-flag bits.
+//     type, the SIG*/sig* signal numbers, the O* open-flag bits, and the
+//     RLimit* rlimit resource numbers.
+//   - xnu payloads: abi-package XNUO* open-flag bits and XNURLimit*
+//     rlimit resource numbers.
 //
 // Trap domains come from the syscall-number argument of Thread.Syscall:
 // a number declared in the kernel package is a Linux trap, one declared
@@ -88,6 +90,9 @@ func (d xlateDomain) opposite() xlateDomain {
 // wrapper for these must translate, never forward raw.
 var xformRequired = map[string]bool{
 	"open": true, "kill": true, "sigaction": true,
+	// rlimit resource numbers differ between the personas (XNU NOFILE is
+	// 8 where Linux says 7): the XNU table wrappers must renumber.
+	"getrlimit": true, "setrlimit": true,
 }
 
 // translationHelpers maps helper names to the domain of their result; a
@@ -95,8 +100,10 @@ var xformRequired = map[string]bool{
 var translationHelpers = map[string]xlateDomain{
 	"SignalToXNU":   domXNU,
 	"ErrnoToXNU":    domXNU,
+	"RlimitToXNU":   domXNU,
 	"SignalFromXNU": domLinux,
 	"ErrnoFromXNU":  domLinux,
+	"RlimitFromXNU": domLinux,
 }
 
 // payloadConstDomain classifies a constant as a persona-numbered payload.
@@ -119,10 +126,18 @@ func payloadConstDomain(c *types.Const) xlateDomain {
 		if strings.HasPrefix(name, "O") && len(name) > 1 && name[1] >= 'A' && name[1] <= 'Z' {
 			return domLinux // OCreat-style open flag bits
 		}
+		// RLimitNoFile-style rlimit resource numbers (RLimInfinity is the
+		// same bit pattern in both personas and stays domain-free).
+		if strings.HasPrefix(name, "RLimit") {
+			return domLinux
+		}
 	case "abi":
 		const p = "XNUO"
 		if strings.HasPrefix(name, p) && len(name) > len(p) &&
 			name[len(p)] >= 'A' && name[len(p)] <= 'Z' {
+			return domXNU
+		}
+		if strings.HasPrefix(name, "XNURLimit") {
 			return domXNU
 		}
 	}

@@ -153,6 +153,49 @@ func (c *C) Sigaction(sig int, h kernel.SignalHandler) kernel.Errno {
 	return c.T.Syscall(kernel.SysRtSigaction, &kernel.SyscallArgs{I: [6]uint64{uint64(sig)}, Act: act}).Errno
 }
 
+// Getrlimit reads a resource limit (Linux resource numbering — the
+// kernel's canonical domain, so no translation happens on this path).
+func (c *C) Getrlimit(res int) (cur, max uint64, errno kernel.Errno) {
+	ret := c.T.Syscall(kernel.SysGetrlimit, &kernel.SyscallArgs{I: [6]uint64{uint64(res)}})
+	return ret.R0, ret.R1, ret.Errno
+}
+
+// Setrlimit sets a resource limit (Linux resource numbering).
+func (c *C) Setrlimit(res int, cur, max uint64) kernel.Errno {
+	return c.T.Syscall(kernel.SysSetrlimit, &kernel.SyscallArgs{I: [6]uint64{uint64(res), cur, max}}).Errno
+}
+
+// Android memory-pressure levels, as delivered to ComponentCallbacks2
+// onTrimMemory / the lmkd pressure socket. The Linux analogue of XNU's
+// dispatch-source flags: same kernel ladder, persona-appropriate
+// vocabulary.
+const (
+	TrimMemoryRunningModerate = 5  // warn watermark crossed
+	TrimMemoryRunningCritical = 15 // critical watermark crossed
+)
+
+// trimDeliveryCycles is the user-space cost of one onTrimMemory
+// callback delivery (binder thread wakeup + dispatch).
+const trimDeliveryCycles = 1500
+
+// OnTrimMemory registers a pressure listener for the calling task,
+// modelling ActivityManager memory-trim callbacks backed by the same
+// kernel memorystatus ladder that feeds iOS dispatch sources. The handler
+// runs in the context of the thread that crossed the watermark and should
+// only shed caches. The registration dies with the process.
+func (c *C) OnTrimMemory(handler func(level int)) {
+	t := c.T
+	cpu := t.Kernel().Device().CPU
+	t.Kernel().Memorystatus().OnPressure(t.Task(), func(lv kernel.PressureLevel) {
+		t.Kernel().Sim().Current().Advance(cpu.Cycles(trimDeliveryCycles))
+		level := TrimMemoryRunningModerate
+		if lv == kernel.PressureCritical {
+			level = TrimMemoryRunningCritical
+		}
+		handler(level)
+	})
+}
+
 // SetPersona switches persona (Cider kernels only).
 func (c *C) SetPersona(to persona.Kind) (persona.Kind, kernel.Errno) {
 	ret := c.T.Syscall(kernel.SysSetPersona, &kernel.SyscallArgs{I: [6]uint64{uint64(to)}})

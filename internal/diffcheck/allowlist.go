@@ -41,6 +41,20 @@ func DefaultAllowlist() []AllowEntry {
 				"The counter tracks that iOS-only work; the handler-observed " +
 				"signal numbers themselves are canonicalized and compared.",
 		},
+		{
+			ID:    "xnu-rlimit-counter",
+			Match: "counter:rlimit.xnu_translated",
+			Why: "iOS-persona getrlimit/setrlimit enter through the XNU table, " +
+				"whose shim renumbers XNU resource indices to canonical " +
+				"(RLIMIT_NOFILE is 8 on XNU, 7 on Linux; XNU folds RLIMIT_RSS " +
+				"into RLIMIT_AS) and counts each renumbering; Android-persona " +
+				"calls are canonical natively, so the counter is structurally " +
+				"iOS-only. It measures translation work, not observable " +
+				"behavior — limit values and errnos are compared after " +
+				"canonicalization. The same persona-aware syscall " +
+				"interposition Cider §4.1 uses for signal numbering covers " +
+				"resource numbering, so this asymmetry is required by design.",
+		},
 	}
 }
 

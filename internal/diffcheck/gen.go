@@ -47,6 +47,8 @@ const (
 	opSignal
 	opForkWait
 	opMach
+	opRlimit
+	opPressure
 	numOpKinds
 )
 
@@ -82,6 +84,10 @@ func (k opKind) String() string {
 		return "fork_wait"
 	case opMach:
 		return "mach"
+	case opRlimit:
+		return "rlimit"
+	case opPressure:
+		return "pressure"
 	}
 	return "op?"
 }
@@ -142,13 +148,25 @@ func (p *Program) Text() string {
 // syscall costs legitimately differ. Asymmetric injection is still
 // valuable — it is how the minimizer is tested — it just cannot be part
 // of the oracle's own schedules.
+//
+// OpMemPressure rules are the exception that proves the rule: their key is
+// the charging task's executable path ("/bin/diffcheck-main"), which
+// carries no persona prefix and is identical in both cells, and their hit
+// counter advances on footprint growth (exec materialization, cache
+// inflation), not on virtual time. Nth-based pressure rules are therefore
+// persona-symmetric and usable in the oracle — they drive the
+// memorystatus notify path through both personas' pressure-delivery
+// stacks at the same program point. Only warn-level episodes are
+// scheduled here: a critical episode kills the lone generated process,
+// truncating both logs at whatever op was in flight, which exercises
+// nothing the pressure soaks don't already cover.
 func PlanFor(seed uint64) fault.Plan {
 	r := newRNG(seed ^ 0xd1ffc4ec0ffee)
 	plan := fault.Plan{Name: "diffcheck", Seed: seed}
 	if r.next()%3 == 0 {
 		return plan
 	}
-	matches := [...]string{"*/read", "*/write", "*/open", "*/dup"}
+	matches := [...]string{"*/read", "*/write", "*/open", "*/dup", "*/setrlimit"}
 	// Canonical (Linux) numbers, as everywhere in the kernel:
 	// EINTR, EAGAIN, EMFILE, EIO.
 	errnos := [...]int{4, 11, 24, 5}
@@ -159,6 +177,17 @@ func PlanFor(seed uint64) fault.Plan {
 			Match: matches[r.next()%uint64(len(matches))],
 			Errno: errnos[r.next()%uint64(len(errnos))],
 			Nth:   1 + r.next()%6,
+		})
+	}
+	if r.next()%2 == 0 {
+		// Warn-level pressure episode on the Nth footprint growth; the
+		// memorystatus consult translates Errno 1 (PressureWarn) into a
+		// notify-only episode.
+		plan.Rules = append(plan.Rules, fault.Rule{
+			Op:    fault.OpMemPressure,
+			Match: "*",
+			Errno: 1,
+			Nth:   1 + r.next()%4,
 		})
 	}
 	return plan

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/libsystem"
+	"repro/internal/mem"
 	"repro/internal/persona"
 	"repro/internal/prog"
 	"repro/internal/sim"
@@ -49,6 +50,20 @@ type libc interface {
 	// Sigaction installs a handler for a canonical-numbered signal; fn
 	// receives the delivered number converted back to canonical.
 	Sigaction(sig int, fn func(canonical int)) kernel.Errno
+	// Getrlimit reads a canonical-numbered resource limit; adapters
+	// renumber at the boundary (XNU says RLIMIT_NOFILE is 8, Linux 7).
+	Getrlimit(res int) (cur, max uint64, errno kernel.Errno)
+	// Setrlimit sets a canonical-numbered resource limit.
+	Setrlimit(res int, cur, max uint64) kernel.Errno
+	// OnPressure registers a memory-pressure listener; the persona level
+	// vocabulary (dispatch-source flags, onTrimMemory levels) is
+	// canonicalized to "warn"/"critical".
+	OnPressure(fn func(level string))
+	// CacheInflate maps and touches n bytes of anonymous cache ballast —
+	// the footprint growth pressure rules key on.
+	CacheInflate(n uint64) bool
+	// CacheShed unmaps the oldest ballast chunk, if any remains.
+	CacheShed() bool
 	// Errno reads the persona TLS errno, canonicalized.
 	Errno() int
 	Fork(child func(libc)) int
@@ -59,10 +74,41 @@ type libc interface {
 	MachPingPong(id int32) (allocOK bool, sendKR, recvKR int, gotID int32)
 }
 
+// memState is the per-process cache-ballast ledger the pressure ops
+// operate on: inflated chunk bases in inflation order, shed oldest-first
+// (the cache-eviction shape both personas' shedding callbacks model).
+type memState struct{ bases []uint64 }
+
+// cacheInflate maps and touches one anonymous ballast chunk; the
+// zero-fill materialization is the footprint-charge point OpMemPressure
+// rules count.
+func cacheInflate(th *kernel.Thread, st *memState, n uint64) bool {
+	r, err := th.Task().Mem().Map(0, n, mem.ProtRead|mem.ProtWrite, "[dc-cache]", false)
+	if err != nil {
+		return false
+	}
+	r.Backing().Bytes()
+	st.bases = append(st.bases, r.Base)
+	return true
+}
+
+// cacheShed releases the oldest ballast chunk.
+func cacheShed(th *kernel.Thread, st *memState) bool {
+	if len(st.bases) == 0 {
+		return false
+	}
+	base := st.bases[0]
+	st.bases = st.bases[1:]
+	return th.Task().Mem().Unmap(base) == nil
+}
+
 // androidLibc adapts bionic: results are already canonical; Mach traps
 // exist only in the XNU table, so the adapter brackets them with the
 // set_persona diplomat hop (normalization strips those events).
-type androidLibc struct{ c *bionic.C }
+type androidLibc struct {
+	c  *bionic.C
+	ms *memState
+}
 
 func (a androidLibc) GetPID() int                          { return a.c.GetPID() }
 func (a androidLibc) GetPPID() int                         { return a.c.GetPPID() }
@@ -89,9 +135,26 @@ func (a androidLibc) Kill(pid, sig int) kernel.Errno { return a.c.Kill(pid, sig)
 func (a androidLibc) Sigaction(sig int, fn func(int)) kernel.Errno {
 	return a.c.Sigaction(sig, func(_ *kernel.Thread, got int) { fn(got) })
 }
-func (a androidLibc) Errno() int { return a.c.Errno() }
+func (a androidLibc) Getrlimit(res int) (uint64, uint64, kernel.Errno) {
+	return a.c.Getrlimit(res)
+}
+func (a androidLibc) Setrlimit(res int, cur, max uint64) kernel.Errno {
+	return a.c.Setrlimit(res, cur, max)
+}
+func (a androidLibc) OnPressure(fn func(string)) {
+	a.c.OnTrimMemory(func(level int) {
+		lvl := "warn"
+		if level == bionic.TrimMemoryRunningCritical {
+			lvl = "critical"
+		}
+		fn(lvl)
+	})
+}
+func (a androidLibc) CacheInflate(n uint64) bool { return cacheInflate(a.c.T, a.ms, n) }
+func (a androidLibc) CacheShed() bool            { return cacheShed(a.c.T, a.ms) }
+func (a androidLibc) Errno() int                 { return a.c.Errno() }
 func (a androidLibc) Fork(child func(libc)) int {
-	return a.c.Fork(func(cc *bionic.C) { child(androidLibc{c: cc}) })
+	return a.c.Fork(func(cc *bionic.C) { child(androidLibc{c: cc, ms: &memState{}}) })
 }
 func (a androidLibc) Wait(pid int) (int, int, kernel.Errno) { return a.c.Wait(pid) }
 func (a androidLibc) Exit(status int)                       { a.c.Exit(status) }
@@ -102,10 +165,13 @@ func (a androidLibc) MachPingPong(id int32) (bool, int, int, int32) {
 	return res.ok, res.sendKR, res.recvKR, res.gotID
 }
 
-// iosLibc adapts libSystem: BSD errnos and XNU signal numbers are
-// converted at this boundary, mirroring what a comparison harness on real
-// hardware does to a ktrace stream.
-type iosLibc struct{ c *libsystem.C }
+// iosLibc adapts libSystem: BSD errnos, XNU signal numbers, and XNU
+// rlimit resource numbers are converted at this boundary, mirroring what
+// a comparison harness on real hardware does to a ktrace stream.
+type iosLibc struct {
+	c  *libsystem.C
+	ms *memState
+}
 
 func (a iosLibc) GetPID() int                          { return a.c.GetPID() }
 func (a iosLibc) GetPPID() int                         { return a.c.GetPPID() }
@@ -136,9 +202,26 @@ func (a iosLibc) Sigaction(sig int, fn func(int)) kernel.Errno {
 		fn(kernel.SignalFromXNU(got))
 	})
 }
-func (a iosLibc) Errno() int { return int(kernel.ErrnoFromXNU(a.c.Errno())) }
+func (a iosLibc) Getrlimit(res int) (uint64, uint64, kernel.Errno) {
+	return a.c.Getrlimit(kernel.RlimitToXNU(res))
+}
+func (a iosLibc) Setrlimit(res int, cur, max uint64) kernel.Errno {
+	return a.c.Setrlimit(kernel.RlimitToXNU(res), cur, max)
+}
+func (a iosLibc) OnPressure(fn func(string)) {
+	a.c.DispatchSourceMemoryPressure(func(flags int) {
+		lvl := "warn"
+		if flags == libsystem.DispatchMemoryPressureCritical {
+			lvl = "critical"
+		}
+		fn(lvl)
+	})
+}
+func (a iosLibc) CacheInflate(n uint64) bool { return cacheInflate(a.c.T, a.ms, n) }
+func (a iosLibc) CacheShed() bool            { return cacheShed(a.c.T, a.ms) }
+func (a iosLibc) Errno() int                 { return int(kernel.ErrnoFromXNU(a.c.Errno())) }
 func (a iosLibc) Fork(child func(libc)) int {
-	return a.c.Fork(func(cc *libsystem.C) { child(iosLibc{c: cc}) })
+	return a.c.Fork(func(cc *libsystem.C) { child(iosLibc{c: cc, ms: &memState{}}) })
 }
 func (a iosLibc) Wait(pid int) (int, int, kernel.Errno) { return a.c.Wait(pid) }
 func (a iosLibc) Exit(status int)                       { a.c.Exit(status) }
@@ -195,6 +278,12 @@ func execProgram(c libc, p *Program, log *[]string) {
 	emit := func(i int, op Op, format string, args ...any) {
 		*log = append(*log, fmt.Sprintf("%02d %s ", i, op.Kind)+fmt.Sprintf(format, args...))
 	}
+	// Pressure ops share one shedding listener (armed on first use) and a
+	// running log of canonicalized levels; delivery is synchronous with
+	// the inflation that crossed the injected watermark, so the log each
+	// op emits is deterministic.
+	var pressureLog []string
+	pressureArmed := false
 	// pollReady reports fd readiness without blocking (timeout 0).
 	pollReady := func(fd int, write bool) (bool, kernel.Errno) {
 		req := &kernel.SelectRequest{Timeout: 0}
@@ -334,6 +423,32 @@ func execProgram(c libc, p *Program, log *[]string) {
 			id := int32(op.A % 100)
 			ok, skr, rkr, got := c.MachPingPong(id)
 			emit(i, op, "alloc=%v send=%d recv=%d id=%v", ok, skr, rkr, got == id)
+		case opRlimit:
+			// Canonical NOFILE on both personas; the iOS adapter renumbers
+			// to XNU 8 at the boundary.
+			switch op.A % 3 {
+			case 0:
+				cur, lim, errno := c.Getrlimit(kernel.RLimitNoFile)
+				emit(i, op, "get nofile cur=%d max=%d errno=%v tls=%d", cur, lim, errno, c.Errno())
+			case 1:
+				soft := 24 + op.B%40
+				serr := c.Setrlimit(kernel.RLimitNoFile, soft, 4096)
+				cur, _, _ := c.Getrlimit(kernel.RLimitNoFile)
+				emit(i, op, "set nofile=%d cur=%d errno=%v tls=%d", soft, cur, serr, c.Errno())
+			case 2:
+				serr := c.Setrlimit(kernel.RLimitNoFile, 512, 16)
+				emit(i, op, "set cur>max errno=%v tls=%d", serr, c.Errno())
+			}
+		case opPressure:
+			if !pressureArmed {
+				pressureArmed = true
+				c.OnPressure(func(level string) {
+					pressureLog = append(pressureLog, level)
+					c.CacheShed()
+				})
+			}
+			ok := c.CacheInflate((1 + op.B%4) << 12)
+			emit(i, op, "inflate=%v levels=%v tls=%d", ok, pressureLog, c.Errno())
 		}
 	}
 }
@@ -407,9 +522,9 @@ func RunCellDecided(p *Program, ios bool, plan fault.Plan, dec sim.Decider) *Cel
 		th := call.Ctx.(*kernel.Thread)
 		if ios {
 			th.Persona.Switch(persona.IOS)
-			execProgram(iosLibc{c: libsystem.Sys(th)}, p, &res.Log)
+			execProgram(iosLibc{c: libsystem.Sys(th), ms: &memState{}}, p, &res.Log)
 		} else {
-			execProgram(androidLibc{c: bionic.Sys(th)}, p, &res.Log)
+			execProgram(androidLibc{c: bionic.Sys(th), ms: &memState{}}, p, &res.Log)
 		}
 		return 0
 	})

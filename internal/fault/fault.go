@@ -44,6 +44,16 @@ const (
 	// counters accumulate across respawned incarnations. Rule.Errno names
 	// the canonical fatal signal (SEGV/BUS/ILL/FPE/ABRT); 0 means SIGSEGV.
 	OpCrash
+	// OpMemPressure injects a synthetic memory-pressure episode at a
+	// footprint-charge point (a zero-fill materialization or new mapping).
+	// Keys are the charging task's executable path, like OpCrash, so a
+	// rule storms a specific workload and its hit counters survive
+	// respawns. Rule.Errno picks the forced level: 2 drives the critical
+	// ladder rung (one jetsam kill), anything else the warn rung (pressure
+	// notifications). The episode runs the real memorystatus machinery —
+	// only the watermark comparison is overridden — so kills and notifies
+	// under injection are bit-identical to organic ones.
+	OpMemPressure
 
 	numOps
 )
@@ -64,6 +74,8 @@ func (o Op) String() string {
 		return "mach_recv"
 	case OpCrash:
 		return "crash"
+	case OpMemPressure:
+		return "mem_pressure"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -287,6 +299,15 @@ func (in *Injector) VFS(now time.Duration, op, path string) (Outcome, bool) {
 //hot:noalloc
 func (in *Injector) Crash(now time.Duration, path string) (Outcome, bool) {
 	return in.Check(OpCrash, path, now)
+}
+
+// MemPressure consults OpMemPressure rules for a task executable path at
+// a footprint-charge point; the outcome's Errno is the forced pressure
+// level (2 = critical, else warn).
+//
+//hot:noalloc
+func (in *Injector) MemPressure(now time.Duration, path string) (Outcome, bool) {
+	return in.Check(OpMemPressure, path, now)
 }
 
 // mix hashes a decision context to a uniform-ish uint64 with splitmix64.

@@ -122,11 +122,24 @@ func Xcode421() *Toolchain {
 type MemModel struct {
 	// SizeMB is total RAM.
 	SizeMB int
+	// KernelReserveMB is RAM the OS itself holds (kernel text, page
+	// tables, drivers, firmware carve-outs): it never enters the jetsam
+	// budget. Both 2012-class tablets reserve on the order of 1/8 of RAM.
+	KernelReserveMB int
 	// ReadBWMBs and WriteBWMBs are streaming bandwidths in MB/s.
 	ReadBWMBs  float64
 	WriteBWMBs float64
 	// Latency is the cost of a random access (row miss).
 	Latency time.Duration
+}
+
+// JetsamBudget returns the bytes available to user tasks before the
+// memorystatus degradation ladder engages: total RAM minus the kernel
+// reserve. The kernel derives its warn/critical watermarks and per-band
+// task limits from this single number, so the whole ladder is a pure
+// function of the device profile.
+func (m *MemModel) JetsamBudget() uint64 {
+	return uint64(m.SizeMB-m.KernelReserveMB) << 20
 }
 
 // ReadTime returns the time to stream-read n bytes.
@@ -237,10 +250,11 @@ func Nexus7() *Device {
 			},
 		},
 		Mem: &MemModel{
-			SizeMB:     1024,
-			ReadBWMBs:  1400,
-			WriteBWMBs: 1100,
-			Latency:    110 * time.Nanosecond,
+			SizeMB:          1024,
+			KernelReserveMB: 128,
+			ReadBWMBs:       1400,
+			WriteBWMBs:      1100,
+			Latency:         110 * time.Nanosecond,
 		},
 		Storage: &StorageModel{
 			ReadBWMBs:     28,
@@ -285,10 +299,11 @@ func IPadMini() *Device {
 			},
 		},
 		Mem: &MemModel{
-			SizeMB:     512,
-			ReadBWMBs:  1050,
-			WriteBWMBs: 850,
-			Latency:    120 * time.Nanosecond,
+			SizeMB:          512,
+			KernelReserveMB: 64,
+			ReadBWMBs:       1050,
+			WriteBWMBs:      850,
+			Latency:         120 * time.Nanosecond,
 		},
 		Storage: &StorageModel{
 			// The iPad mini's storage write path is much faster than the

@@ -1,0 +1,108 @@
+package kernel
+
+import "testing"
+
+// RLIMIT_NOFILE regression tests for the FDTable: the limit is the
+// per-task soft rlimit (no longer a hard-coded cap), lowering it mid-run
+// must deny new allocations without disturbing descriptors already open
+// above it, every rejection must report through onLimit, and a fork must
+// inherit both the limit and the observer.
+
+func TestFDTableSetLimitDeniesAllocAndDup(t *testing.T) {
+	hits := 0
+	ft := NewFDTable()
+	ft.onLimit = func() { hits++ }
+	ft.SetLimit(3)
+	for i := 0; i < 3; i++ {
+		if fd, errno := ft.Alloc(&countingFile{}); fd != i || errno != OK {
+			t.Fatalf("Alloc %d = %d, %v", i, fd, errno)
+		}
+	}
+	if _, errno := ft.Alloc(&countingFile{}); errno != EMFILE {
+		t.Fatalf("Alloc at limit: %v, want EMFILE", errno)
+	}
+	if _, errno := ft.Dup(0); errno != EMFILE {
+		t.Fatalf("Dup at limit: %v, want EMFILE", errno)
+	}
+	if hits != 2 {
+		t.Fatalf("onLimit hits = %d, want 2 (one per rejection)", hits)
+	}
+	// Freeing a slot makes exactly one allocation possible again.
+	if errno := ft.Close(nil, 1); errno != OK {
+		t.Fatalf("Close: %v", errno)
+	}
+	if fd, errno := ft.Dup(0); fd != 1 || errno != OK {
+		t.Fatalf("Dup after free = %d, %v", fd, errno)
+	}
+	if _, errno := ft.Dup(0); errno != EMFILE {
+		t.Fatalf("Dup past refilled limit: %v, want EMFILE", errno)
+	}
+	if hits != 3 {
+		t.Fatalf("onLimit hits = %d, want 3", hits)
+	}
+}
+
+func TestFDTableLowerLimitKeepsOpenDescriptors(t *testing.T) {
+	// setrlimit below the current descriptor count (permitted by POSIX)
+	// must not revoke open descriptors: fds above the new limit stay
+	// readable and closable; only new allocations are denied.
+	f := &countingFile{}
+	ft := NewFDTable()
+	for i := 0; i < 5; i++ {
+		ft.Alloc(f)
+	}
+	ft.SetLimit(2)
+	for fd := 0; fd < 5; fd++ {
+		if _, errno := ft.Get(fd); errno != OK {
+			t.Fatalf("Get(%d) after lowering limit: %v", fd, errno)
+		}
+	}
+	if _, errno := ft.Alloc(&countingFile{}); errno != EMFILE {
+		t.Fatalf("Alloc under lowered limit: %v, want EMFILE", errno)
+	}
+	// Closing fd 3 frees a slot, but slot 3 sits above limit 2: still EMFILE.
+	if errno := ft.Close(nil, 3); errno != OK {
+		t.Fatalf("Close(3): %v", errno)
+	}
+	if _, errno := ft.Alloc(&countingFile{}); errno != EMFILE {
+		t.Fatalf("Alloc into out-of-bounds free slot: %v, want EMFILE", errno)
+	}
+	// A slot below the limit is usable once freed.
+	ft.Close(nil, 1)
+	if fd, errno := ft.Alloc(&countingFile{}); fd != 1 || errno != OK {
+		t.Fatalf("Alloc into in-bounds slot = %d, %v", fd, errno)
+	}
+}
+
+func TestFDTableForkInheritsLimit(t *testing.T) {
+	hits := 0
+	ft := NewFDTable()
+	ft.onLimit = func() { hits++ }
+	ft.SetLimit(2)
+	ft.Alloc(&countingFile{})
+	child := ft.Fork()
+	if child.Limit() != 2 {
+		t.Fatalf("child limit = %d, want 2", child.Limit())
+	}
+	if fd, errno := child.Alloc(&countingFile{}); fd != 1 || errno != OK {
+		t.Fatalf("child Alloc = %d, %v", fd, errno)
+	}
+	if _, errno := child.Alloc(&countingFile{}); errno != EMFILE {
+		t.Fatalf("child Alloc at inherited limit: %v, want EMFILE", errno)
+	}
+	if hits != 1 {
+		t.Fatalf("onLimit hits = %d, want 1 (observer inherited by fork)", hits)
+	}
+	// Limits diverge after fork: raising the child's must not affect the
+	// parent's.
+	child.SetLimit(4)
+	if _, errno := child.Alloc(&countingFile{}); errno != OK {
+		t.Fatalf("child Alloc after raise: %v", errno)
+	}
+	if fd, errno := ft.Dup(0); fd != 1 || errno != OK {
+		t.Fatalf("parent Dup = %d, %v", fd, errno)
+	}
+	if _, errno := ft.Dup(0); errno != EMFILE {
+		t.Fatal("parent limit loosened by child setrlimit")
+	}
+}

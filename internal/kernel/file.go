@@ -39,10 +39,16 @@ type File interface {
 }
 
 // FDTable maps small integers to open files, with POSIX lowest-free
-// allocation semantics.
+// allocation semantics. The limit is the owning task's RLIMIT_NOFILE soft
+// value: no descriptor number at or above it is ever handed out, so
+// lowering the limit below already-open descriptors affects only new
+// allocations — Linux semantics.
 type FDTable struct {
 	files []*openFile
 	limit int
+	// onLimit, when non-nil, observes every EMFILE rejection (the kernel
+	// wires it to the rlimit-enforcement counter).
+	onLimit func()
 }
 
 // openFile is one table slot; refs supports dup and fork sharing.
@@ -51,7 +57,7 @@ type openFile struct {
 	refs int
 }
 
-// DefaultFDLimit matches a typical mobile RLIMIT_NOFILE.
+// DefaultFDLimit matches a typical mobile RLIMIT_NOFILE soft limit.
 const DefaultFDLimit = 1024
 
 // NewFDTable creates an empty descriptor table.
@@ -59,16 +65,40 @@ func NewFDTable() *FDTable {
 	return &FDTable{limit: DefaultFDLimit}
 }
 
+// Limit returns the descriptor limit (RLIMIT_NOFILE soft value).
+func (ft *FDTable) Limit() int { return ft.limit }
+
+// SetLimit applies a new RLIMIT_NOFILE soft value. Descriptors already
+// open above the new limit stay open.
+func (ft *FDTable) SetLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ft.limit = n
+}
+
+// emfile rejects an allocation that would violate the limit.
+func (ft *FDTable) emfile() (int, Errno) {
+	if ft.onLimit != nil {
+		ft.onLimit()
+	}
+	return -1, EMFILE
+}
+
 // Alloc installs f at the lowest free descriptor.
 func (ft *FDTable) Alloc(f File) (int, Errno) {
 	for i, slot := range ft.files {
 		if slot == nil {
+			if i >= ft.limit {
+				// Free slots above a lowered limit are out of bounds.
+				return ft.emfile()
+			}
 			ft.files[i] = &openFile{f: f, refs: 1}
 			return i, OK
 		}
 	}
 	if len(ft.files) >= ft.limit {
-		return -1, EMFILE
+		return ft.emfile()
 	}
 	ft.files = append(ft.files, &openFile{f: f, refs: 1})
 	return len(ft.files) - 1, OK
@@ -104,13 +134,16 @@ func (ft *FDTable) Dup(fd int) (int, Errno) {
 	slot := ft.files[fd]
 	for i, s := range ft.files {
 		if s == nil {
+			if i >= ft.limit {
+				return ft.emfile()
+			}
 			ft.files[i] = slot
 			slot.refs++
 			return i, OK
 		}
 	}
 	if len(ft.files) >= ft.limit {
-		return -1, EMFILE
+		return ft.emfile()
 	}
 	ft.files = append(ft.files, slot)
 	slot.refs++
@@ -118,9 +151,10 @@ func (ft *FDTable) Dup(fd int) (int, Errno) {
 }
 
 // Fork clones the table for a child process: descriptors share the
-// underlying open file descriptions, as POSIX fork requires.
+// underlying open file descriptions, as POSIX fork requires, and the
+// limit is inherited alongside the task's RLIMIT_NOFILE.
 func (ft *FDTable) Fork() *FDTable {
-	nt := &FDTable{limit: ft.limit, files: make([]*openFile, len(ft.files))}
+	nt := &FDTable{limit: ft.limit, onLimit: ft.onLimit, files: make([]*openFile, len(ft.files))}
 	for i, slot := range ft.files {
 		if slot != nil {
 			nt.files[i] = slot

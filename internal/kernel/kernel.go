@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/hw"
+	"repro/internal/mem"
 	"repro/internal/persona"
 	"repro/internal/prog"
 	"repro/internal/sim"
@@ -128,6 +129,15 @@ type Costs struct {
 	// normal entry/exit (ABI + TLS pointer swap) — half of a diplomatic
 	// function's round trip.
 	SetPersonaCost time.Duration
+
+	// RlimitBase covers a getrlimit/setrlimit beyond entry/exit.
+	RlimitBase time.Duration
+	// PressureNotify is charged per memory-pressure handler delivery;
+	// JetsamKill covers one memorystatus kill (victim selection slice,
+	// report write, SIGKILL post). Both are charged to the thread whose
+	// allocation crossed the watermark — the shrinker convention.
+	PressureNotify time.Duration
+	JetsamKill     time.Duration
 }
 
 // cyc converts cycles on cpu to a duration.
@@ -167,6 +177,10 @@ func NewLinuxCosts(cpu *hw.CPUModel) *Costs {
 		CreateBase: cyc(cpu, 5200),
 		UnlinkBase: cyc(cpu, 4550),
 		IoctlBase:  cyc(cpu, 1040),
+
+		RlimitBase:     cyc(cpu, 520),
+		PressureNotify: cyc(cpu, 3900),
+		JetsamKill:     cyc(cpu, 65000),
 	}
 }
 
@@ -232,6 +246,12 @@ func NewXNUNativeCosts(cpu *hw.CPUModel) *Costs {
 		CreateBase: cyc(cpu, 6000),
 		UnlinkBase: cyc(cpu, 5200),
 		IoctlBase:  cyc(cpu, 1100),
+
+		RlimitBase: cyc(cpu, 560),
+		// Native memorystatus: the original implementation this package
+		// re-hosts, with the same shape but A5 cycle counts.
+		PressureNotify: cyc(cpu, 4200),
+		JetsamKill:     cyc(cpu, 70000),
 	}
 }
 
@@ -296,6 +316,10 @@ type Kernel struct {
 	// disposition of a fatal signal on an iOS-persona thread. Returning
 	// true means the exception was handled and the thread resumes.
 	excBridge ExceptionBridge
+
+	// memstat is the jetsam/memorystatus resource-governance subsystem;
+	// always non-nil after New.
+	memstat *Memorystatus
 }
 
 // ExceptionBridge translates a fatal canonical signal on an iOS-persona
@@ -338,6 +362,7 @@ func New(s *sim.Sim, cfg Config) (*Kernel, error) {
 		devices:    make(map[string]Device),
 		extensions: make(map[string]any),
 	}
+	k.memstat = newMemorystatus(k)
 	return k, nil
 }
 
@@ -389,29 +414,68 @@ func (k *Kernel) FaultInjector() *fault.Injector { return k.fault }
 // callers surface it as ENOMEM like any other allocation failure.
 var errMapInjected = fmt.Errorf("mem: injected allocation failure")
 
-// memFaultHook is installed as every task address space's MapHook. It is
-// inert until a fault injector is attached and outside simulated execution
-// (boot-time image assembly must not fault).
-func (k *Kernel) memFaultHook(size uint64, name string) error {
-	in := k.fault
-	if in == nil {
-		return nil
+// errMapLimit is the mem.Map failure rlimit enforcement produces; callers
+// surface it as ENOMEM, exactly as a real RLIMIT_AS rejection does.
+var errMapLimit = fmt.Errorf("mem: mapping exceeds resource limit")
+
+// mapHook is installed (closed over its task) as every address space's
+// MapHook: fault injection first, then RLIMIT_AS over the whole mapped
+// span and RLIMIT_DATA over anonymous (non-file-named) mappings. The
+// fault half is inert until an injector is attached and outside simulated
+// execution (boot-time image assembly must not fault); the rlimit half
+// always enforces — limits default to infinity, so it costs a task
+// nothing until it lowers them.
+func (k *Kernel) mapHook(tk *Task, size uint64, name string) error {
+	if in := k.fault; in != nil {
+		if p := k.sim.Current(); p != nil {
+			if out, ok := in.MemMap(p.Now(), name); ok {
+				if out.Delay > 0 {
+					p.Advance(out.Delay)
+				}
+				if out.Errno != 0 {
+					return errMapInjected
+				}
+			}
+		}
 	}
-	p := k.sim.Current()
-	if p == nil {
-		return nil
+	span := mem.PageAlign(size)
+	if lim := tk.rlimits[RLimitAS].Cur; lim != RLimInfinity && tk.mem.MappedBytes()+span > lim {
+		k.countRlimitHit()
+		return errMapLimit
 	}
-	out, ok := in.MemMap(p.Now(), name)
-	if !ok {
-		return nil
-	}
-	if out.Delay > 0 {
-		p.Advance(out.Delay)
-	}
-	if out.Errno != 0 {
-		return errMapInjected
+	if lim := tk.rlimits[RLimitData].Cur; lim != RLimInfinity && len(name) > 0 && name[0] != '/' {
+		var anon uint64
+		for _, r := range tk.mem.Regions() {
+			if len(r.Name) == 0 || r.Name[0] != '/' {
+				anon += r.Size
+			}
+		}
+		if anon+span > lim {
+			k.countRlimitHit()
+			return errMapLimit
+		}
 	}
 	return nil
+}
+
+// countRlimitHit bumps the rlimit-enforcement counter.
+func (k *Kernel) countRlimitHit() {
+	if tr := k.tracer; tr != nil {
+		tr.Count(trace.CounterRlimitHits, 1)
+	}
+}
+
+// bindMemHooks points a task's address-space hooks at its owner: the map
+// hook enforces faults and rlimits for this task, the footprint hook
+// feeds the memorystatus ladder. Fork replaces the child's address space
+// wholesale, so forkInternal re-binds.
+func (k *Kernel) bindMemHooks(tk *Task) {
+	tk.mem.MapHook = func(size uint64, name string) error {
+		return k.mapHook(tk, size, name)
+	}
+	tk.mem.FootprintHook = func(delta int64) {
+		k.memstat.footprintDelta(tk, delta)
+	}
 }
 
 // OnTaskExit registers a hook run for every task exit, after the task's

@@ -42,6 +42,13 @@ func (k *Kernel) LeakCheck() error {
 		if rs := tk.mem.Regions(); len(rs) != 0 {
 			findings = append(findings, fmt.Sprintf("pid %d (%s): %d mappings still mapped:\n%s", pid, tk.path, len(rs), tk.mem.Maps()))
 		}
+		// The footprint ledger must return to exactly zero with the last
+		// unmap: a residue here means the per-backing attribution windows
+		// leaked (double-charge or missed detach), which would silently
+		// skew every jetsam decision after this task died.
+		if fp := tk.mem.Footprint(); fp != 0 {
+			findings = append(findings, fmt.Sprintf("pid %d (%s): %d resident bytes still attributed to a dead task", pid, tk.path, fp))
+		}
 		if len(tk.threads) != 0 && tk.state != taskRunning {
 			findings = append(findings, fmt.Sprintf("pid %d (%s): %d threads on a dead task", pid, tk.path, len(tk.threads)))
 		}

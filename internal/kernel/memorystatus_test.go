@@ -1,0 +1,223 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Memorystatus ladder tests: victim selection walks (band DESC, footprint
+// DESC, pid ASC), essential tasks are never victims, the foreground dies
+// only when it is all that is left, per-band highwater ceilings kill the
+// offender alone, watermark notifications are edge-triggered, and the
+// jetsam record is consumed exactly once by the supervisor.
+
+// hogSpec describes one memory hog the victim-order test boots: it
+// assigns itself a band, materializes pages resident bytes, then sleeps
+// until jetsam (or the end of the schedule) takes it.
+type hogSpec struct {
+	path  string
+	band  Band
+	pages int
+}
+
+func TestJetsamVictimOrder(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	ms := e.k.Memorystatus()
+	hogs := []hogSpec{
+		{"/bin/idle-small", BandIdle, 1},
+		{"/bin/idle-big", BandIdle, 4},
+		{"/bin/daemon-mid", BandDaemon, 2},
+		{"/bin/fg-app", BandForeground, 3},
+	}
+	for _, h := range hogs {
+		h := h
+		e.install(t, h.path, h.path, func(c *prog.Call) uint64 {
+			th := c.Ctx.(*Thread)
+			ms.SetBand(th.task, h.band)
+			r, err := th.task.mem.Map(0, uint64(h.pages)*mem.PageSize, mem.ProtRead|mem.ProtWrite, "[hog]", false)
+			if err != nil {
+				t.Errorf("%s map: %v", h.path, err)
+				return 1
+			}
+			r.Backing().Bytes()
+			th.Proc().Sleep(10 * time.Millisecond)
+			return 0
+		})
+	}
+	pids := make(map[string]int)
+	var order []int
+	e.install(t, "/bin/reaper", "reaper", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		ms.SetEssential(th.task)
+		th.Proc().Sleep(time.Millisecond) // let every hog inflate
+		for ms.killOne() {
+			for pid := range ms.jetsammed {
+				seen := false
+				for _, p := range order {
+					seen = seen || p == pid
+				}
+				if !seen {
+					order = append(order, pid)
+				}
+			}
+		}
+		return 0
+	})
+	for _, h := range hogs {
+		tk, err := e.k.StartProcess(h.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids[h.path] = tk.PID()
+	}
+	reaper, err := e.k.StartProcess("/bin/reaper", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Band DESC (idle before daemon before foreground), footprint DESC
+	// within the band, and the essential reaper untouched.
+	want := []int{
+		pids["/bin/idle-big"],   // idle band, 4 pages
+		pids["/bin/idle-small"], // idle band, 1 page
+		pids["/bin/daemon-mid"], // daemon band
+		pids["/bin/fg-app"],     // foreground, only once nothing else was left
+	}
+	if len(order) != len(want) {
+		t.Fatalf("kill order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("kill order %v, want %v", order, want)
+		}
+	}
+	if reaper.ExitStatus() != 0 {
+		t.Fatalf("essential reaper exited %d", reaper.ExitStatus())
+	}
+	total, perBand := ms.Kills()
+	if total != 4 || perBand[BandIdle] != 2 || perBand[BandDaemon] != 1 ||
+		perBand[BandBackground] != 0 || perBand[BandForeground] != 1 {
+		t.Fatalf("kill counters total=%d perBand=%v", total, perBand)
+	}
+
+	// The supervisor-facing record is consumed exactly once.
+	if b, ok := ms.TakeJetsam(pids["/bin/daemon-mid"]); !ok || b != BandDaemon {
+		t.Fatalf("TakeJetsam = %v, %v", b, ok)
+	}
+	if _, ok := ms.TakeJetsam(pids["/bin/daemon-mid"]); ok {
+		t.Fatal("TakeJetsam consumed the record twice")
+	}
+	if _, ok := ms.TakeJetsam(reaper.PID()); ok {
+		t.Fatal("TakeJetsam reported the surviving reaper as jetsammed")
+	}
+
+	// Every victim left a jetsam report beside the crash logs.
+	nodes, err := e.fs.ReadDir(jetsamLogDir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", jetsamLogDir, err)
+	}
+	reports := 0
+	for _, n := range nodes {
+		if strings.HasSuffix(n.Name(), ".jetsam") {
+			reports++
+			if !strings.Contains(string(n.Data()), "reason=jetsam") {
+				t.Fatalf("report %s missing reason: %q", n.Name(), n.Data())
+			}
+		}
+	}
+	if reports != 4 {
+		t.Fatalf("jetsam reports = %d, want 4", reports)
+	}
+	if err := e.k.LeakCheck(); err != nil {
+		t.Fatalf("leak after jetsam storm: %v", err)
+	}
+}
+
+func TestJetsamHighwaterKillsOffenderAlone(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	ms := e.k.Memorystatus()
+	// Shrink the budget so the idle ceiling (budget/32) is 2 pages — the
+	// watermarks stay far above every mapping in this test, isolating the
+	// per-task highwater path from the global ladder.
+	ms.budget = 64 * mem.PageSize
+	ms.warn = 44 * mem.PageSize
+	ms.critical = 54 * mem.PageSize
+	if got := ms.BandLimit(BandIdle); got != 2*mem.PageSize {
+		t.Fatalf("idle band limit = %d, want %d", got, 2*mem.PageSize)
+	}
+	e.install(t, "/bin/bystander", "bystander", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		ms.SetBand(th.task, BandIdle)
+		r, _ := th.task.mem.Map(0, mem.PageSize, mem.ProtRead|mem.ProtWrite, "[small]", false)
+		r.Backing().Bytes()
+		th.Proc().Sleep(5 * time.Millisecond)
+		return 0
+	})
+	e.install(t, "/bin/overgrower", "overgrower", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		ms.SetBand(th.task, BandIdle)
+		for i := 0; i < 3; i++ { // third page crosses the 2-page ceiling
+			r, _ := th.task.mem.Map(0, mem.PageSize, mem.ProtRead|mem.ProtWrite, "[grow]", false)
+			r.Backing().Bytes()
+		}
+		th.Proc().Sleep(5 * time.Millisecond)
+		return 0
+	})
+	by, err := e.k.StartProcess("/bin/bystander", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, err := e.k.StartProcess("/bin/overgrower", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ms.TakeJetsam(og.PID()); !ok {
+		t.Fatal("overgrower was not highwater-killed")
+	}
+	if _, ok := ms.TakeJetsam(by.PID()); ok {
+		t.Fatal("highwater kill took the in-limit bystander too")
+	}
+	total, _ := ms.Kills()
+	if total != 1 {
+		t.Fatalf("kills = %d, want 1 (offender alone)", total)
+	}
+	if by.ExitStatus() != 0 {
+		t.Fatalf("bystander exited %d", by.ExitStatus())
+	}
+}
+
+func TestPressureNotifyEdgeTriggered(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	ms := e.k.Memorystatus()
+	// Watermarks five/eight pages up; the ceiling stays out of reach so no
+	// highwater kill interferes.
+	ms.budget = 1 << 30
+	ms.warn = 5 * mem.PageSize
+	ms.critical = 8 * mem.PageSize
+	var levels []PressureLevel
+	e.install(t, "/bin/grower", "grower", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		ms.OnPressure(th.task, func(l PressureLevel) { levels = append(levels, l) })
+		// 5 pages on top of the one text page: crosses warn (5), stays
+		// below critical (8).
+		for i := 0; i < 5; i++ {
+			r, _ := th.task.mem.Map(0, mem.PageSize, mem.ProtRead|mem.ProtWrite, "[grow]", false)
+			r.Backing().Bytes()
+		}
+		return 0
+	})
+	e.run(t, "/bin/grower", nil)
+	if len(levels) != 1 || levels[0] != PressureWarn {
+		t.Fatalf("notifications = %v, want exactly one warn (edge-triggered)", levels)
+	}
+}

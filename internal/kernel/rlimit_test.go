@@ -1,0 +1,132 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// rlimit syscall tests, canonical (Linux) numbering: boot defaults,
+// get/set round trips, EINVAL rejection, fork inheritance, and the two
+// enforcement paths — RLIMIT_NOFILE through the descriptor table and
+// RLIMIT_AS/RLIMIT_DATA through the mapping hook.
+
+func TestRlimitGetSetForkInheritance(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	type probe struct {
+		defCur, defMax uint64
+		badRes         Errno
+		curOverMax     Errno
+		childCur       uint64
+	}
+	var p probe
+	e.install(t, "/bin/rlimits", "rlimits", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		r := th.Syscall(SysGetrlimit, &SyscallArgs{I: [6]uint64{RLimitNoFile}})
+		p.defCur, p.defMax = r.R0, r.R1
+		p.badRes = th.Syscall(SysGetrlimit, &SyscallArgs{I: [6]uint64{numRLimits}}).Errno
+		p.curOverMax = th.Syscall(SysSetrlimit, &SyscallArgs{I: [6]uint64{RLimitNoFile, 64, 32}}).Errno
+		if errno := th.Syscall(SysSetrlimit, &SyscallArgs{I: [6]uint64{RLimitNoFile, 256, 512}}).Errno; errno != OK {
+			t.Errorf("setrlimit: %v", errno)
+		}
+		ret := th.Syscall(SysFork, &SyscallArgs{ChildFn: func(ct *Thread) {
+			cr := ct.Syscall(SysGetrlimit, &SyscallArgs{I: [6]uint64{RLimitNoFile}})
+			p.childCur = cr.R0
+			ct.exitTask(0)
+		}})
+		th.Syscall(SysWait4, &SyscallArgs{I: [6]uint64{ret.R0}})
+		return 0
+	})
+	e.run(t, "/bin/rlimits", nil)
+	if p.defCur != DefaultNoFileCur || p.defMax != DefaultNoFileMax {
+		t.Fatalf("boot NOFILE = (%d, %d), want (%d, %d)", p.defCur, p.defMax, DefaultNoFileCur, DefaultNoFileMax)
+	}
+	if p.badRes != EINVAL {
+		t.Fatalf("getrlimit(bad resource) = %v, want EINVAL", p.badRes)
+	}
+	if p.curOverMax != EINVAL {
+		t.Fatalf("setrlimit(cur > max) = %v, want EINVAL", p.curOverMax)
+	}
+	if p.childCur != 256 {
+		t.Fatalf("forked child NOFILE cur = %d, want inherited 256", p.childCur)
+	}
+}
+
+func TestRlimitNoFileEnforcedByFDTable(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	var denied, reopened Errno
+	e.install(t, "/bin/fdcap", "fdcap", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		pr := th.Syscall(SysPipe, nil) // fds 0 and 1
+		if pr.Errno != OK {
+			t.Errorf("pipe: %v", pr.Errno)
+			return 1
+		}
+		if errno := th.Syscall(SysSetrlimit, &SyscallArgs{I: [6]uint64{RLimitNoFile, 3, 3}}).Errno; errno != OK {
+			t.Errorf("setrlimit: %v", errno)
+			return 1
+		}
+		if r := th.Syscall(SysDup, &SyscallArgs{I: [6]uint64{pr.R0}}); r.Errno != OK || r.R0 != 2 {
+			t.Errorf("dup under limit = %d, %v", r.R0, r.Errno)
+		}
+		denied = th.Syscall(SysDup, &SyscallArgs{I: [6]uint64{pr.R0}}).Errno
+		th.Syscall(SysClose, &SyscallArgs{I: [6]uint64{2}})
+		reopened = th.Syscall(SysDup, &SyscallArgs{I: [6]uint64{pr.R0}}).Errno
+		for fd := uint64(0); fd < 3; fd++ {
+			th.Syscall(SysClose, &SyscallArgs{I: [6]uint64{fd}})
+		}
+		return 0
+	})
+	e.run(t, "/bin/fdcap", nil)
+	if denied != EMFILE {
+		t.Fatalf("dup at lowered NOFILE = %v, want EMFILE", denied)
+	}
+	if reopened != OK {
+		t.Fatalf("dup after close = %v (limit must free with the slot)", reopened)
+	}
+	if err := e.k.LeakCheck(); err != nil {
+		t.Fatalf("leak after NOFILE exhaustion: %v", err)
+	}
+}
+
+func TestRlimitASAndDataDenyMappings(t *testing.T) {
+	e := newEnv(t, ProfileLinuxVanilla)
+	var asErr, dataErr error
+	e.install(t, "/bin/memcap", "memcap", func(c *prog.Call) uint64 {
+		th := c.Ctx.(*Thread)
+		// RLIMIT_AS: cap total mapped bytes just above what exec already
+		// mapped; the next mapping must be denied, file-backed or not.
+		mapped := th.task.mem.MappedBytes()
+		th.Syscall(SysSetrlimit, &SyscallArgs{I: [6]uint64{RLimitAS, mapped + mem.PageSize, mapped + mem.PageSize}})
+		if _, err := th.task.mem.Map(0, 2*mem.PageSize, mem.ProtRead|mem.ProtWrite, "[heap]", false); err == nil {
+			t.Error("map over RLIMIT_AS succeeded")
+		} else {
+			asErr = err
+		}
+		th.Syscall(SysSetrlimit, &SyscallArgs{I: [6]uint64{RLimitAS, RLimInfinity, RLimInfinity}})
+
+		// RLIMIT_DATA: bounds anonymous mappings only — a file-named map
+		// passes while the next anonymous one is denied.
+		var anon uint64
+		for _, r := range th.task.mem.Regions() {
+			if len(r.Name) == 0 || r.Name[0] != '/' {
+				anon += r.Size
+			}
+		}
+		th.Syscall(SysSetrlimit, &SyscallArgs{I: [6]uint64{RLimitData, anon + mem.PageSize, anon + mem.PageSize}})
+		if _, err := th.task.mem.Map(0, 2*mem.PageSize, mem.ProtRead, "/lib/fake.dylib", false); err != nil {
+			t.Errorf("file-backed map hit RLIMIT_DATA: %v", err)
+		}
+		if _, err := th.task.mem.Map(0, 2*mem.PageSize, mem.ProtRead|mem.ProtWrite, "[heap]", false); err == nil {
+			t.Error("anonymous map over RLIMIT_DATA succeeded")
+		} else {
+			dataErr = err
+		}
+		return 0
+	})
+	e.run(t, "/bin/memcap", nil)
+	if asErr == nil || dataErr == nil {
+		t.Fatalf("denials missing: as=%v data=%v", asErr, dataErr)
+	}
+}

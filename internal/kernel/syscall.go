@@ -30,6 +30,8 @@ const (
 	SysRtSigaction = 174
 	SysWait4       = 114
 	SysSocketpair  = 288 // ARM EABI socketpair
+	SysSetrlimit   = 75
+	SysGetrlimit   = 191 // ugetrlimit, the variant modern libcs call
 	// SysSetPersona is the new syscall Cider adds, "available from all
 	// personas" (Section 4.3). It occupies an unused slot.
 	SysSetPersona = 983045
@@ -363,7 +365,6 @@ func (k *Kernel) InstallLinuxTable() *SyscallTable {
 	})
 	tb.Register(SysDup, "dup", func(t *Thread, a *SyscallArgs) SyscallRet {
 		fd, errno := t.task.fds.Dup(int(a.I[0]))
-		//lint:allow chargecheck: dup is an fd-table-only syscall, modeled at dispatcher entry/exit cost (lmbench "simple syscall" class)
 		return SyscallRet{R0: uint64(fd), Errno: errno}
 	})
 	tb.Register(SysIoctl, "ioctl", func(t *Thread, a *SyscallArgs) SyscallRet {
@@ -396,6 +397,16 @@ func (k *Kernel) InstallLinuxTable() *SyscallTable {
 	tb.Register(SysSocketpair, "socketpair", func(t *Thread, a *SyscallArgs) SyscallRet {
 		f1, f2, errno := t.socketpairInternal()
 		return SyscallRet{R0: uint64(f1), R1: uint64(f2), Errno: errno}
+	})
+	tb.Register(SysGetrlimit, "getrlimit", func(t *Thread, a *SyscallArgs) SyscallRet {
+		lim, errno := t.getrlimitInternal(int(a.I[0]))
+		if errno != OK {
+			return SyscallRet{Errno: errno}
+		}
+		return SyscallRet{R0: lim.Cur, R1: lim.Max}
+	})
+	tb.Register(SysSetrlimit, "setrlimit", func(t *Thread, a *SyscallArgs) SyscallRet {
+		return SyscallRet{Errno: t.setrlimitInternal(int(a.I[0]), RLimit{Cur: a.I[1], Max: a.I[2]})}
 	})
 	if k.PersonaAware() {
 		tb.Register(SysSetPersona, "set_persona", sysSetPersona)

@@ -48,6 +48,10 @@ type Task struct {
 	// and atexit handler lists, dyld's loaded-image table). The kernel
 	// never interprets it.
 	userData map[string]any
+
+	// rlimits holds the POSIX resource limits, canonical numbering.
+	// Inherited across fork, preserved across exec.
+	rlimits [numRLimits]RLimit
 }
 
 // PID returns the process id.
@@ -162,10 +166,13 @@ func (k *Kernel) newTask(parent *Task) *Task {
 		childEvents: sim.NewWaitQueue("wait4"),
 		sigActions:  make(map[int]*SigAction),
 		userData:    make(map[string]any),
+		rlimits:     defaultRLimits(),
 	}
-	// Route mapping requests through the fault layer (read dynamically, so
+	// Route mapping requests through the fault + rlimit hook and footprint
+	// changes into memorystatus (fault state is read dynamically, so
 	// enabling faults after boot still covers existing tasks' children).
-	tk.mem.MapHook = k.memFaultHook
+	k.bindMemHooks(tk)
+	tk.fds.onLimit = k.countRlimitHit
 	k.nextPID++
 	k.tasks[tk.pid] = tk
 	if parent != nil {
@@ -241,6 +248,13 @@ func (t *Thread) forkInternal(childFn func(*Thread)) (int, Errno) {
 	// processes (90 MB of dylib mappings ≈ 23k PTEs ≈ 1 ms, §6.2).
 	childMem, ptes := tk.mem.Fork()
 	child.mem = childMem
+	// Fork replaced the shell address space newTask created, and the clone
+	// carries the parent's hooks: re-bind so rlimit checks and footprint
+	// attribution target the child. The copied footprint needs no explicit
+	// adoption — memorystatus reads usage from the spaces on demand. The
+	// resource limits themselves are inherited, POSIX fork semantics.
+	k.bindMemHooks(child)
+	child.rlimits = tk.rlimits
 	t.charge(costs.ForkBase + time.Duration(ptes)*costs.PTECopy)
 
 	// Cider initializes the child's Mach task port at fork ("some extra
@@ -370,6 +384,7 @@ func (t *Thread) exitTask(status int) {
 	for _, h := range k.exitHooks {
 		h(t)
 	}
+	k.memstat.taskExit(tk)
 	tk.state = taskZombie
 	tk.exitStatus = status
 	// Children that already died waiting for this parent's wait4 are

@@ -236,6 +236,51 @@ func (c *C) Sigaction(sig int, h kernel.SignalHandler) kernel.Errno {
 	return c.T.Syscall(abi.XNUSigaction, &kernel.SyscallArgs{I: [6]uint64{uint64(sig)}, Act: act}).Errno
 }
 
+// Getrlimit reads a resource limit. The resource number is XNU's (an iOS
+// binary says RLIMIT_NOFILE = 8); the ABI table renumbers at the boundary.
+func (c *C) Getrlimit(res int) (cur, max uint64, errno kernel.Errno) {
+	ret := c.T.Syscall(abi.XNUGetrlimit, &kernel.SyscallArgs{I: [6]uint64{uint64(res)}})
+	return ret.R0, ret.R1, ret.Errno
+}
+
+// Setrlimit sets a resource limit (XNU resource numbering).
+func (c *C) Setrlimit(res int, cur, max uint64) kernel.Errno {
+	return c.T.Syscall(abi.XNUSetrlimit, &kernel.SyscallArgs{I: [6]uint64{uint64(res), cur, max}}).Errno
+}
+
+// Memory-pressure dispatch source ------------------------------------
+
+// XNU dispatch-source memorystatus flags
+// (DISPATCH_MEMORYPRESSURE_WARN/CRITICAL): the vocabulary an iOS binary's
+// pressure handler speaks.
+const (
+	DispatchMemoryPressureWarn     = 0x2
+	DispatchMemoryPressureCritical = 0x4
+)
+
+// dispatchSourceCycles is the user-space cost of one dispatch-source
+// event delivery (libdispatch source fire + block invoke).
+const dispatchSourceCycles = 1300
+
+// DispatchSourceMemoryPressure models
+// dispatch_source_create(DISPATCH_SOURCE_TYPE_MEMORYPRESSURE): handler
+// receives XNU mask flags when the kernel's memorystatus ladder crosses a
+// watermark. Delivery is synchronous in the context of the thread that
+// crossed the watermark (the shrinker convention), so handlers should
+// only shed caches. The registration dies with the process.
+func (c *C) DispatchSourceMemoryPressure(handler func(flags int)) {
+	t := c.T
+	cpu := t.Kernel().Device().CPU
+	t.Kernel().Memorystatus().OnPressure(t.Task(), func(level kernel.PressureLevel) {
+		t.Kernel().Sim().Current().Advance(cpu.Cycles(dispatchSourceCycles))
+		flags := DispatchMemoryPressureWarn
+		if level == kernel.PressureCritical {
+			flags = DispatchMemoryPressureCritical
+		}
+		handler(flags)
+	})
+}
+
 // SetPersona switches the calling thread's persona via Cider's syscall.
 func (c *C) SetPersona(to persona.Kind) persona.Kind {
 	ret := c.T.Syscall(abi.SetPersonaTrap, &kernel.SyscallArgs{I: [6]uint64{uint64(to)}})

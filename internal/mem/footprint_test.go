@@ -1,0 +1,146 @@
+package mem
+
+import "testing"
+
+// Footprint-exactness tests: the per-space attribution ledgers behind
+// jetsam. The invariants under test are the ones memorystatus decisions
+// ride on — a backing is charged to a space only once materialized, a
+// shared store is attributed per mapping window (never double within a
+// space), a fork's eager COW copy re-attributes to the child, and the
+// ledger returns to exactly zero when the last window closes.
+
+func TestFootprintZeroUntilMaterialized(t *testing.T) {
+	as := NewAddressSpace()
+	r, err := as.Map(0, 3*PageSize, ProtRead|ProtWrite, "zfod", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Footprint(); got != 0 {
+		t.Fatalf("untouched zero-fill mapping charged %d bytes", got)
+	}
+	r.Backing().Bytes()
+	if got := as.Footprint(); got != 3*PageSize {
+		t.Fatalf("materialized footprint = %d, want %d", got, 3*PageSize)
+	}
+}
+
+func TestFootprintSharedBackingPerMapping(t *testing.T) {
+	// Two tasks mapping one Backing each carry their own window: the sum
+	// over spaces may exceed the physical store (as with real resident
+	// accounting of shared pages per-task), but each space is charged
+	// exactly its window.
+	b := NewBacking(4 * PageSize)
+	a1 := NewAddressSpace()
+	a2 := NewAddressSpace()
+	if _, err := a1.MapBacking(0, 4*PageSize, ProtRead, "shm", true, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.MapBacking(0, 2*PageSize, ProtRead, "shm", true, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Footprint() != 0 || a2.Footprint() != 0 {
+		t.Fatalf("zero-fill shared store charged before materialization: %d/%d", a1.Footprint(), a2.Footprint())
+	}
+	b.Bytes() // one materialization re-attributes every mapping space
+	if got := a1.Footprint(); got != 4*PageSize {
+		t.Fatalf("space 1 footprint = %d, want %d", got, 4*PageSize)
+	}
+	if got := a2.Footprint(); got != 2*PageSize {
+		t.Fatalf("space 2 footprint = %d, want %d", got, 2*PageSize)
+	}
+}
+
+func TestFootprintAliasChargedOnce(t *testing.T) {
+	// One task aliasing the same store twice (IOSurface, Mach OOL) is
+	// charged the store once, never twice: the attribution window is
+	// capped at the backing size.
+	b := NewBacking(2 * PageSize)
+	as := NewAddressSpace()
+	if _, err := as.MapBacking(0, 2*PageSize, ProtRead, "alias1", true, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapBacking(0, 2*PageSize, ProtRead, "alias2", true, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Bytes()
+	if got := as.Footprint(); got != 2*PageSize {
+		t.Fatalf("double-aliased store charged %d, want %d (once)", got, 2*PageSize)
+	}
+	// Dropping one alias must not release the charge; dropping the last
+	// must zero it.
+	if err := as.Unmap(as.Regions()[0].Base); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Footprint(); got != 2*PageSize {
+		t.Fatalf("after dropping one alias: %d, want %d", got, 2*PageSize)
+	}
+	if err := as.Unmap(as.Regions()[0].Base); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Footprint(); got != 0 {
+		t.Fatalf("after dropping last alias: %d, want 0", got)
+	}
+}
+
+func TestFootprintForkReattributesPrivateCopy(t *testing.T) {
+	// Fork copies materialized private stores eagerly (the simulation's
+	// COW split): the child must be charged for its own copy, the parent's
+	// charge must be untouched, and the two ledgers must be independent
+	// from then on.
+	parent := NewAddressSpace()
+	r, err := parent.Map(0, 2*PageSize, ProtRead|ProtWrite, "heap", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Backing().Bytes()
+	child, _ := parent.Fork()
+	if got := child.Footprint(); got != 2*PageSize {
+		t.Fatalf("child footprint after fork = %d, want %d", got, 2*PageSize)
+	}
+	if got := parent.Footprint(); got != 2*PageSize {
+		t.Fatalf("parent footprint perturbed by fork: %d", got)
+	}
+	child.UnmapAll()
+	if got := child.Footprint(); got != 0 {
+		t.Fatalf("child footprint after UnmapAll = %d, want 0", got)
+	}
+	if got := parent.Footprint(); got != 2*PageSize {
+		t.Fatalf("parent footprint perturbed by child unmap: %d", got)
+	}
+}
+
+func TestFootprintForkUntouchedStaysUncommitted(t *testing.T) {
+	// An untouched zero-fill parent store stays uncommitted in the child:
+	// forking must not fabricate resident bytes on either side.
+	parent := NewAddressSpace()
+	if _, err := parent.Map(0, 8*PageSize, ProtRead|ProtWrite, "lazy", false); err != nil {
+		t.Fatal(err)
+	}
+	child, _ := parent.Fork()
+	if p, c := parent.Footprint(), child.Footprint(); p != 0 || c != 0 {
+		t.Fatalf("fork committed zero-fill stores: parent=%d child=%d", p, c)
+	}
+}
+
+func TestFootprintHookObservesEveryDelta(t *testing.T) {
+	// The hook stream must mirror the ledger exactly: summing deltas
+	// reproduces Footprint() at every step, and the final unmap brings the
+	// sum back to zero — this is the stream memorystatus rides.
+	as := NewAddressSpace()
+	var sum int64
+	as.FootprintHook = func(d int64) { sum += d }
+	r1, _ := as.Map(0, PageSize, ProtRead|ProtWrite, "a", false)
+	r2, _ := as.Map(0, 3*PageSize, ProtRead|ProtWrite, "b", false)
+	r1.Backing().Bytes()
+	if sum != int64(as.Footprint()) || sum != PageSize {
+		t.Fatalf("after first touch: sum=%d footprint=%d", sum, as.Footprint())
+	}
+	r2.Backing().Bytes()
+	if sum != int64(as.Footprint()) || sum != 4*PageSize {
+		t.Fatalf("after second touch: sum=%d footprint=%d", sum, as.Footprint())
+	}
+	as.UnmapAll()
+	if sum != 0 || as.Footprint() != 0 {
+		t.Fatalf("after UnmapAll: sum=%d footprint=%d, want 0/0", sum, as.Footprint())
+	}
+}

@@ -65,6 +65,10 @@ type Backing struct {
 	// data stays nil until materialize; untouched backings read as zeros.
 	data []byte
 	refs int
+	// spaces lists the address spaces holding live footprint accounts for
+	// this backing (deduplicated): when the store materializes, each space
+	// re-attributes its resident share. See AddressSpace.recharge.
+	spaces []*AddressSpace
 }
 
 // NewBacking creates a zeroed backing store of size bytes. Host memory is
@@ -76,10 +80,17 @@ func NewBacking(size uint64) *Backing {
 // Size returns the store's length in bytes without materializing it.
 func (b *Backing) Size() uint64 { return b.size }
 
-// materialize commits the host memory on first access.
+// materialize commits the host memory on first access. Committing the
+// store is the simulated zero-fill-on-demand fault: every address space
+// mapping the backing re-attributes its resident share at this point, so
+// the task that triggered the fault — and every task aliasing the store —
+// sees its footprint rise at the same virtual instant.
 func (b *Backing) materialize() []byte {
 	if b.data == nil && b.size > 0 {
 		b.data = make([]byte, b.size)
+		for _, as := range b.spaces {
+			as.recharge(b)
+		}
 	}
 	return b.data
 }
@@ -144,6 +155,14 @@ func (e *ErrFault) Error() string {
 	return fmt.Sprintf("mem: fault: invalid %s at 0x%x", kind, e.Addr)
 }
 
+// backingAccount is one address space's attribution record for a backing:
+// how many mapped window bytes the space holds over it, and how many
+// resident bytes are currently charged to the space for it.
+type backingAccount struct {
+	window  uint64
+	charged uint64
+}
+
 // AddressSpace is a task's virtual memory map.
 type AddressSpace struct {
 	regions []*Region // sorted by Base
@@ -152,8 +171,24 @@ type AddressSpace struct {
 	nextAuto uint64
 	// MapHook, when non-nil, is consulted before any new mapping is
 	// created; a non-nil error fails the Map like an allocation failure
-	// (fault injection). Fork propagates the hook to children.
+	// (fault injection, rlimit enforcement). Fork propagates the hook to
+	// children.
 	MapHook func(size uint64, name string) error
+	// accounts holds one attribution record per distinct backing mapped by
+	// this space. Attribution is per-mapping-window, capped at the backing
+	// size: two tasks mapping one Backing each carry their own window, and
+	// one task aliasing the same store twice (IOSurface, Mach OOL) is
+	// charged the store once, never twice.
+	accounts map[*Backing]*backingAccount
+	// footprint is the resident bytes currently attributed to this space:
+	// the sum over accounts of charged bytes. Zero-fill backings that were
+	// never touched contribute nothing.
+	footprint uint64
+	// FootprintHook, when non-nil, observes every footprint change (delta
+	// in bytes, negative on unmap). The kernel threads memorystatus
+	// watermark evaluation through it. Fork deliberately does not copy the
+	// hook: the child's owner rebinds it and adopts the initial footprint.
+	FootprintHook func(delta int64)
 }
 
 // mmapBase is where automatic placement starts (above typical text bases).
@@ -200,6 +235,77 @@ func (as *AddressSpace) MappedBytes() uint64 {
 	return n
 }
 
+// Footprint returns the resident bytes attributed to this space: for each
+// distinct backing, the mapped window bytes capped at the backing size,
+// counted only once the store has materialized. This is the jetsam
+// ledger's per-task number.
+func (as *AddressSpace) Footprint() uint64 { return as.footprint }
+
+// recharge re-attributes this space's resident share of b: the mapped
+// window capped at the backing size when the store is materialized, zero
+// while it is still zero-fill. The delta is applied to the footprint and
+// reported through FootprintHook.
+func (as *AddressSpace) recharge(b *Backing) {
+	acct := as.accounts[b]
+	if acct == nil {
+		return
+	}
+	var want uint64
+	if b.data != nil {
+		want = acct.window
+		if want > b.size {
+			want = b.size
+		}
+	}
+	if want == acct.charged {
+		return
+	}
+	delta := int64(want) - int64(acct.charged)
+	acct.charged = want
+	as.footprint = uint64(int64(as.footprint) + delta)
+	if as.FootprintHook != nil {
+		as.FootprintHook(delta)
+	}
+}
+
+// attach opens or grows this space's attribution window over r's backing.
+func (as *AddressSpace) attach(r *Region) {
+	b := r.backing
+	if as.accounts == nil {
+		as.accounts = make(map[*Backing]*backingAccount)
+	}
+	acct := as.accounts[b]
+	if acct == nil {
+		acct = &backingAccount{}
+		as.accounts[b] = acct
+		b.spaces = append(b.spaces, as)
+	}
+	acct.window += r.Size
+	as.recharge(b)
+}
+
+// detach shrinks this space's attribution window over r's backing,
+// releasing the account (and the backing's notification link) when the
+// last window closes.
+func (as *AddressSpace) detach(r *Region) {
+	b := r.backing
+	acct := as.accounts[b]
+	if acct == nil {
+		return
+	}
+	acct.window -= r.Size
+	as.recharge(b)
+	if acct.window == 0 {
+		delete(as.accounts, b)
+		for i, s := range b.spaces {
+			if s == as {
+				b.spaces = append(b.spaces[:i], b.spaces[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
 // find returns the region containing addr, or nil.
 func (as *AddressSpace) find(addr uint64) *Region {
 	i := sort.Search(len(as.regions), func(i int) bool {
@@ -243,6 +349,7 @@ func (as *AddressSpace) insert(r *Region) {
 	copy(as.regions[i+1:], as.regions[i:])
 	as.regions[i] = r
 	r.backing.refs++
+	as.attach(r)
 }
 
 // Map creates a new mapping. base==0 requests automatic placement. size is
@@ -292,16 +399,19 @@ func (as *AddressSpace) Unmap(base uint64) error {
 		if r.Base == base {
 			as.regions = append(as.regions[:i], as.regions[i+1:]...)
 			r.backing.refs--
+			as.detach(r)
 			return nil
 		}
 	}
 	return fmt.Errorf("mem: unmap: no region at 0x%x", base)
 }
 
-// UnmapAll drops every mapping (exec, exit).
+// UnmapAll drops every mapping (exec, exit). The footprint returns to
+// exactly zero: every attribution window closes with its mapping.
 func (as *AddressSpace) UnmapAll() {
 	for _, r := range as.regions {
 		r.backing.refs--
+		as.detach(r)
 	}
 	as.regions = nil
 	as.nextAuto = mmapBase
@@ -359,6 +469,13 @@ func copyLen(want, avail uint64) uint64 {
 // the number of page-table entries copied (the caller charges PTE-copy time
 // for them). Private regions are deep-copied; shared regions alias the same
 // backing, but their PTEs are still copied.
+//
+// Footprint re-attribution follows the copy: a materialized private store
+// is split — the parent keeps its charge on the old backing, the child is
+// charged for its fresh copy — while shared and submap stores attribute
+// the child's window on the common backing. FootprintHook is not
+// propagated (the clone's owner rebinds it and adopts the accumulated
+// footprint); MapHook is, matching the fork semantics of rlimit state.
 func (as *AddressSpace) Fork() (*AddressSpace, uint64) {
 	child := NewAddressSpace()
 	child.nextAuto = as.nextAuto

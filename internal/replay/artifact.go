@@ -61,6 +61,10 @@ type Artifact struct {
 	Plan *fault.Plan `json:"plan,omitempty"`
 	// Services marks a soak cell booted with the service tree.
 	Services bool `json:"services,omitempty"`
+	// Pressure marks a soak cell booted with the memory-balloon workloads.
+	Pressure bool `json:"pressure,omitempty"`
+	// FDHog marks a soak cell booted with the descriptor-exhaustion apps.
+	FDHog bool `json:"fd_hog,omitempty"`
 	// Cell identifies the soak cell (KindSoak).
 	Cell *CellRef `json:"cell,omitempty"`
 

@@ -67,6 +67,11 @@ func RegisterAll(reg *prog.Registry, iosFS *vfs.FS) (*SyslogBuffer, error) {
 			t := c.Ctx.(*kernel.Thread)
 			// Daemons never exit; the simulation may end while they wait.
 			t.Proc().SetDaemon(true)
+			// System services sit in the daemon jetsam band: below any
+			// foreground app, above idle — memorystatus reaps them only
+			// after the idle and background bands are empty, and launchd's
+			// KeepAlive brings them back.
+			t.Kernel().Memorystatus().SetBand(t.Task(), kernel.BandDaemon)
 			return body(t)
 		})
 	}
@@ -131,6 +136,9 @@ const (
 // forever.
 func launchdMain(t *kernel.Thread) uint64 {
 	lc := libsystem.Sys(t)
+	// launchd is pid-1: jetsam must never choose it, whatever its
+	// footprint — kill it and nothing respawns anything.
+	t.Kernel().Memorystatus().SetEssential(t.Task())
 	ipc, ok := xnu.FromKernel(t.Kernel())
 	if !ok {
 		return 1
@@ -238,6 +246,28 @@ func superviseLoop(t *kernel.Thread, children map[int]string) {
 		delete(children, pid)
 		if status == 0 {
 			continue // clean exit: KeepAlive respawns crashes only
+		}
+		if _, jetsammed := t.Kernel().Memorystatus().TakeJetsam(pid); jetsammed {
+			// A jetsam kill is the system's doing, not the service's: it
+			// must not count against the crash budget or trigger backoff —
+			// a service reaped for memory would otherwise flap into
+			// throttling during a pressure storm. Respawn immediately; if
+			// pressure persists, memorystatus picks it again by the same
+			// deterministic order.
+			if s := tr(); s != nil {
+				s.Count(trace.CounterLaunchdJetsam, 1)
+			}
+			npid, errno := lc.PosixSpawn(path, nil)
+			if errno != kernel.OK {
+				continue
+			}
+			children[npid] = path
+			if s := tr(); s != nil {
+				s.Count(trace.CounterLaunchdRespawns, 1)
+				s.Respawn(t.Proc().Name(), t.Proc().ID(), path,
+					fmt.Sprintf("respawn pid=%d after jetsam", npid), t.Now())
+			}
+			continue
 		}
 		now := t.Now()
 		if s := tr(); s != nil {

@@ -128,6 +128,19 @@ func (o *cellOutcome) auditSystem(d *digest, s Schedule, sys *core.System) {
 			"cell %s: supervision lost services: %d crashes vs %d respawns + %d throttled",
 			o.ref, crashes, respawns, throttled))
 	}
+	if s.Pressure && sys.Kernel != nil {
+		// The foreground-survival invariant: however hard the storm blows,
+		// jetsam must exhaust the idle, daemon and background bands before
+		// it ever touches a foreground task — and the pressure schedules
+		// never push that far, so a foreground kill is a victim-ordering
+		// bug, not load shedding.
+		total, perBand := sys.Kernel.Memorystatus().Kills()
+		if perBand[kernel.BandForeground] != 0 {
+			o.findings = append(o.findings, fmt.Sprintf(
+				"cell %s: foreground-survival violated: %d foreground kill(s) of %d total",
+				o.ref, perBand[kernel.BandForeground], total))
+		}
+	}
 	if err := sys.Kernel.LeakCheck(); err != nil {
 		o.findings = append(o.findings, fmt.Sprintf("cell %s: %v", o.ref, err))
 	}
@@ -185,6 +198,12 @@ func runLmbenchCell(s Schedule, ref replay.CellRef, dec sim.Decider) cellOutcome
 		y.EnableFaults(s.Plan)
 		if s.Services {
 			bootCellServices(y)
+		}
+		if s.Pressure {
+			bootCellPressure(y)
+		}
+		if s.FDHog {
+			bootCellFDHog(y)
 		}
 		if dec != nil {
 			y.Sim.SetDecider(dec)
@@ -469,6 +488,8 @@ func artifactForOutcome(s Schedule, o *cellOutcome, exploreSeed uint64) *replay.
 		Schedule:      s.Name,
 		Plan:          &plan,
 		Services:      s.Services,
+		Pressure:      s.Pressure,
+		FDHog:         s.FDHog,
 		Cell:          &ref,
 		ExploreSeed:   exploreSeed,
 		Decisions:     o.choices,
@@ -540,7 +561,7 @@ func ReplayCell(a *replay.Artifact) (*CellReport, error) {
 	if a.Cell == nil || a.Plan == nil {
 		return nil, fmt.Errorf("soak: artifact missing cell or plan")
 	}
-	s := Schedule{Name: a.Schedule, Plan: *a.Plan, Services: a.Services}
+	s := Schedule{Name: a.Schedule, Plan: *a.Plan, Services: a.Services, Pressure: a.Pressure, FDHog: a.FDHog}
 	rec := replay.NewRecorder(replay.NewReplayer(a.Decisions))
 	o := runCellRef(s, *a.Cell, rec)
 	o.fromRecorder(rec)

@@ -40,6 +40,15 @@ type Schedule struct {
 	// benchmark, so crash schedules have daemons to kill, a supervisor
 	// to respawn them, and stranded clients to recover.
 	Services bool
+	// Pressure boots the memory-balloon workloads alongside the benchmark:
+	// band-assigned processes that inflate their footprint round by round,
+	// register pressure listeners on both personas, and shed cache chunks
+	// when notified — the OpMemPressure rules storm them by path.
+	Pressure bool
+	// FDHog boots the descriptor-exhaustion apps: one per persona, each
+	// lowering its own RLIMIT_NOFILE and driving the fd table into EMFILE
+	// and back out, leak-free.
+	FDHog bool
 }
 
 // Schedules is the soak matrix: one clean control plus one schedule per
@@ -138,6 +147,38 @@ func Schedules() []Schedule {
 				{Op: fault.OpCrash, Match: svcClientPath, Nth: 25, Errno: 11 /* SIGSEGV */},
 				{Op: fault.OpCrash, Match: "/bin/hello-*", Nth: 2, Errno: 6 /* SIGABRT */, Count: 6},
 			}},
+		},
+		{
+			Name: "mem-pressure-storm",
+			Desc: "jetsam storms: balloons inflate until the memorystatus ladder notifies, sheds, and kills in band order; launchd respawns the reaped daemon",
+			// Daemons must be up so a critical episode has a daemon-band
+			// victim for launchd's jetsam-aware KeepAlive to respawn.
+			Services: true,
+			Pressure: true,
+			Plan: fault.Plan{Name: "mem-pressure-storm", Seed: 0x5eed0008, Rules: []fault.Rule{
+				// Episodes are keyed per balloon path, so each balloon's warn
+				// fires on its own 3rd inflation and its critical on its 6th;
+				// the After gate skips exec-time materializations, which
+				// happen before the balloons have set their jetsam bands.
+				// The first critical reaps balloon-idle (the only idle-band
+				// task); the second finds the idle band empty and takes the
+				// daemon band's worst — which launchd respawns without
+				// charging the crash-loop budget.
+				{Op: fault.OpMemPressure, Match: "/bin/balloon-*", Nth: 3, After: balloonStart},
+				{Op: fault.OpMemPressure, Match: "/bin/balloon-*", Nth: 6, Errno: 2 /* critical */, After: balloonStart},
+				// A page-reclaim latency spike on a late inflation: only the
+				// surviving balloon ever reaches its 8th round.
+				{Op: fault.OpMemPressure, Match: "/bin/balloon-*", Nth: 8, Delay: 500 * time.Microsecond, After: balloonStart},
+			}},
+		},
+		{
+			Name:  "fd-exhaustion",
+			Desc:  "descriptor-table exhaustion against a lowered RLIMIT_NOFILE on both personas: every rejection counted, every descriptor released",
+			FDHog: true,
+			// No injected faults: the storm is the workload itself. The
+			// schedule still earns its soak slot via the determinism,
+			// leak-freedom and rlimit-accounting audits.
+			Plan: fault.Plan{Name: "fd-exhaustion", Seed: 0x5eed0009},
 		},
 	}
 }
@@ -312,6 +353,20 @@ func (r *Result) merge(s Schedule, refs []replay.CellRef, outcomes []cellOutcome
 			}
 		}
 	}
+	// Schedule-level effectiveness audits: a pressure schedule that reaps
+	// nobody, or an fd schedule that never hits its lowered limit, is a
+	// storm that silently stopped storming — treat it as a finding so the
+	// verify smoke catches regressions in the governance machinery itself.
+	if s.Pressure && r.Counters[trace.CounterJetsamKills] == 0 {
+		r.Findings = append(r.Findings, fmt.Sprintf(
+			"schedule %s: pressure storm reaped nothing (no %s across %d cells)",
+			s.Name, trace.CounterJetsamKills, r.Cells))
+	}
+	if s.FDHog && r.Counters[trace.CounterRlimitHits] == 0 {
+		r.Findings = append(r.Findings, fmt.Sprintf(
+			"schedule %s: descriptor hogs never hit RLIMIT_NOFILE (no %s across %d cells)",
+			s.Name, trace.CounterRlimitHits, r.Cells))
+	}
 	r.Digest = d.sum()
 	r.LatencyDigest = ld.sum()
 }
@@ -359,6 +414,35 @@ func digestSession(d *digest, tr *trace.Session) {
 		d.str(c.Name)
 		d.u64(c.Value)
 	}
+}
+
+// GovernanceCounters runs the two resource-governance schedules
+// (mem-pressure-storm and fd-exhaustion) over a minimal one-test battery
+// and returns their merged counters — the `cider stats` jetsam/pressure/
+// rlimit section. An error means a governance invariant failed, which
+// stats surfaces rather than printing misleading numbers.
+func GovernanceCounters(jobs int) (map[string]uint64, error) {
+	var tests []lmbench.Test
+	for _, t := range lmbench.AllTests() {
+		if t.Name == "null syscall" {
+			tests = append(tests, t)
+		}
+	}
+	merged := map[string]uint64{}
+	for _, name := range []string{"mem-pressure-storm", "fd-exhaustion"} {
+		s, ok := ScheduleByName(name)
+		if !ok {
+			return nil, fmt.Errorf("soak: governance schedule %q missing", name)
+		}
+		r := RunSchedule(s, Options{Jobs: jobs, Tests: tests, NoRecord: true})
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		for k, v := range r.Counters {
+			merged[k] += v
+		}
+	}
+	return merged, nil
 }
 
 // Run executes every schedule in the matrix.

@@ -34,8 +34,14 @@ func TestFaultSchedulesSurvivable(t *testing.T) {
 			if err := r.Err(); err != nil {
 				t.Fatal(err)
 			}
-			if s.Name != "clean" && r.Injected == 0 {
+			// Schedules with rules must fire them; rule-free schedules
+			// (clean, fd-exhaustion — whose storm is the workload itself)
+			// must not inject anything.
+			if len(s.Plan.Rules) > 0 && r.Injected == 0 {
 				t.Fatalf("schedule %q never fired a fault", s.Name)
+			}
+			if len(s.Plan.Rules) == 0 && r.Injected != 0 {
+				t.Fatalf("rule-free schedule %q injected %d faults", s.Name, r.Injected)
 			}
 			t.Logf("%s: digest=%016x cells=%d failed=%d injected=%d",
 				r.Schedule, r.Digest, r.Cells, r.FailedCells, r.Injected)
@@ -113,6 +119,75 @@ func TestDaemonCrashKeepsFig5Latencies(t *testing.T) {
 	t.Logf("daemon-crash: crashes=%d respawns=%d throttled=%d reports=%d",
 		b.Counters[trace.CounterLaunchdCrashes], b.Counters[trace.CounterLaunchdRespawns],
 		b.Counters[trace.CounterLaunchdThrottled], b.Counters[trace.CounterCrashReports])
+}
+
+// TestGovernanceSchedulesDeterministic is the resource-governance half
+// of the determinism criterion: jetsam storms (notify, shed, kill,
+// respawn) and descriptor exhaustion must still produce bit-identical
+// digests at jobs=1 and jobs=4.
+func TestGovernanceSchedulesDeterministic(t *testing.T) {
+	for _, name := range []string{"mem-pressure-storm", "fd-exhaustion"} {
+		s, ok := ScheduleByName(name)
+		if !ok {
+			t.Fatalf("schedule %q missing", name)
+		}
+		if err := VerifyDeterminism(s, 4, Options{Tests: QuickTests()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPressureStormSparesForeground is the governance counterpart of the
+// daemon-crash fidelity test: a memory-pressure storm that demonstrably
+// notifies, kills, and triggers jetsam respawns must (a) never reap a
+// foreground- or background-band task — kills land idle-first, exactly
+// jetsam's point — (b) have launchd account every reaped daemon as a
+// jetsam rather than a crash, and (c) leave the Fig. 5 latency digest
+// bit-identical to the clean schedule's.
+func TestPressureStormSparesForeground(t *testing.T) {
+	clean, _ := ScheduleByName("clean")
+	ps, ok := ScheduleByName("mem-pressure-storm")
+	if !ok {
+		t.Fatal("mem-pressure-storm schedule missing")
+	}
+	a := RunSchedule(clean, Options{Jobs: 1, Tests: QuickTests()})
+	b := RunSchedule(ps, Options{Jobs: 1, Tests: QuickTests()})
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Injected == 0 {
+		t.Fatal("mem-pressure-storm never fired a fault")
+	}
+	if a.LatencyDigest != b.LatencyDigest {
+		t.Fatalf("pressure storm perturbed Fig. 5 latencies: clean %016x vs storm %016x",
+			a.LatencyDigest, b.LatencyDigest)
+	}
+	kills := b.Counters[trace.CounterJetsamKills]
+	if kills == 0 {
+		t.Fatal("pressure storm reaped nobody")
+	}
+	if b.Counters[trace.CounterPressureNotify] == 0 {
+		t.Error("pressure storm delivered no notifications")
+	}
+	for _, band := range []string{"foreground", "background"} {
+		if n := b.Counters[trace.CounterJetsamKills+"."+band]; n != 0 {
+			t.Errorf("jetsam reaped %d %s-band task(s); kills must land idle-first", n, band)
+		}
+	}
+	if got := b.Counters[trace.CounterJetsamKills+".idle"] +
+		b.Counters[trace.CounterJetsamKills+".daemon"]; got != kills {
+		t.Errorf("per-band kill counts (%d) do not account for all %d kills", got, kills)
+	}
+	if b.Counters[trace.CounterLaunchdJetsam] == 0 {
+		t.Error("launchd accounted no reaped daemon as a jetsam")
+	}
+	if b.Counters[trace.CounterLaunchdThrottled] != 0 {
+		t.Error("jetsam respawns charged the crash-loop throttle")
+	}
+	t.Logf("mem-pressure-storm: kills=%d (idle=%d daemon=%d) notify=%d launchd.jetsam=%d",
+		kills, b.Counters[trace.CounterJetsamKills+".idle"],
+		b.Counters[trace.CounterJetsamKills+".daemon"],
+		b.Counters[trace.CounterPressureNotify], b.Counters[trace.CounterLaunchdJetsam])
 }
 
 // TestRepeatedRunsBitIdentical re-runs one faulted schedule at the same

@@ -74,6 +74,24 @@ const (
 	// CounterSyslogDropped counts lines evicted from the bounded syslog
 	// ring.
 	CounterSyslogDropped = "syslog.dropped"
+	// CounterJetsamKills counts memorystatus victim kills; per-band
+	// counts ride under "jetsam.kills.<band>" (e.g. "jetsam.kills.idle").
+	CounterJetsamKills = "jetsam.kills"
+	// CounterPressureNotify counts memory-pressure level notifications
+	// delivered to registered pressure handlers.
+	CounterPressureNotify = "pressure.notify"
+	// CounterRlimitHits counts resource-limit enforcement events: an
+	// RLIMIT_NOFILE rejection at fd allocation, or an RLIMIT_AS /
+	// RLIMIT_DATA rejection at map time.
+	CounterRlimitHits = "rlimit.hits"
+	// CounterRlimitXlate counts XNU-to-Linux rlimit resource-number
+	// translations (iOS-persona getrlimit/setrlimit entering the shim).
+	CounterRlimitXlate = "rlimit.xnu_translated"
+	// CounterLaunchdJetsam counts supervised children reaped by launchd
+	// whose deaths were memorystatus kills, not crashes: jetsam is the
+	// system shedding load, so it never counts against the flap window
+	// the way a crash loop does.
+	CounterLaunchdJetsam = "launchd.jetsam"
 )
 
 // EventKind classifies ring-buffer entries.
